@@ -1,0 +1,52 @@
+// ABL-LOSS — the paper's stated future work: "the hardware efficiency
+// impacts of other hyperparameters like loss functions".  Trains the same
+// model under rate cross-entropy and count-MSE losses and compares
+// accuracy, firing rate, and mapped hardware efficiency.  Count-MSE pins
+// the correct class to a target firing fraction, which regularizes output
+// activity — a different accuracy/sparsity trade-off than CE.
+#include <iostream>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "core/table.h"
+#include "exp/experiment.h"
+
+using namespace spiketune;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  auto base = exp::ExperimentConfig::for_profile(
+      exp::profile_by_name(flags.get("profile")));
+  base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
+  base.trainer.epochs = std::max<std::int64_t>(base.trainer.epochs, 8);
+
+  std::cout << "== ABL-LOSS: loss function ablation (profile="
+            << flags.get("profile") << ") ==\n";
+  AsciiTable table({"loss", "train acc", "test acc", "fire-rate", "latency",
+                    "FPS/W"});
+  table.set_title("same topology/hyperparameters, two losses");
+  for (const char* loss : {"rate_ce", "count_mse"}) {
+    std::cout << "training with " << loss << "...\n" << std::flush;
+    auto cfg = base;
+    cfg.loss = loss;
+    const auto r = exp::run_experiment(cfg);
+    table.add_row({loss, fmt_pct(r.final_train_accuracy, 1),
+                   fmt_pct(r.accuracy, 1), fmt_pct(r.firing_rate, 2),
+                   fmt_f(r.latency_us, 1) + "us",
+                   fmt_f(r.fps_per_watt, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// FIG1 — reproduces Figure 1 of the paper: accuracy and accelerator
+// efficiency (FPS/W) for the arctangent and fast sigmoid surrogates over
+// derivative scaling factors 0.5 .. 32, with beta/theta at their defaults
+// (0.25 / 1.0).  Prints the paper-style series, the prior-work green line,
+// and the fast-sigmoid-vs-arctangent efficiency ratio; writes fig1.csv.
+//
+// Profiles: --profile=smoke (seconds), fast (default, ~10-15 min on one
+// core), paper (paper-scale, hours).
+#include <cstdio>
+#include <iostream>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "core/logging.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+
+using namespace spiketune;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("profile", "fast", "experiment scale: smoke | fast | paper");
+  flags.declare("csv", "fig1.csv", "output CSV path (empty to skip)");
+  flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+
+  auto base = exp::ExperimentConfig::for_profile(
+      exp::profile_by_name(flags.get("profile")));
+  base.accel.device = hw::device_by_name(flags.get("device"));
+
+  std::cout << "== FIG1: surrogate derivative-scale sweep (profile="
+            << flags.get("profile") << ", device=" << base.accel.device.name
+            << ") ==\n";
+  const auto points = exp::run_surrogate_sweep(
+      base, {"arctan", "fast_sigmoid"}, exp::fig1_scales(),
+      [](std::size_t i, std::size_t total, const std::string& label) {
+        std::cout << "[" << (i + 1) << "/" << total << "] training " << label
+                  << "...\n"
+                  << std::flush;
+      });
+
+  std::cout << "\n" << exp::render_fig1(points);
+  if (!flags.get("csv").empty()) {
+    exp::write_fig1_csv(points, flags.get("csv"));
+    std::cout << "wrote " << flags.get("csv") << "\n";
+  }
+  return 0;
+}

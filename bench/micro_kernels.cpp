@@ -1,0 +1,199 @@
+// MICRO — google-benchmark suite for the hot kernels underpinning training
+// and simulation: GEMM variants, im2col, conv forward/backward, the LIF
+// step, spike encoders, the end-to-end CSNN timestep, and the hardware
+// models (allocator, analytic analysis, event-sim tick).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/encoders.h"
+#include "hw/event_sim.h"
+#include "hw/perf_model.h"
+#include "snn/conv2d.h"
+#include "snn/lif.h"
+#include "snn/model_zoo.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+
+using namespace spiketune;
+
+namespace {
+
+std::vector<float> random_vec(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const auto a = random_vec(n * n, rng);
+  const auto b = random_vec(n * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmSparseSpikes(benchmark::State& state) {
+  // Spike-matrix GEMM: A is binary with the given density(%); the kernel's
+  // zero-skip makes this the software analog of event-driven compute.
+  const std::int64_t n = 256;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(2);
+  std::vector<float> a(static_cast<std::size_t>(n * n), 0.0f);
+  for (auto& x : a) x = rng.bernoulli(density) ? 1.0f : 0.0f;
+  const auto b = random_vec(n * n, rng);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmSparseSpikes)->Arg(5)->Arg(20)->Arg(100);
+
+void BM_Im2col(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  ConvGeom g{32, s, s, 3, 3, 0, 0, 1, 1};
+  Rng rng(3);
+  const auto img = random_vec(g.channels * s * s, rng);
+  std::vector<float> cols(
+      static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (auto _ : state) {
+    im2col(g, img.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::int64_t img = state.range(0);
+  Rng rng(4);
+  snn::Conv2d conv(snn::Conv2dConfig{3, 32, 3}, rng);
+  Tensor x = Tensor::uniform(Shape{8, 3, img, img}, rng, -1.0f, 1.0f);
+  conv.begin_window(8, false);
+  for (auto _ : state) {
+    Tensor y = conv.forward_step(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const std::int64_t img = state.range(0);
+  Rng rng(5);
+  snn::Conv2d conv(snn::Conv2dConfig{3, 32, 3}, rng);
+  Tensor x = Tensor::uniform(Shape{8, 3, img, img}, rng, -1.0f, 1.0f);
+  const Shape out_shape{8, 32, img - 2, img - 2};
+  Tensor g = Tensor::uniform(out_shape, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    state.PauseTiming();
+    conv.begin_window(8, true);
+    conv.forward_step(x);
+    state.ResumeTiming();
+    Tensor gx = conv.backward_step(g);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(32);
+
+void BM_LifStep(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  snn::Lif lif(snn::LifConfig{});
+  Rng rng(6);
+  Tensor x = Tensor::uniform(Shape{1, n}, rng, 0.0f, 2.0f);
+  lif.begin_window(1, false);
+  for (auto _ : state) {
+    Tensor s = lif.forward_step(x);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LifStep)->Arg(1024)->Arg(65536);
+
+void BM_RateEncode(benchmark::State& state) {
+  data::RateEncoder enc(7);
+  Rng rng(7);
+  Tensor batch = Tensor::uniform(Shape{32, 3, 16, 16}, rng, 0.0f, 1.0f);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    auto steps = enc.encode(batch, 8, stream++);
+    benchmark::DoNotOptimize(steps.data());
+  }
+}
+BENCHMARK(BM_RateEncode);
+
+void BM_CsnnTimestep(benchmark::State& state) {
+  // One full forward window step of the paper topology at 16x16.
+  snn::CsnnConfig cfg;
+  cfg.image_size = 16;
+  auto net = snn::make_svhn_csnn(cfg);
+  Rng rng(8);
+  const std::vector<Tensor> window{
+      Tensor::uniform(Shape{32, 3, 16, 16}, rng, -1.0f, 1.0f)};
+  for (auto _ : state) {
+    auto out = net->forward(window, false);
+    benchmark::DoNotOptimize(out.spike_counts.data());
+  }
+}
+BENCHMARK(BM_CsnnTimestep);
+
+std::vector<hw::LayerWorkload> bench_workloads() {
+  std::vector<hw::LayerWorkload> ws(4);
+  const char* names[] = {"conv1", "conv2", "fc1", "fc2"};
+  const std::int64_t ins[] = {3072, 7200, 1152, 256};
+  const std::int64_t fan[] = {288, 288, 256, 10};
+  const std::int64_t neu[] = {28800, 5408, 256, 10};
+  for (int i = 0; i < 4; ++i) {
+    ws[static_cast<std::size_t>(i)].name = names[i];
+    ws[static_cast<std::size_t>(i)].input_size = ins[i];
+    ws[static_cast<std::size_t>(i)].fanout = fan[i];
+    ws[static_cast<std::size_t>(i)].neurons = neu[i];
+    ws[static_cast<std::size_t>(i)].num_weights = 1000;
+    ws[static_cast<std::size_t>(i)].avg_input_spikes =
+        0.15 * static_cast<double>(ins[i]);
+  }
+  return ws;
+}
+
+void BM_Allocate(benchmark::State& state) {
+  const auto ws = bench_workloads();
+  const auto dev = hw::kintex_ultrascale_plus_ku5p();
+  for (auto _ : state) {
+    auto a = hw::allocate(ws, dev, hw::AllocationPolicy::kBalanced);
+    benchmark::DoNotOptimize(a.total_pes);
+  }
+}
+BENCHMARK(BM_Allocate);
+
+void BM_AnalyticModel(benchmark::State& state) {
+  const auto ws = bench_workloads();
+  const auto dev = hw::kintex_ultrascale_plus_ku5p();
+  const auto alloc = hw::allocate(ws, dev, hw::AllocationPolicy::kBalanced);
+  for (auto _ : state) {
+    auto r = hw::analyze(ws, alloc, dev, 25, hw::ComputeMode::kEventDriven);
+    benchmark::DoNotOptimize(r.fps_per_watt);
+  }
+}
+BENCHMARK(BM_AnalyticModel);
+
+void BM_EventSimInference(benchmark::State& state) {
+  const auto ws = bench_workloads();
+  const auto dev = hw::kintex_ultrascale_plus_ku5p();
+  const auto alloc = hw::allocate(ws, dev, hw::AllocationPolicy::kBalanced);
+  const auto cfg = hw::EventSimConfig::from(ws, alloc, dev);
+  Rng rng(9);
+  const auto trace = hw::random_trace(ws, 25, rng);
+  for (auto _ : state) {
+    auto r = hw::simulate_inference(cfg, trace);
+    benchmark::DoNotOptimize(r.total_cycles);
+  }
+}
+BENCHMARK(BM_EventSimInference);
+
+}  // namespace

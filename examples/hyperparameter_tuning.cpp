@@ -1,0 +1,87 @@
+// Hyperparameter tuning for hardware: a miniature version of the paper's
+// methodology.  Trains a handful of (beta, theta) candidates, then selects
+// the most hardware-efficient configuration whose accuracy stays within a
+// user-chosen budget of the best — exactly the trade-off the paper's
+// Figure 2 navigates.
+#include <iostream>
+#include <vector>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "core/table.h"
+#include "exp/experiment.h"
+
+using namespace spiketune;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  flags.declare("accuracy-budget", "0.035",
+                "max allowed accuracy drop vs the best configuration");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+  const double budget = flags.get_double("accuracy-budget");
+
+  auto base = exp::ExperimentConfig::for_profile(
+      exp::profile_by_name(flags.get("profile")));
+  base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
+
+  struct Candidate {
+    double beta;
+    double theta;
+    exp::ExperimentResult result;
+  };
+  const std::vector<std::pair<double, double>> grid{
+      {0.25, 1.0},  // paper default
+      {0.5, 1.5},   // paper's latency knee
+      {0.7, 1.5},   // paper's prior-work comparison point
+      {0.9, 0.5},   // deliberately chatty: high leak retention, low bar
+  };
+
+  std::vector<Candidate> candidates;
+  for (const auto& [beta, theta] : grid) {
+    std::cout << "training beta=" << beta << " theta=" << theta << "...\n"
+              << std::flush;
+    auto cfg = base;
+    cfg.model.lif.beta = static_cast<float>(beta);
+    cfg.model.lif.threshold = static_cast<float>(theta);
+    candidates.push_back({beta, theta, exp::run_experiment(cfg)});
+  }
+
+  double best_acc = 0.0;
+  for (const auto& c : candidates)
+    best_acc = std::max(best_acc, c.result.accuracy);
+
+  AsciiTable table({"beta", "theta", "accuracy", "fire-rate", "latency",
+                    "FPS/W", "eligible"});
+  table.set_title("hardware-aware hyperparameter selection");
+  const Candidate* pick = nullptr;
+  for (const auto& c : candidates) {
+    const bool eligible = c.result.accuracy >= best_acc - budget;
+    if (eligible &&
+        (!pick || c.result.fps_per_watt > pick->result.fps_per_watt))
+      pick = &c;
+    table.add_row({fmt_f(c.beta, 2), fmt_f(c.theta, 2),
+                   fmt_pct(c.result.accuracy, 2),
+                   fmt_pct(c.result.firing_rate, 2),
+                   fmt_f(c.result.latency_us, 1) + "us",
+                   fmt_f(c.result.fps_per_watt, 1),
+                   eligible ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nselected: beta=" << fmt_f(pick->beta, 2)
+            << " theta=" << fmt_f(pick->theta, 2) << " ("
+            << fmt_f(pick->result.fps_per_watt, 1) << " FPS/W at "
+            << fmt_pct(pick->result.accuracy, 2) << ", budget "
+            << fmt_pct(budget, 1) << ")\n";
+  return 0;
+}

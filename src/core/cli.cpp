@@ -1,0 +1,93 @@
+#include "core/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+void CliFlags::declare(const std::string& name,
+                       const std::string& default_value,
+                       const std::string& help) {
+  ST_REQUIRE(!name.empty() && name.rfind("--", 0) != 0,
+             "declare flag names without leading dashes");
+  ST_REQUIRE(!flags_.count(name), "duplicate flag declaration: " + name);
+  flags_[name] = Flag{default_value, default_value, help};
+}
+
+void CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    ST_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      ST_REQUIRE(it != flags_.end(), "unknown flag: --" + name);
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else {
+        ST_REQUIRE(i + 1 < argc, "flag --" + name + " expects a value");
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    ST_REQUIRE(it != flags_.end(), "unknown flag: --" + name);
+    it->second.value = value;
+  }
+}
+
+std::string CliFlags::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  ST_REQUIRE(it != flags_.end(), "flag not declared: " + name);
+  return it->second.value;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  ST_REQUIRE(end && *end == '\0' && !v.empty(),
+             "flag --" + name + " is not a number: " + v);
+  return d;
+}
+
+long long CliFlags::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  ST_REQUIRE(end && *end == '\0' && !v.empty(),
+             "flag --" + name + " is not an integer: " + v);
+  return i;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw InvalidArgument("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string CliFlags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spiketune

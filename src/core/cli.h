@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for examples and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+// Unrecognized flags raise InvalidArgument so typos in experiment scripts
+// fail loudly instead of silently running the wrong configuration.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spiketune {
+
+/// Declarative flag set: declare flags with defaults, then parse argv.
+class CliFlags {
+ public:
+  /// Declares a flag with a default value and help text.
+  void declare(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv (excluding argv[0]).  Throws InvalidArgument on unknown
+  /// flags or missing values.  `--help` sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+  /// Human-readable flag summary for `--help`.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace spiketune

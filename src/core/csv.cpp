@@ -1,0 +1,50 @@
+#include "core/csv.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), arity_(header.size()) {
+  ST_REQUIRE(out_.good(), "cannot open CSV file for writing: " + path);
+  ST_REQUIRE(!header.empty(), "CSV header must not be empty");
+  write_row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  ST_REQUIRE(cells.size() == arity_,
+             "CSV row arity mismatch for " + path_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+  ST_ASSERT(out_.good(), "CSV write failed: " + path_);
+}
+
+std::string CsvWriter::cell(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+std::string CsvWriter::cell(long long v) { return std::to_string(v); }
+
+std::string CsvWriter::quote(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace spiketune

@@ -1,0 +1,36 @@
+// Tiny CSV writer used by the benchmark harness to persist sweep results.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace spiketune {
+
+/// Row-at-a-time CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws spiketune::Error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must have the same arity as the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with full round-trip precision.
+  static std::string cell(double v);
+  static std::string cell(long long v);
+
+  const std::string& path() const { return path_; }
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  static std::string quote(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace spiketune

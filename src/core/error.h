@@ -1,0 +1,59 @@
+// Error handling for spiketune.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions to signal
+// violated preconditions and unrecoverable errors, and we keep the throwing
+// sites expressive via the ST_CHECK / ST_REQUIRE macros below.  Internal
+// invariants that should be unreachable use ST_ASSERT, which is compiled in
+// all build types (these models feed published numbers; silent corruption is
+// worse than an abort).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spiketune {
+
+/// Base class for all spiketune errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad shape, bad config...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in spiketune itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
+                                         int line, const std::string& msg);
+[[noreturn]] void throw_internal_error(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace spiketune
+
+/// Validate a caller-supplied condition; throws InvalidArgument on failure.
+#define ST_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::spiketune::detail::throw_invalid_argument(#cond, __FILE__,         \
+                                                  __LINE__, (msg));        \
+    }                                                                      \
+  } while (false)
+
+/// Validate an internal invariant; throws InternalError on failure.
+#define ST_ASSERT(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::spiketune::detail::throw_internal_error(#cond, __FILE__, __LINE__, \
+                                                (msg));                    \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,38 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace spiketune {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
+  os << "[" << level_tag(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace spiketune

@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Experiments and benches narrate progress through this instead of raw
+// std::cout so verbosity can be tuned globally (e.g. silenced in tests).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spiketune {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_message(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace spiketune
+
+#define ST_LOG_DEBUG ::spiketune::detail::LogLine(::spiketune::LogLevel::kDebug)
+#define ST_LOG_INFO ::spiketune::detail::LogLine(::spiketune::LogLevel::kInfo)
+#define ST_LOG_WARN ::spiketune::detail::LogLine(::spiketune::LogLevel::kWarn)
+#define ST_LOG_ERROR ::spiketune::detail::LogLine(::spiketune::LogLevel::kError)

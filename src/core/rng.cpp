@@ -1,0 +1,86 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  ST_REQUIRE(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  ST_REQUIRE(n > 0, "uniform_int(n) requires n > 0");
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is nudged away from zero so log() is finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  cached_normal_ = mag * std::sin(two_pi * u2);
+  has_cached_normal_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  ST_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the parent's seed with the stream id through SplitMix64 so that
+  // sibling streams are decorrelated even for adjacent ids.
+  SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL + stream * 0xbf58476d1ce4e5b9ULL));
+  return Rng(sm.next());
+}
+
+}  // namespace spiketune

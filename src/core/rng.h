@@ -1,0 +1,75 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in spiketune (weight init, data synthesis,
+// encoders, shuffling) takes an explicit seed so that experiments are exactly
+// reproducible across runs and machines.  We use SplitMix64 for seeding and
+// xoshiro256** as the workhorse generator (fast, high quality, tiny state),
+// plus the usual distribution helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace spiketune {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush when used as a generator itself.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the default generator.  Satisfies the basic requirements of
+/// UniformRandomBitGenerator so it can also feed <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n); requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached second value).
+  double normal();
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator; `stream` distinguishes children
+  /// from the same parent seed (e.g. one per dataset index).
+  Rng fork(std::uint64_t stream) const;
+
+  /// The seed this generator was constructed from (for provenance logs).
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace spiketune

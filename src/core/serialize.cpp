@@ -1,0 +1,93 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x53544b31;  // "STK1"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMaxRecords = 1u << 20;
+constexpr std::uint64_t kMaxNameLen = 4096;
+constexpr std::uint64_t kMaxRank = 16;
+constexpr std::int64_t kMaxNumel = std::int64_t{1} << 33;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, const std::string& path) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ST_REQUIRE(in.good(), "truncated checkpoint: " + path);
+  return v;
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<NamedTensor>& records) {
+  std::ofstream out(path, std::ios::binary);
+  ST_REQUIRE(out.good(), "cannot open checkpoint for writing: " + path);
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(records.size()));
+  for (const auto& rec : records) {
+    write_pod(out, static_cast<std::uint64_t>(rec.name.size()));
+    out.write(rec.name.data(),
+              static_cast<std::streamsize>(rec.name.size()));
+    const auto& dims = rec.value.shape().dims();
+    write_pod(out, static_cast<std::uint64_t>(dims.size()));
+    for (auto d : dims) write_pod(out, static_cast<std::int64_t>(d));
+    out.write(reinterpret_cast<const char*>(rec.value.data()),
+              static_cast<std::streamsize>(rec.value.numel() *
+                                           sizeof(float)));
+  }
+  out.flush();
+  ST_REQUIRE(out.good(), "checkpoint write failed: " + path);
+}
+
+std::vector<NamedTensor> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ST_REQUIRE(in.good(), "cannot open checkpoint: " + path);
+  ST_REQUIRE(read_pod<std::uint32_t>(in, path) == kMagic,
+             "not a spiketune checkpoint: " + path);
+  ST_REQUIRE(read_pod<std::uint32_t>(in, path) == kVersion,
+             "unsupported checkpoint version: " + path);
+  const auto count = read_pod<std::uint64_t>(in, path);
+  ST_REQUIRE(count <= kMaxRecords, "absurd record count in " + path);
+
+  std::vector<NamedTensor> records;
+  records.reserve(count);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const auto name_len = read_pod<std::uint64_t>(in, path);
+    ST_REQUIRE(name_len <= kMaxNameLen, "absurd name length in " + path);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    ST_REQUIRE(in.good(), "truncated checkpoint: " + path);
+
+    const auto rank = read_pod<std::uint64_t>(in, path);
+    ST_REQUIRE(rank <= kMaxRank, "absurd tensor rank in " + path);
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) {
+      d = read_pod<std::int64_t>(in, path);
+      ST_REQUIRE(d >= 0, "negative dimension in " + path);
+    }
+    Shape shape(std::move(dims));
+    ST_REQUIRE(shape.numel() <= kMaxNumel, "absurd tensor size in " + path);
+
+    Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.numel() * sizeof(float)));
+    ST_REQUIRE(in.good(), "truncated checkpoint payload: " + path);
+    records.push_back(NamedTensor{std::move(name), std::move(value)});
+  }
+  return records;
+}
+
+}  // namespace spiketune

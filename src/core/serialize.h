@@ -1,0 +1,31 @@
+// Binary serialization for tensors and parameter sets (checkpoints).
+//
+// Format: a small magic/version header, then a count of named records, each
+// record being (name, shape, float32 payload) in little-endian byte order.
+// Used to persist trained models so hardware-mapping studies can reuse a
+// training run instead of repeating it.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace spiketune {
+
+/// One named tensor in a checkpoint.
+struct NamedTensor {
+  std::string name;
+  Tensor value;
+};
+
+/// Writes records to `path`; throws spiketune::Error on I/O failure.
+void save_checkpoint(const std::string& path,
+                     const std::vector<NamedTensor>& records);
+
+/// Reads a checkpoint written by save_checkpoint.  Throws InvalidArgument
+/// on malformed files (bad magic, truncation, absurd sizes).
+std::vector<NamedTensor> load_checkpoint(const std::string& path);
+
+}  // namespace spiketune

@@ -1,0 +1,74 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ST_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  ST_REQUIRE(cells.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << " | ";
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << "-+-";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void AsciiTable::print(std::ostream& os) const { os << render(); }
+
+std::string fmt_f(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt_f(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_x(double ratio, int precision) {
+  return fmt_f(ratio, precision) + "x";
+}
+
+std::string fmt_si(double v, int precision) {
+  const double a = std::fabs(v);
+  if (a >= 1e9) return fmt_f(v / 1e9, precision) + "G";
+  if (a >= 1e6) return fmt_f(v / 1e6, precision) + "M";
+  if (a >= 1e3) return fmt_f(v / 1e3, precision) + "k";
+  return fmt_f(v, precision);
+}
+
+}  // namespace spiketune

@@ -1,0 +1,52 @@
+// ASCII table printer for paper-style result tables.
+//
+// The benchmark harness prints the same rows/series the paper reports; this
+// keeps that output aligned and readable without any formatting logic in the
+// experiment code.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spiketune {
+
+/// Column-aligned ASCII table with an optional title.
+/// Cells are strings; numeric helpers live in `fmt_*` below.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with box-drawing rules, e.g.
+  ///   title
+  ///   col-a | col-b
+  ///   ------+------
+  ///   1     | 2
+  std::string render() const;
+
+  /// Renders to a stream (same content as render()).
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting: fmt_f(3.14159, 2) == "3.14".
+std::string fmt_f(double v, int precision);
+/// Percentage: fmt_pct(0.4823, 1) == "48.2%".
+std::string fmt_pct(double fraction, int precision);
+/// Ratio with multiplier sign: fmt_x(1.7234, 2) == "1.72x".
+std::string fmt_x(double ratio, int precision);
+/// Engineering notation with SI suffix: fmt_si(12'300.0, 1) == "12.3k".
+std::string fmt_si(double v, int precision);
+
+}  // namespace spiketune

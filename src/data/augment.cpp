@@ -1,0 +1,49 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace spiketune::data {
+
+AugmentedDataset::AugmentedDataset(std::shared_ptr<const Dataset> base,
+                                   AugmentConfig config)
+    : base_(std::move(base)), config_(config) {
+  ST_REQUIRE(base_ != nullptr, "base dataset must not be null");
+  ST_REQUIRE(config_.copies >= 1, "copies must be at least 1");
+  ST_REQUIRE(config_.brightness >= 0.0f && config_.contrast >= 0.0f &&
+                 config_.contrast < 1.0f && config_.noise_stddev >= 0.0f,
+             "augmentation magnitudes must be non-negative (contrast < 1)");
+}
+
+std::int64_t AugmentedDataset::size() const {
+  return config_.copies * base_->size();
+}
+
+Example AugmentedDataset::get(std::int64_t i) const {
+  ST_REQUIRE(i >= 0 && i < size(), "augmented index out of range");
+  const std::int64_t base_index = i % base_->size();
+  const std::int64_t copy = i / base_->size();
+  Example ex = base_->get(base_index);
+  if (copy == 0) return ex;  // copy 0 is the untouched original
+
+  Rng rng = Rng(config_.seed).fork(static_cast<std::uint64_t>(i));
+  const float brightness = static_cast<float>(
+      rng.uniform(-config_.brightness, config_.brightness));
+  const float contrast = static_cast<float>(
+      rng.uniform(1.0 - config_.contrast, 1.0 + config_.contrast));
+  const float mean = ops::mean(ex.image);
+
+  float* p = ex.image.data();
+  for (std::int64_t k = 0, n = ex.image.numel(); k < n; ++k) {
+    float v = (p[k] - mean) * contrast + mean + brightness;
+    if (config_.noise_stddev > 0.0f)
+      v += static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+    p[k] = std::clamp(v, 0.0f, 1.0f);
+  }
+  return ex;
+}
+
+}  // namespace spiketune::data

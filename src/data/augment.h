@@ -1,0 +1,44 @@
+// Deterministic data augmentation.
+//
+// AugmentedDataset wraps any Dataset and applies photometric jitter
+// (brightness, contrast, additive noise) with a per-(seed, index) RNG
+// stream — the i-th augmented example is still a pure function of the
+// configuration, preserving spiketune's reproducibility guarantees while
+// enlarging the effective training set (wrap with a larger virtual size to
+// sample several augmentations per base image).
+#pragma once
+
+#include <memory>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace spiketune::data {
+
+struct AugmentConfig {
+  std::uint64_t seed = 0xa06;
+  float brightness = 0.1f;    // +/- uniform shift
+  float contrast = 0.15f;     // scale in [1-c, 1+c] around the image mean
+  float noise_stddev = 0.02f; // additive Gaussian, clamped to [0, 1]
+  /// Virtual copies of the base dataset: size() == copies * base->size();
+  /// copy 0 is the identity (no augmentation), so the originals remain.
+  std::int64_t copies = 1;
+};
+
+class AugmentedDataset final : public Dataset {
+ public:
+  AugmentedDataset(std::shared_ptr<const Dataset> base, AugmentConfig config);
+
+  std::int64_t size() const override;
+  Example get(std::int64_t i) const override;
+  int num_classes() const override { return base_->num_classes(); }
+  Shape image_shape() const override { return base_->image_shape(); }
+
+  const AugmentConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const Dataset> base_;
+  AugmentConfig config_;
+};
+
+}  // namespace spiketune::data

@@ -1,0 +1,77 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace spiketune::data {
+
+DataLoader::DataLoader(std::shared_ptr<const Dataset> dataset,
+                       std::int64_t batch_size, bool shuffle,
+                       std::uint64_t seed, bool drop_last)
+    : dataset_(std::move(dataset)),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      seed_(seed),
+      drop_last_(drop_last) {
+  ST_REQUIRE(dataset_ != nullptr, "DataLoader requires a dataset");
+  ST_REQUIRE(batch_size_ > 0, "batch size must be positive");
+  order_.resize(static_cast<std::size_t>(dataset_->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  start_epoch(0);
+}
+
+std::int64_t DataLoader::num_batches() const {
+  const std::int64_t n = dataset_->size();
+  return drop_last_ ? n / batch_size_ : (n + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch(std::int64_t epoch) {
+  cursor_ = 0;
+  if (!shuffle_) return;
+  Rng rng = Rng(seed_).fork(static_cast<std::uint64_t>(epoch));
+  // Fisher–Yates.
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(i));
+    std::swap(order_[i - 1], order_[j]);
+  }
+}
+
+bool DataLoader::next(Batch& out) {
+  const std::int64_t n = dataset_->size();
+  if (cursor_ >= n) return false;
+  const std::int64_t end = std::min(cursor_ + batch_size_, n);
+  if (drop_last_ && end - cursor_ < batch_size_) return false;
+
+  std::vector<std::int64_t> indices(order_.begin() + cursor_,
+                                    order_.begin() + end);
+  out = make_batch(*dataset_, indices);
+  cursor_ = end;
+  return true;
+}
+
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::int64_t>& indices) {
+  ST_REQUIRE(!indices.empty(), "make_batch requires at least one index");
+  const Shape img = dataset.image_shape();
+  ST_REQUIRE(img.rank() == 3, "make_batch expects [C,H,W] images");
+  const std::int64_t n = static_cast<std::int64_t>(indices.size());
+  const std::int64_t stride = img.numel();
+
+  Batch batch;
+  batch.images = Tensor(Shape{n, img[0], img[1], img[2]});
+  batch.labels.resize(indices.size());
+  float* dst = batch.images.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Example ex = dataset.get(indices[static_cast<std::size_t>(i)]);
+    ST_ASSERT(ex.image.numel() == stride, "image shape drifted inside batch");
+    std::memcpy(dst + i * stride, ex.image.data(),
+                static_cast<std::size_t>(stride) * sizeof(float));
+    batch.labels[static_cast<std::size_t>(i)] = ex.label;
+  }
+  return batch;
+}
+
+}  // namespace spiketune::data

@@ -1,0 +1,58 @@
+// Mini-batch iteration over a Dataset.
+//
+// Produces batches as a single [N, C, H, W] tensor plus a label vector.
+// Shuffling uses a seeded Fisher–Yates permutation re-drawn every epoch so
+// training order is reproducible yet epoch-dependent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace spiketune::data {
+
+struct Batch {
+  Tensor images;                  // [N, C, H, W]
+  std::vector<int> labels;        // size N
+  std::int64_t batch_size() const {
+    return static_cast<std::int64_t>(labels.size());
+  }
+};
+
+class DataLoader {
+ public:
+  /// `drop_last` discards a trailing partial batch (keeps shapes uniform).
+  DataLoader(std::shared_ptr<const Dataset> dataset, std::int64_t batch_size,
+             bool shuffle, std::uint64_t seed = 0x10adULL,
+             bool drop_last = false);
+
+  /// Number of batches per epoch.
+  std::int64_t num_batches() const;
+
+  /// Resets iteration and reshuffles (epoch folds into the permutation seed).
+  void start_epoch(std::int64_t epoch);
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  std::int64_t batch_size() const { return batch_size_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  std::shared_ptr<const Dataset> dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  std::uint64_t seed_;
+  bool drop_last_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+/// Assembles specific dataset indices into one batch tensor.
+Batch make_batch(const Dataset& dataset,
+                 const std::vector<std::int64_t>& indices);
+
+}  // namespace spiketune::data

@@ -1,0 +1,92 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace spiketune::data {
+
+InMemoryDataset::InMemoryDataset(std::vector<Example> examples,
+                                 int num_classes)
+    : examples_(std::move(examples)), num_classes_(num_classes) {
+  ST_REQUIRE(!examples_.empty(), "InMemoryDataset must not be empty");
+  ST_REQUIRE(num_classes_ > 0, "num_classes must be positive");
+  const Shape& ref = examples_.front().image.shape();
+  for (const auto& ex : examples_) {
+    ST_REQUIRE(ex.image.shape() == ref,
+               "all images must share one shape; got " +
+                   ex.image.shape().str() + " vs " + ref.str());
+    ST_REQUIRE(ex.label >= 0 && ex.label < num_classes_,
+               "label out of range");
+  }
+}
+
+InMemoryDataset InMemoryDataset::from(const Dataset& src) {
+  std::vector<Example> examples;
+  examples.reserve(static_cast<std::size_t>(src.size()));
+  for (std::int64_t i = 0; i < src.size(); ++i) examples.push_back(src.get(i));
+  return InMemoryDataset(std::move(examples), src.num_classes());
+}
+
+Example InMemoryDataset::get(std::int64_t i) const {
+  ST_REQUIRE(i >= 0 && i < size(), "dataset index out of range");
+  return examples_[static_cast<std::size_t>(i)];
+}
+
+Shape InMemoryDataset::image_shape() const {
+  return examples_.front().image.shape();
+}
+
+NormalizedDataset::NormalizedDataset(std::shared_ptr<const Dataset> base,
+                                     std::vector<float> mean,
+                                     std::vector<float> stddev)
+    : base_(std::move(base)), mean_(std::move(mean)), stddev_(std::move(stddev)) {
+  ST_REQUIRE(base_ != nullptr, "base dataset must not be null");
+  const Shape shape = base_->image_shape();
+  ST_REQUIRE(shape.rank() == 3, "NormalizedDataset expects [C,H,W] images");
+  const auto channels = static_cast<std::size_t>(shape[0]);
+  ST_REQUIRE(mean_.size() == channels && stddev_.size() == channels,
+             "mean/std arity must equal channel count");
+  for (float s : stddev_) ST_REQUIRE(s > 0.0f, "stddev must be positive");
+}
+
+Example NormalizedDataset::get(std::int64_t i) const {
+  Example ex = base_->get(i);
+  const Shape& shape = ex.image.shape();
+  const std::int64_t plane = shape[1] * shape[2];
+  float* p = ex.image.data();
+  for (std::size_t c = 0; c < mean_.size(); ++c) {
+    const float m = mean_[c];
+    const float inv = 1.0f / stddev_[c];
+    float* ch = p + static_cast<std::int64_t>(c) * plane;
+    for (std::int64_t k = 0; k < plane; ++k) ch[k] = (ch[k] - m) * inv;
+  }
+  return ex;
+}
+
+std::vector<float> channel_means(const Dataset& ds, std::int64_t max_examples) {
+  const Shape shape = ds.image_shape();
+  ST_REQUIRE(shape.rank() == 3, "channel_means expects [C,H,W] images");
+  const std::int64_t channels = shape[0];
+  const std::int64_t plane = shape[1] * shape[2];
+  const std::int64_t n = std::min(ds.size(), max_examples);
+  ST_REQUIRE(n > 0, "channel_means on empty dataset");
+
+  std::vector<double> acc(static_cast<std::size_t>(channels), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const Example ex = ds.get(i);
+    const float* p = ex.image.data();
+    for (std::int64_t c = 0; c < channels; ++c) {
+      double s = 0.0;
+      const float* ch = p + c * plane;
+      for (std::int64_t k = 0; k < plane; ++k) s += ch[k];
+      acc[static_cast<std::size_t>(c)] += s / static_cast<double>(plane);
+    }
+  }
+  std::vector<float> means(static_cast<std::size_t>(channels));
+  for (std::size_t c = 0; c < means.size(); ++c)
+    means[c] = static_cast<float>(acc[c] / static_cast<double>(n));
+  return means;
+}
+
+}  // namespace spiketune::data

@@ -1,0 +1,73 @@
+// Dataset abstractions.
+//
+// A Dataset is an indexable collection of (image tensor [C,H,W], label)
+// pairs.  Generation is deterministic per (seed, index) so the same split is
+// reproduced across runs without storing anything on disk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace spiketune::data {
+
+struct Example {
+  Tensor image;  // [C, H, W], values in [0, 1]
+  int label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual std::int64_t size() const = 0;
+  /// Returns example `i`; must be pure (same i -> same example).
+  virtual Example get(std::int64_t i) const = 0;
+  virtual int num_classes() const = 0;
+  /// Channels, height, width of every image.
+  virtual Shape image_shape() const = 0;
+};
+
+/// Materialized dataset; useful to pay generation cost once per run.
+class InMemoryDataset final : public Dataset {
+ public:
+  InMemoryDataset(std::vector<Example> examples, int num_classes);
+
+  /// Materializes any dataset.
+  static InMemoryDataset from(const Dataset& src);
+
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(examples_.size());
+  }
+  Example get(std::int64_t i) const override;
+  int num_classes() const override { return num_classes_; }
+  Shape image_shape() const override;
+
+ private:
+  std::vector<Example> examples_;
+  int num_classes_;
+};
+
+/// Per-channel standardization: out = (in - mean[c]) / std[c].
+class NormalizedDataset final : public Dataset {
+ public:
+  NormalizedDataset(std::shared_ptr<const Dataset> base,
+                    std::vector<float> mean, std::vector<float> stddev);
+
+  std::int64_t size() const override { return base_->size(); }
+  Example get(std::int64_t i) const override;
+  int num_classes() const override { return base_->num_classes(); }
+  Shape image_shape() const override { return base_->image_shape(); }
+
+ private:
+  std::shared_ptr<const Dataset> base_;
+  std::vector<float> mean_;
+  std::vector<float> stddev_;
+};
+
+/// Computes per-channel mean over the first `max_examples` images.
+std::vector<float> channel_means(const Dataset& ds,
+                                 std::int64_t max_examples = 256);
+
+}  // namespace spiketune::data

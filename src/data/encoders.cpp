@@ -1,0 +1,75 @@
+#include "data/encoders.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace spiketune::data {
+
+RateEncoder::RateEncoder(std::uint64_t seed, float gain)
+    : seed_(seed), gain_(gain) {
+  ST_REQUIRE(gain > 0.0f, "rate encoder gain must be positive");
+}
+
+std::vector<Tensor> RateEncoder::encode(const Tensor& batch,
+                                        std::int64_t num_steps,
+                                        std::uint64_t stream) const {
+  ST_REQUIRE(num_steps > 0, "num_steps must be positive");
+  Rng rng = Rng(seed_).fork(stream);
+  std::vector<Tensor> steps;
+  steps.reserve(static_cast<std::size_t>(num_steps));
+  const float* src = batch.data();
+  const std::int64_t n = batch.numel();
+  for (std::int64_t t = 0; t < num_steps; ++t) {
+    Tensor s(batch.shape());
+    float* dst = s.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float p = std::clamp(gain_ * src[i], 0.0f, 1.0f);
+      dst[i] = rng.bernoulli(p) ? 1.0f : 0.0f;
+    }
+    steps.push_back(std::move(s));
+  }
+  return steps;
+}
+
+std::vector<Tensor> DirectEncoder::encode(const Tensor& batch,
+                                          std::int64_t num_steps,
+                                          std::uint64_t /*stream*/) const {
+  ST_REQUIRE(num_steps > 0, "num_steps must be positive");
+  return std::vector<Tensor>(static_cast<std::size_t>(num_steps), batch);
+}
+
+LatencyEncoder::LatencyEncoder(float threshold) : threshold_(threshold) {
+  ST_REQUIRE(threshold >= 0.0f && threshold < 1.0f,
+             "latency threshold must be in [0, 1)");
+}
+
+std::vector<Tensor> LatencyEncoder::encode(const Tensor& batch,
+                                           std::int64_t num_steps,
+                                           std::uint64_t /*stream*/) const {
+  ST_REQUIRE(num_steps > 0, "num_steps must be positive");
+  std::vector<Tensor> steps(static_cast<std::size_t>(num_steps),
+                            Tensor(batch.shape()));
+  const float* src = batch.data();
+  const std::int64_t n = batch.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = std::clamp(src[i], 0.0f, 1.0f);
+    if (v <= threshold_) continue;  // silent pixel
+    // Brighter -> earlier: t = round((1 - v) * (T - 1)).
+    const auto t = static_cast<std::int64_t>(
+        std::lround((1.0f - v) * static_cast<float>(num_steps - 1)));
+    steps[static_cast<std::size_t>(t)][i] = 1.0f;
+  }
+  return steps;
+}
+
+std::unique_ptr<SpikeEncoder> make_encoder(const std::string& name,
+                                           std::uint64_t seed) {
+  if (name == "rate") return std::make_unique<RateEncoder>(seed);
+  if (name == "direct") return std::make_unique<DirectEncoder>();
+  if (name == "latency") return std::make_unique<LatencyEncoder>();
+  throw InvalidArgument("unknown encoder: " + name);
+}
+
+}  // namespace spiketune::data

@@ -1,0 +1,86 @@
+// Spike encoders: convert analog images into spike trains.
+//
+// The paper notes that "the primary driving factor in the formation of the
+// sparsity characteristic is the input coding scheme of the dataset"; the
+// encoder is therefore a first-class, swappable component.  Three schemes
+// are provided:
+//   * RateEncoder    — Bernoulli spikes, P(spike at t) = gain * intensity
+//                      (snnTorch's spikegen.rate); the default here.
+//   * DirectEncoder  — the analog image is presented unchanged at every
+//                      timestep ("direct"/constant-current coding); the
+//                      first conv layer then acts as the current injector.
+//   * LatencyEncoder — one spike per pixel, earlier for brighter pixels
+//                      (linear time-to-first-spike over the window).
+// All encoders are deterministic given (seed, sample index in batch, t).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace spiketune::data {
+
+class SpikeEncoder {
+ public:
+  virtual ~SpikeEncoder() = default;
+
+  /// Encodes a batch [N,...] into `num_steps` tensors of the same shape.
+  /// `stream` decorrelates draws across batches (pass the batch ordinal).
+  virtual std::vector<Tensor> encode(const Tensor& batch,
+                                     std::int64_t num_steps,
+                                     std::uint64_t stream) const = 0;
+
+  /// True if every emitted value is 0 or 1 (the hardware event path);
+  /// DirectEncoder returns false.
+  virtual bool binary() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class RateEncoder final : public SpikeEncoder {
+ public:
+  /// `gain` scales intensities into probabilities (clamped to [0,1]).
+  explicit RateEncoder(std::uint64_t seed = 0xc0deULL, float gain = 1.0f);
+
+  std::vector<Tensor> encode(const Tensor& batch, std::int64_t num_steps,
+                             std::uint64_t stream) const override;
+  bool binary() const override { return true; }
+  std::string name() const override { return "rate"; }
+  float gain() const { return gain_; }
+
+ private:
+  std::uint64_t seed_;
+  float gain_;
+};
+
+class DirectEncoder final : public SpikeEncoder {
+ public:
+  std::vector<Tensor> encode(const Tensor& batch, std::int64_t num_steps,
+                             std::uint64_t stream) const override;
+  bool binary() const override { return false; }
+  std::string name() const override { return "direct"; }
+};
+
+class LatencyEncoder final : public SpikeEncoder {
+ public:
+  /// Pixels below `threshold` never spike.
+  explicit LatencyEncoder(float threshold = 0.01f);
+
+  std::vector<Tensor> encode(const Tensor& batch, std::int64_t num_steps,
+                             std::uint64_t stream) const override;
+  bool binary() const override { return true; }
+  std::string name() const override { return "latency"; }
+
+ private:
+  float threshold_;
+};
+
+/// Factory by name ("rate" | "direct" | "latency").
+std::unique_ptr<SpikeEncoder> make_encoder(const std::string& name,
+                                           std::uint64_t seed = 0xc0deULL);
+
+}  // namespace spiketune::data

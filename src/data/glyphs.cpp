@@ -1,0 +1,123 @@
+#include "data/glyphs.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace spiketune::data {
+
+namespace {
+using Glyph = std::array<std::uint8_t, kGlyphWidth * kGlyphHeight>;
+
+// 5x7 digit font.  Rows top-to-bottom, 1 = ink.
+constexpr std::array<Glyph, 10> kFont = {{
+    // 0
+    {0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,1,1,
+     1,0,1,0,1,
+     1,1,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0},
+    // 1
+    {0,0,1,0,0,
+     0,1,1,0,0,
+     0,0,1,0,0,
+     0,0,1,0,0,
+     0,0,1,0,0,
+     0,0,1,0,0,
+     0,1,1,1,0},
+    // 2
+    {0,1,1,1,0,
+     1,0,0,0,1,
+     0,0,0,0,1,
+     0,0,0,1,0,
+     0,0,1,0,0,
+     0,1,0,0,0,
+     1,1,1,1,1},
+    // 3
+    {1,1,1,1,1,
+     0,0,0,1,0,
+     0,0,1,0,0,
+     0,0,0,1,0,
+     0,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0},
+    // 4
+    {0,0,0,1,0,
+     0,0,1,1,0,
+     0,1,0,1,0,
+     1,0,0,1,0,
+     1,1,1,1,1,
+     0,0,0,1,0,
+     0,0,0,1,0},
+    // 5
+    {1,1,1,1,1,
+     1,0,0,0,0,
+     1,1,1,1,0,
+     0,0,0,0,1,
+     0,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0},
+    // 6
+    {0,0,1,1,0,
+     0,1,0,0,0,
+     1,0,0,0,0,
+     1,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0},
+    // 7
+    {1,1,1,1,1,
+     0,0,0,0,1,
+     0,0,0,1,0,
+     0,0,1,0,0,
+     0,1,0,0,0,
+     0,1,0,0,0,
+     0,1,0,0,0},
+    // 8
+    {0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,0},
+    // 9
+    {0,1,1,1,0,
+     1,0,0,0,1,
+     1,0,0,0,1,
+     0,1,1,1,1,
+     0,0,0,0,1,
+     0,0,0,1,0,
+     0,1,1,0,0},
+}};
+}  // namespace
+
+const Glyph& glyph(int digit) {
+  ST_REQUIRE(digit >= 0 && digit <= 9, "digit must be in [0, 9]");
+  return kFont[static_cast<std::size_t>(digit)];
+}
+
+float glyph_sample(int digit, float u, float v) {
+  const Glyph& g = glyph(digit);
+  // Bilinear interpolation over texel centers; outside reads 0.
+  const float x = u - 0.5f;
+  const float y = v - 0.5f;
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+
+  auto texel = [&](int xi, int yi) -> float {
+    if (xi < 0 || xi >= kGlyphWidth || yi < 0 || yi >= kGlyphHeight)
+      return 0.0f;
+    return static_cast<float>(g[static_cast<std::size_t>(yi) * kGlyphWidth +
+                                static_cast<std::size_t>(xi)]);
+  };
+  const float top = texel(x0, y0) * (1 - fx) + texel(x0 + 1, y0) * fx;
+  const float bot = texel(x0, y0 + 1) * (1 - fx) + texel(x0 + 1, y0 + 1) * fx;
+  return top * (1 - fy) + bot * fy;
+}
+
+}  // namespace spiketune::data

@@ -1,0 +1,24 @@
+// Bitmap digit glyphs used by the synthetic SVHN generator.
+//
+// Each digit 0-9 is a 5x7 monochrome bitmap (the classic "calculator" font
+// with serif-free strokes).  The generator samples these with bilinear
+// interpolation at arbitrary scale/offset to synthesize street-number crops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace spiketune::data {
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+
+/// Returns the 5x7 bitmap for `digit` (0-9); row-major, 1 = ink.
+/// Throws InvalidArgument for out-of-range digits.
+const std::array<std::uint8_t, kGlyphWidth * kGlyphHeight>& glyph(int digit);
+
+/// Bilinear sample of a glyph at continuous coordinates (u, v) in glyph
+/// space; coordinates outside [0, W) x [0, H) read as 0 (no ink).
+float glyph_sample(int digit, float u, float v);
+
+}  // namespace spiketune::data

@@ -1,0 +1,74 @@
+#include "data/synth_digits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "data/glyphs.h"
+
+namespace spiketune::data {
+
+SynthDigits::SynthDigits(SynthDigitsConfig config) : config_(config) {
+  ST_REQUIRE(config_.num_examples > 0, "num_examples must be positive");
+  ST_REQUIRE(config_.image_size >= 8, "image_size must be at least 8");
+  ST_REQUIRE(config_.noise_stddev >= 0.0f, "noise_stddev must be >= 0");
+}
+
+Example SynthDigits::get(std::int64_t i) const {
+  ST_REQUIRE(i >= 0 && i < size(), "SynthDigits index out of range");
+  Rng rng = Rng(config_.seed).fork(static_cast<std::uint64_t>(i));
+
+  const std::int64_t s = config_.image_size;
+  const int label = static_cast<int>(rng.uniform_int(10));
+
+  Tensor image(Shape{1, s, s});  // black background
+  float* p = image.data();
+
+  // Bright digit with mild jitter, like MNIST's centered white-on-black.
+  const float base_scale =
+      static_cast<float>(s) / static_cast<float>(kGlyphHeight);
+  const float scale = base_scale * static_cast<float>(rng.uniform(0.6, 0.9));
+  const float cx = static_cast<float>(s) * 0.5f +
+                   static_cast<float>(rng.uniform(-0.06, 0.06)) * s;
+  const float cy = static_cast<float>(s) * 0.5f +
+                   static_cast<float>(rng.uniform(-0.06, 0.06)) * s;
+  const float shear = static_cast<float>(rng.uniform(-0.1, 0.1));
+  const float ink = static_cast<float>(rng.uniform(0.75, 1.0));
+
+  const float half_w = kGlyphWidth * 0.5f;
+  const float half_h = kGlyphHeight * 0.5f;
+  for (std::int64_t y = 0; y < s; ++y) {
+    for (std::int64_t x = 0; x < s; ++x) {
+      const float dy = (static_cast<float>(y) + 0.5f - cy) / scale;
+      const float dx =
+          (static_cast<float>(x) + 0.5f - cx) / scale - shear * dy;
+      const float alpha = glyph_sample(label, dx + half_w, dy + half_h);
+      if (alpha > 0.0f) p[y * s + x] = ink * alpha;
+    }
+  }
+
+  if (config_.noise_stddev > 0.0f) {
+    for (std::int64_t k = 0; k < image.numel(); ++k)
+      p[k] += static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+  }
+  for (std::int64_t k = 0; k < image.numel(); ++k)
+    p[k] = std::clamp(p[k], 0.0f, 1.0f);
+
+  return Example{std::move(image), label};
+}
+
+SynthDigitsSplits make_synth_digits_splits(std::int64_t train_size,
+                                           std::int64_t test_size,
+                                           std::int64_t image_size,
+                                           std::uint64_t seed) {
+  SynthDigitsConfig train_cfg;
+  train_cfg.num_examples = train_size;
+  train_cfg.image_size = image_size;
+  train_cfg.seed = SplitMix64(seed ^ 0x7261696eULL).next();
+  SynthDigitsConfig test_cfg = train_cfg;
+  test_cfg.num_examples = test_size;
+  test_cfg.seed = SplitMix64(seed ^ 0x74657374ULL).next();
+  return SynthDigitsSplits{SynthDigits(train_cfg), SynthDigits(test_cfg)};
+}
+
+}  // namespace spiketune::data

@@ -1,0 +1,50 @@
+// SynthDigits: a clean grayscale digit dataset (MNIST-like difficulty).
+//
+// Implements the paper's future-work direction of "exploring additional
+// datasets": where SynthSvhn stresses colour/contrast/clutter invariance,
+// SynthDigits is a single-channel, dark-background, centered-digit task —
+// much easier, with different input statistics and therefore different
+// layer-wise sparsity, which is exactly what the hardware study cares
+// about.  Deterministic per (seed, index), like SynthSvhn.
+#pragma once
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace spiketune::data {
+
+struct SynthDigitsConfig {
+  std::int64_t num_examples = 2048;
+  std::int64_t image_size = 16;
+  std::uint64_t seed = 0xd161;
+  float noise_stddev = 0.02f;  // sensor noise in [0,1] pixel units
+};
+
+class SynthDigits final : public Dataset {
+ public:
+  explicit SynthDigits(SynthDigitsConfig config);
+
+  std::int64_t size() const override { return config_.num_examples; }
+  Example get(std::int64_t i) const override;
+  int num_classes() const override { return 10; }
+  Shape image_shape() const override {
+    return Shape{1, config_.image_size, config_.image_size};
+  }
+
+  const SynthDigitsConfig& config() const { return config_; }
+
+ private:
+  SynthDigitsConfig config_;
+};
+
+/// Train/test split helper with non-overlapping generator streams.
+struct SynthDigitsSplits {
+  SynthDigits train;
+  SynthDigits test;
+};
+SynthDigitsSplits make_synth_digits_splits(std::int64_t train_size,
+                                           std::int64_t test_size,
+                                           std::int64_t image_size,
+                                           std::uint64_t seed);
+
+}  // namespace spiketune::data

@@ -1,0 +1,152 @@
+#include "exp/experiment.h"
+
+#include <chrono>
+#include <memory>
+
+#include "core/error.h"
+#include "data/synth_digits.h"
+#include "data/synth_svhn.h"
+
+namespace spiketune::exp {
+
+Profile profile_by_name(const std::string& name) {
+  if (name == "fast") return Profile::kFast;
+  if (name == "paper") return Profile::kPaper;
+  if (name == "smoke") return Profile::kSmoke;
+  throw InvalidArgument("unknown profile: " + name +
+                        " (expected fast|paper|smoke)");
+}
+
+const char* profile_name(Profile profile) {
+  switch (profile) {
+    case Profile::kFast:
+      return "fast";
+    case Profile::kPaper:
+      return "paper";
+    case Profile::kSmoke:
+      return "smoke";
+  }
+  return "?";
+}
+
+ExperimentConfig ExperimentConfig::for_profile(Profile profile) {
+  ExperimentConfig cfg;
+  switch (profile) {
+    case Profile::kSmoke:
+      // CI-sized: seconds per point, exercises every code path.
+      cfg.train_size = 128;
+      cfg.test_size = 64;
+      cfg.image_size = 12;
+      cfg.trainer.epochs = 3;
+      cfg.trainer.num_steps = 4;
+      cfg.trainer.batch_size = 16;
+      break;
+    case Profile::kFast:
+      cfg.train_size = 768;
+      cfg.test_size = 256;
+      cfg.image_size = 16;
+      cfg.trainer.epochs = 20;
+      cfg.trainer.num_steps = 8;
+      cfg.trainer.batch_size = 32;
+      break;
+    case Profile::kPaper:
+      cfg.train_size = 8192;
+      cfg.test_size = 2048;
+      cfg.image_size = 32;
+      cfg.trainer.epochs = 25;  // paper: cosine annealing over 25 epochs
+      cfg.trainer.num_steps = 25;
+      cfg.trainer.batch_size = 64;
+      break;
+  }
+  cfg.model.image_size = cfg.image_size;
+  cfg.trainer.base_lr = 5e-3;
+  cfg.trainer.verbose = false;
+  return cfg;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ST_REQUIRE(config.model.image_size == config.image_size,
+             "model.image_size must match data image_size");
+
+  // Data: deterministic synthetic splits, materialized once.
+  std::shared_ptr<const data::Dataset> train_ds;
+  std::shared_ptr<const data::Dataset> test_ds;
+  if (config.dataset == "svhn") {
+    ST_REQUIRE(config.model.in_channels == 3,
+               "svhn dataset requires model.in_channels == 3");
+    auto splits = data::make_synth_svhn_splits(
+        config.train_size, config.test_size, config.image_size,
+        config.data_seed);
+    train_ds = std::make_shared<data::InMemoryDataset>(
+        data::InMemoryDataset::from(splits.train));
+    test_ds = std::make_shared<data::InMemoryDataset>(
+        data::InMemoryDataset::from(splits.test));
+  } else if (config.dataset == "digits") {
+    ST_REQUIRE(config.model.in_channels == 1,
+               "digits dataset requires model.in_channels == 1");
+    auto splits = data::make_synth_digits_splits(
+        config.train_size, config.test_size, config.image_size,
+        config.data_seed);
+    train_ds = std::make_shared<data::InMemoryDataset>(
+        data::InMemoryDataset::from(splits.train));
+    test_ds = std::make_shared<data::InMemoryDataset>(
+        data::InMemoryDataset::from(splits.test));
+  } else {
+    throw InvalidArgument("unknown dataset: " + config.dataset);
+  }
+  if (config.normalize) {
+    // Train-split statistics applied to both splits (no test leakage).
+    const auto means = data::channel_means(*train_ds);
+    const std::vector<float> stds(means.size(), 0.25f);
+    train_ds =
+        std::make_shared<data::NormalizedDataset>(train_ds, means, stds);
+    test_ds = std::make_shared<data::NormalizedDataset>(test_ds, means, stds);
+  }
+  data::DataLoader train_loader(train_ds, config.trainer.batch_size,
+                                /*shuffle=*/true, config.data_seed);
+  data::DataLoader test_loader(test_ds, config.trainer.batch_size,
+                               /*shuffle=*/false);
+
+  // Model + training stack.
+  auto net = snn::make_svhn_csnn(config.model);
+  auto encoder = data::make_encoder(config.encoder, config.data_seed ^ 0xE);
+  std::unique_ptr<snn::Loss> loss;
+  if (config.loss == "rate_ce") {
+    loss = std::make_unique<snn::RateCrossEntropyLoss>(
+        static_cast<double>(config.trainer.num_steps));
+  } else if (config.loss == "count_mse") {
+    loss = std::make_unique<snn::CountMseLoss>(config.trainer.num_steps);
+  } else {
+    throw InvalidArgument("unknown loss: " + config.loss);
+  }
+  train::Trainer trainer(*net, *encoder, *loss, config.trainer);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double final_train_acc = 0.0;
+  trainer.fit(train_loader, [&](const train::EpochMetrics& m) {
+    final_train_acc = m.train_accuracy;
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const train::EvalMetrics eval = trainer.evaluate(test_loader);
+
+  // Hardware mapping from measured activity.
+  hw::Accelerator accel(config.accel);
+  ExperimentResult result;
+  result.mapping = accel.map(*net, eval.record, config.trainer.num_steps,
+                             config.validate_with_sim);
+  result.accuracy = eval.accuracy;
+  result.loss = eval.loss;
+  result.firing_rate = eval.firing_rate;
+  result.sparsity = 1.0 - eval.firing_rate;
+  result.latency_us = result.mapping.perf.latency_s * 1e6;
+  result.throughput_fps = result.mapping.perf.throughput_fps;
+  result.watts = result.mapping.perf.power.total();
+  result.fps_per_watt = result.mapping.perf.fps_per_watt;
+  result.final_train_accuracy = final_train_acc;
+  result.train_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  return result;
+}
+
+}  // namespace spiketune::exp

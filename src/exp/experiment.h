@@ -1,0 +1,83 @@
+// Experiment pipeline: dataset -> train -> measure sparsity -> map to hw.
+//
+// Every paper artifact (Fig. 1, Fig. 2, the prior-work table) is a sweep of
+// this pipeline over hyperparameters.  Two profiles control scale:
+//   * kFast  — laptop-scale default (smaller images/splits/epochs) whose
+//     orderings and ratios track the paper's full-scale behaviour;
+//   * kPaper — the paper's scale (32x32, 25 epochs, T=25); hours on one
+//     CPU core, available behind --profile=paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/accelerator.h"
+#include "snn/model_zoo.h"
+#include "train/trainer.h"
+
+namespace spiketune::exp {
+
+enum class Profile { kFast, kPaper, kSmoke };
+
+Profile profile_by_name(const std::string& name);
+const char* profile_name(Profile profile);
+
+struct ExperimentConfig {
+  // Data.
+  std::int64_t train_size = 768;
+  std::int64_t test_size = 256;
+  std::int64_t image_size = 16;
+  std::uint64_t data_seed = 0xda7aULL;
+  /// Input coding.  "direct" (default) presents the standardized analog
+  /// image as constant current every step — the standard snnTorch setup
+  /// for static datasets and the one the paper's training pipeline uses;
+  /// "rate"/"latency" produce fully binary input spike trains.
+  std::string encoder = "direct";
+  /// Standardize images with per-channel train-split means and a fixed
+  /// 0.25 std (images live in [0,1], so this spreads them over ~±2).
+  bool normalize = true;
+  /// Task: "svhn" (SynthSvhn, 3-channel, the paper's dataset class) or
+  /// "digits" (SynthDigits, 1-channel MNIST-like; the paper's future-work
+  /// "additional datasets").  Selecting "digits" requires
+  /// model.in_channels == 1.
+  std::string dataset = "svhn";
+  /// Training loss: "rate_ce" (softmax CE on spike counts, the default) or
+  /// "count_mse" (snnTorch's mse_count_loss; the paper's future-work
+  /// "other hyperparameters like loss functions").
+  std::string loss = "rate_ce";
+
+  // Model: the paper topology; lif holds the swept hyperparameters.
+  snn::CsnnConfig model;
+
+  // Training.
+  train::TrainerConfig trainer;
+
+  // Hardware mapping.
+  hw::AcceleratorConfig accel;
+  bool validate_with_sim = false;
+
+  /// Profile presets (model.lif left at paper defaults).
+  static ExperimentConfig for_profile(Profile profile);
+};
+
+struct ExperimentResult {
+  // Learning metrics (on the held-out split).
+  double accuracy = 0.0;
+  double loss = 0.0;
+  double firing_rate = 0.0;   // spikes / neuron / step over spiking layers
+  double sparsity = 0.0;      // 1 - firing_rate
+  // Hardware metrics from the mapped model.
+  hw::MappingReport mapping;
+  double latency_us = 0.0;
+  double throughput_fps = 0.0;
+  double watts = 0.0;
+  double fps_per_watt = 0.0;
+  // Provenance.
+  double final_train_accuracy = 0.0;  // last epoch's training accuracy
+  double train_seconds = 0.0;
+};
+
+/// Runs the full pipeline once.  Deterministic for a given config.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace spiketune::exp

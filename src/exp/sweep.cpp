@@ -1,0 +1,79 @@
+#include "exp/sweep.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace spiketune::exp {
+
+std::vector<double> fig1_scales() {
+  return {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+}
+
+std::vector<double> fig2_betas() { return {0.25, 0.4, 0.5, 0.7, 0.9}; }
+
+std::vector<double> fig2_thetas() { return {0.5, 1.0, 1.5, 2.0, 2.5}; }
+
+std::vector<SurrogateSweepPoint> run_surrogate_sweep(
+    const ExperimentConfig& base, const std::vector<std::string>& surrogates,
+    const std::vector<double>& scales, const Progress& progress) {
+  ST_REQUIRE(!surrogates.empty() && !scales.empty(),
+             "sweep grids must not be empty");
+  std::vector<SurrogateSweepPoint> points;
+  points.reserve(surrogates.size() * scales.size());
+  const std::size_t total = surrogates.size() * scales.size();
+  std::size_t index = 0;
+  for (const auto& surrogate : surrogates) {
+    for (double scale : scales) {
+      ExperimentConfig cfg = base;
+      cfg.model.lif.surrogate =
+          snn::Surrogate::by_name(surrogate, static_cast<float>(scale));
+      if (progress) {
+        std::ostringstream label;
+        label << surrogate << " scale=" << scale;
+        progress(index, total, label.str());
+      }
+      SurrogateSweepPoint p;
+      p.surrogate = surrogate;
+      p.scale = scale;
+      p.result = run_experiment(cfg);
+      points.push_back(std::move(p));
+      ++index;
+    }
+  }
+  return points;
+}
+
+std::vector<BetaThetaPoint> run_beta_theta_sweep(
+    const ExperimentConfig& base, const std::vector<double>& betas,
+    const std::vector<double>& thetas, const Progress& progress) {
+  ST_REQUIRE(!betas.empty() && !thetas.empty(),
+             "sweep grids must not be empty");
+  std::vector<BetaThetaPoint> points;
+  points.reserve(betas.size() * thetas.size());
+  const std::size_t total = betas.size() * thetas.size();
+  std::size_t index = 0;
+  for (double beta : betas) {
+    for (double theta : thetas) {
+      ExperimentConfig cfg = base;
+      cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(
+          static_cast<float>(kFig2FastSigmoidSlope));
+      cfg.model.lif.beta = static_cast<float>(beta);
+      cfg.model.lif.threshold = static_cast<float>(theta);
+      if (progress) {
+        std::ostringstream label;
+        label << "beta=" << beta << " theta=" << theta;
+        progress(index, total, label.str());
+      }
+      BetaThetaPoint p;
+      p.beta = beta;
+      p.theta = theta;
+      p.result = run_experiment(cfg);
+      points.push_back(std::move(p));
+      ++index;
+    }
+  }
+  return points;
+}
+
+}  // namespace spiketune::exp

@@ -1,0 +1,54 @@
+// Sweep grids for the paper's experiments.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace spiketune::exp {
+
+/// Figure 1 grid: derivative scaling factors 0.5 .. 32 (paper's range;
+/// "beyond which the accuracy for the arctangent surrogate drops below
+/// 20%").
+std::vector<double> fig1_scales();
+
+/// Figure 2 grids: the beta x theta cross-sweep around the paper's
+/// operating points (defaults beta=0.25/theta=1.0; optima at beta=0.5,
+/// theta=1.5; prior-work comparison at beta=0.7, theta=1.5).
+std::vector<double> fig2_betas();
+std::vector<double> fig2_thetas();
+
+struct SurrogateSweepPoint {
+  std::string surrogate;  // "arctan" | "fast_sigmoid"
+  double scale = 0.0;     // alpha or k
+  ExperimentResult result;
+};
+
+struct BetaThetaPoint {
+  double beta = 0.0;
+  double theta = 0.0;
+  ExperimentResult result;
+};
+
+/// Progress hook: (index, total, human-readable point label).
+using Progress =
+    std::function<void(std::size_t, std::size_t, const std::string&)>;
+
+/// Fig. 1: trains one model per (surrogate, scale) with beta/theta at the
+/// paper defaults and maps each onto the accelerator.
+std::vector<SurrogateSweepPoint> run_surrogate_sweep(
+    const ExperimentConfig& base, const std::vector<std::string>& surrogates,
+    const std::vector<double>& scales, const Progress& progress = {});
+
+/// Fig. 2: trains one model per (beta, theta) with fast sigmoid at the
+/// paper's chosen slope (k = 0.25).
+std::vector<BetaThetaPoint> run_beta_theta_sweep(
+    const ExperimentConfig& base, const std::vector<double>& betas,
+    const std::vector<double>& thetas, const Progress& progress = {});
+
+/// Paper's slope choice for the Fig. 2 sweep.
+inline constexpr double kFig2FastSigmoidSlope = 0.25;
+
+}  // namespace spiketune::exp

@@ -1,0 +1,153 @@
+#include "hw/allocate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "hw/calibration.h"
+
+namespace spiketune::hw {
+
+double stage_cycles_for(double synops, double events, std::int64_t neurons,
+                        std::int64_t pes) {
+  ST_REQUIRE(pes > 0, "stage needs at least one PE");
+  const double lanes = static_cast<double>(pes);
+  const double mac = std::ceil(synops / (lanes * calib::kMacsPerPePerCycle));
+  const double dispatch = std::ceil(
+      events / static_cast<double>(std::min<std::int64_t>(
+                   calib::kDispatchPorts, pes)));
+  return calib::kStageOverheadCycles + std::max(mac, dispatch) +
+         std::ceil(static_cast<double>(neurons) *
+                   calib::kNeuronUpdateCyclesPerPe / lanes);
+}
+
+std::int64_t pe_budget(const FpgaDevice& device) {
+  const double headroom = calib::kResourceHeadroom;
+  const auto by_lut = static_cast<std::int64_t>(
+      headroom * static_cast<double>(device.luts) / calib::kLutsPerPe);
+  const auto by_ff = static_cast<std::int64_t>(
+      headroom * static_cast<double>(device.ffs) / calib::kFfsPerPe);
+  const auto by_dsp = static_cast<std::int64_t>(
+      headroom * static_cast<double>(device.dsps) / calib::kDspsPerPe);
+  const std::int64_t budget = std::min({by_lut, by_ff, by_dsp});
+  ST_REQUIRE(budget > 0, "device too small for a single PE");
+  return budget;
+}
+
+std::int64_t model_bram_kb(const std::vector<LayerWorkload>& workloads) {
+  double bytes = 0.0;
+  for (const auto& w : workloads) {
+    bytes += static_cast<double>(w.num_weights) * calib::kBytesPerWeight;
+    // Double-buffered membrane state for lock-step operation.
+    bytes += 2.0 * static_cast<double>(w.neurons) * calib::kBytesPerNeuronState;
+  }
+  return static_cast<std::int64_t>(std::ceil(bytes / 1024.0));
+}
+
+Allocation allocate(const std::vector<LayerWorkload>& workloads,
+                    const FpgaDevice& device, AllocationPolicy policy) {
+  ST_REQUIRE(!workloads.empty(), "cannot allocate for zero layers");
+  const std::int64_t budget = pe_budget(device);
+  const auto n = workloads.size();
+  ST_REQUIRE(budget >= static_cast<std::int64_t>(n),
+             "PE budget smaller than layer count");
+
+  Allocation alloc;
+  alloc.policy = policy;
+  alloc.pes_per_layer.assign(n, 1);
+  std::int64_t used = static_cast<std::int64_t>(n);
+
+  if (policy == AllocationPolicy::kUniform) {
+    const std::int64_t each = budget / static_cast<std::int64_t>(n);
+    alloc.pes_per_layer.assign(n, each);
+    used = each * static_cast<std::int64_t>(n);
+  } else {
+    // Greedy minimax: repeatedly grow the stage that currently binds the
+    // lock-step period.  Workload metric depends on policy.
+    auto synops = [&](std::size_t i) {
+      return policy == AllocationPolicy::kBalanced
+                 ? workloads[i].sparse_synops()
+                 : workloads[i].dense_synops();
+    };
+    auto events = [&](std::size_t i) {
+      return policy == AllocationPolicy::kBalanced
+                 ? workloads[i].avg_input_spikes
+                 : static_cast<double>(workloads[i].input_size);
+    };
+    // Proportional warm start to keep the loop cheap on big budgets.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total += synops(i);
+    if (total > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto share = static_cast<std::int64_t>(
+            static_cast<double>(budget - static_cast<std::int64_t>(n)) *
+            synops(i) / total);
+        alloc.pes_per_layer[i] += share;
+        used += share;
+      }
+    }
+    auto cycles_of = [&](std::size_t i, std::int64_t pes) {
+      return stage_cycles_for(synops(i), events(i), workloads[i].neurons,
+                              pes);
+    };
+    auto binding_stage = [&]() {
+      std::size_t worst = 0;
+      double worst_cycles = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double c = cycles_of(i, alloc.pes_per_layer[i]);
+        if (c > worst_cycles) {
+          worst_cycles = c;
+          worst = i;
+        }
+      }
+      return std::pair{worst, worst_cycles};
+    };
+    while (used < budget) {
+      ++alloc.pes_per_layer[binding_stage().first];
+      ++used;
+    }
+    // Local-search refinement: greedy growth never rebalances the warm
+    // start, so shift single PEs from slack stages into the binding stage
+    // while that strictly shortens the lock-step period.  Each accepted
+    // move strictly improves, so this terminates.
+    for (bool improved = true; improved;) {
+      improved = false;
+      const auto [bind, base] = binding_stage();
+      for (std::size_t donor = 0; donor < n && !improved; ++donor) {
+        if (donor == bind || alloc.pes_per_layer[donor] <= 1) continue;
+        const double donor_after =
+            cycles_of(donor, alloc.pes_per_layer[donor] - 1);
+        const double bind_after =
+            cycles_of(bind, alloc.pes_per_layer[bind] + 1);
+        if (std::max(donor_after, bind_after) < base) {
+          --alloc.pes_per_layer[donor];
+          ++alloc.pes_per_layer[bind];
+          improved = true;
+        }
+      }
+    }
+  }
+
+  alloc.total_pes = used;
+  alloc.usage.luts = used * calib::kLutsPerPe;
+  alloc.usage.ffs = used * calib::kFfsPerPe;
+  alloc.usage.dsps = used * calib::kDspsPerPe;
+  alloc.usage.bram36_kb = model_bram_kb(workloads);
+  ST_REQUIRE(alloc.usage.bram36_kb <= device.bram36_kb,
+             "model weights + state exceed device BRAM");
+  return alloc;
+}
+
+const char* policy_name(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::kBalanced:
+      return "balanced-sparse";
+    case AllocationPolicy::kBalancedDense:
+      return "balanced-dense";
+    case AllocationPolicy::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+}  // namespace spiketune::hw

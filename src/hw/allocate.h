@@ -1,0 +1,61 @@
+// PE allocation across lock-step layer stages.
+//
+// The accelerator instantiates a PE group per weighted layer; every
+// timestep, all groups run concurrently and the slowest group sets the
+// lock-step stage time.  The allocator's job is the paper's "efficient
+// model-to-hardware mapping": choose group sizes that (a) fit the device and
+// (b) minimize the maximum per-stage cycle count for the *measured*
+// workload.
+//
+// Policies:
+//   kBalanced          — greedy minimax on the event-driven (sparse) workload;
+//                        the paper's sparsity-aware mapping.
+//   kBalancedDense     — greedy minimax on the dense workload; resource
+//                        allocation that ignores measured sparsity (ablation).
+//   kUniform           — equal PEs per layer regardless of workload (ablation).
+#pragma once
+
+#include <vector>
+
+#include "hw/fpga.h"
+#include "hw/workload.h"
+
+namespace spiketune::hw {
+
+enum class AllocationPolicy { kBalanced, kBalancedDense, kUniform };
+
+/// Cycles one stage needs per timestep with `pes` lanes processing `synops`
+/// synaptic updates triggered by `events` input spikes, plus its neuron
+/// updates.  This is both the allocator's objective and the analytic
+/// performance model's per-layer cost, so what is optimized is what is
+/// reported:
+///   overhead + max(ceil(synops / pes), ceil(events / ports)) +
+///   ceil(neurons / pes)
+double stage_cycles_for(double synops, double events, std::int64_t neurons,
+                        std::int64_t pes);
+
+struct Allocation {
+  AllocationPolicy policy = AllocationPolicy::kBalanced;
+  std::vector<std::int64_t> pes_per_layer;  // parallel lanes per stage
+  std::int64_t total_pes = 0;
+  ResourceUsage usage;
+
+  std::int64_t pes(std::size_t layer) const { return pes_per_layer[layer]; }
+};
+
+/// Computes the largest PE count the device supports under the headroom
+/// fraction (LUT / FF / DSP constrained, whichever binds first).
+std::int64_t pe_budget(const FpgaDevice& device);
+
+/// Allocates `pe_budget(device)` PEs over `workloads` per `policy`,
+/// and accounts BRAM for weights + neuron state.  Throws InvalidArgument if
+/// the model's memory footprint exceeds the device BRAM.
+Allocation allocate(const std::vector<LayerWorkload>& workloads,
+                    const FpgaDevice& device, AllocationPolicy policy);
+
+/// Memory footprint of the model on-chip (weights + double-buffered state).
+std::int64_t model_bram_kb(const std::vector<LayerWorkload>& workloads);
+
+const char* policy_name(AllocationPolicy policy);
+
+}  // namespace spiketune::hw

@@ -1,0 +1,57 @@
+// Calibration constants for the accelerator performance/power model.
+//
+// These constants position the model in the regime of the paper's platform
+// (a sparsity-aware, layer-lock-step SNN accelerator on a Kintex
+// UltraScale+ at a few hundred MHz, delivering hundreds-to-thousands FPS at
+// single-digit watts).  Each value records its rationale; EXPERIMENTS.md
+// compares paper-reported ratios against ratios measured with this model —
+// absolute numbers are explicitly NOT the reproduction target.
+#pragma once
+
+#include <cstdint>
+
+namespace spiketune::hw::calib {
+
+// ---- processing element (PE) geometry --------------------------------------
+// One PE = one synaptic MAC lane plus event-decode logic; in the SNN-DSE
+// style design a lane spends one cycle per synaptic update.
+inline constexpr double kMacsPerPePerCycle = 1.0;
+// Synthesis cost of one lane (accumulator, weight address generator, event
+// FIFO share).  ~300 LUTs/lane is typical for a 16-bit fixed-point lane.
+inline constexpr std::int64_t kLutsPerPe = 300;
+inline constexpr std::int64_t kFfsPerPe = 400;
+inline constexpr std::int64_t kDspsPerPe = 1;   // one DSP48 per MAC lane
+// Fraction of device resources the allocator may claim; the rest is routing,
+// control, and the memory subsystem.
+inline constexpr double kResourceHeadroom = 0.70;
+
+// ---- per-layer pipeline overheads ------------------------------------------
+// Fixed cycles per layer per timestep: event-queue drain/handshake plus
+// lock-step barrier synchronization.
+inline constexpr double kStageOverheadCycles = 24.0;
+// Cycles to update one neuron's membrane (leak + threshold + reset); the
+// update units are shared with the MAC lanes, one neuron per PE per cycle.
+inline constexpr double kNeuronUpdateCyclesPerPe = 1.0;
+// Event-queue pop ports per layer group: at most this many input events
+// can be decoded per cycle, a structural bound independent of PE count.
+inline constexpr std::int64_t kDispatchPorts = 4;
+
+// ---- energy ----------------------------------------------------------------
+// Energy of one synaptic operation (weight fetch from BRAM + MAC + routing).
+// FPGA-class synop energy sits in the tens of pJ; 25 pJ matches the FPS/W
+// magnitude reported for UltraScale+ SNN accelerators.
+inline constexpr double kEnergyPerSynopJ = 25e-12;
+// Membrane update energy (state read-modify-write in BRAM).
+inline constexpr double kEnergyPerNeuronUpdateJ = 18e-12;
+// Event-queue push/pop energy per spike routed between layers.
+inline constexpr double kEnergyPerSpikeRouteJ = 6e-12;
+// Clock-tree and idle-logic dynamic power scales with allocated PEs.
+inline constexpr double kClockWattsPerPe = 0.4e-3;
+
+// ---- memory ----------------------------------------------------------------
+// Bytes of on-chip state per neuron (membrane potential, 16-bit fixed point,
+// double-buffered for lock-step) and per synapse (weight, 8-bit quantized).
+inline constexpr double kBytesPerNeuronState = 4.0;
+inline constexpr double kBytesPerWeight = 1.0;
+
+}  // namespace spiketune::hw::calib

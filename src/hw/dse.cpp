@@ -1,0 +1,76 @@
+#include "hw/dse.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace spiketune::hw {
+
+std::string DsePoint::label() const {
+  return device + "/" + policy_name(policy) + "/" + mode_name(mode);
+}
+
+std::vector<DsePoint> explore(const std::vector<LayerWorkload>& workloads,
+                              const DseConfig& config) {
+  ST_REQUIRE(!workloads.empty(), "explore requires workloads");
+  ST_REQUIRE(config.timesteps > 0, "timesteps must be positive");
+  std::vector<FpgaDevice> devices = config.devices;
+  if (devices.empty()) {
+    devices = {kintex_ultrascale_plus_ku3p(), kintex_ultrascale_plus_ku5p(),
+               kintex_ultrascale_plus_ku15p()};
+  }
+
+  std::vector<DsePoint> points;
+  for (const auto& device : devices) {
+    for (auto policy : config.policies) {
+      Allocation alloc;
+      try {
+        alloc = allocate(workloads, device, policy);
+      } catch (const InvalidArgument&) {
+        continue;  // model does not fit this device
+      }
+      for (auto mode : config.modes) {
+        const PerfReport perf =
+            analyze(workloads, alloc, device, config.timesteps, mode);
+        DsePoint p;
+        p.device = device.name;
+        p.policy = policy;
+        p.mode = mode;
+        p.latency_s = perf.latency_s;
+        p.throughput_fps = perf.throughput_fps;
+        p.watts = perf.power.total();
+        p.fps_per_watt = perf.fps_per_watt;
+        p.total_pes = alloc.total_pes;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<DsePoint> pareto_front(const std::vector<DsePoint>& points) {
+  std::vector<DsePoint> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool j_no_worse = points[j].latency_s <= points[i].latency_s &&
+                              points[j].fps_per_watt >= points[i].fps_per_watt;
+      const bool j_better = points[j].latency_s < points[i].latency_s ||
+                            points[j].fps_per_watt > points[i].fps_per_watt;
+      if (j_no_worse && j_better) dominated = true;
+      // Exact ties: keep only the first occurrence.
+      if (j < i && points[j].latency_s == points[i].latency_s &&
+          points[j].fps_per_watt == points[i].fps_per_watt)
+        dominated = true;
+    }
+    if (!dominated) front.push_back(points[i]);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const DsePoint& a, const DsePoint& b) {
+              return a.latency_s < b.latency_s;
+            });
+  return front;
+}
+
+}  // namespace spiketune::hw

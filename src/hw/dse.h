@@ -1,0 +1,50 @@
+// Design-space exploration over the hardware mapping knobs.
+//
+// The paper's platform (SNN-DSE) is explicitly a design-space-exploration
+// tool; this module provides the enumeration layer: evaluate a trained
+// model's workloads across (device x allocation policy x compute mode),
+// collect the metrics, and extract the Pareto frontier over
+// (latency, FPS/W) — the designer's two objectives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/perf_model.h"
+
+namespace spiketune::hw {
+
+struct DsePoint {
+  std::string device;
+  AllocationPolicy policy = AllocationPolicy::kBalanced;
+  ComputeMode mode = ComputeMode::kEventDriven;
+  double latency_s = 0.0;
+  double throughput_fps = 0.0;
+  double watts = 0.0;
+  double fps_per_watt = 0.0;
+  std::int64_t total_pes = 0;
+
+  std::string label() const;
+};
+
+struct DseConfig {
+  std::vector<FpgaDevice> devices;   // defaults to the full catalog
+  std::vector<AllocationPolicy> policies{AllocationPolicy::kBalanced,
+                                         AllocationPolicy::kBalancedDense,
+                                         AllocationPolicy::kUniform};
+  std::vector<ComputeMode> modes{ComputeMode::kEventDriven,
+                                 ComputeMode::kDense};
+  std::int64_t timesteps = 25;
+};
+
+/// Evaluates every combination; points whose model does not fit a device
+/// (BRAM overflow) are skipped rather than fatal.
+std::vector<DsePoint> explore(const std::vector<LayerWorkload>& workloads,
+                              const DseConfig& config);
+
+/// Pareto-optimal subset minimizing latency and maximizing FPS/W
+/// (a point survives if no other point is better in both objectives;
+/// strictly-equal duplicates keep the first).
+std::vector<DsePoint> pareto_front(const std::vector<DsePoint>& points);
+
+}  // namespace spiketune::hw

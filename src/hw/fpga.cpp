@@ -1,0 +1,50 @@
+#include "hw/fpga.h"
+
+#include "core/error.h"
+
+namespace spiketune::hw {
+
+FpgaDevice kintex_ultrascale_plus_ku5p() {
+  FpgaDevice d;
+  d.name = "xcku5p";
+  d.luts = 216'960;
+  d.ffs = 433'920;
+  d.dsps = 1'824;
+  d.bram36_kb = 480 * 4;  // 480 x 36Kb blocks ~= 1920 KiB usable
+  d.clock_hz = 200e6;
+  d.static_watts = 0.9;
+  return d;
+}
+
+FpgaDevice kintex_ultrascale_plus_ku3p() {
+  FpgaDevice d;
+  d.name = "xcku3p";
+  d.luts = 162'720;
+  d.ffs = 325'440;
+  d.dsps = 1'368;
+  d.bram36_kb = 360 * 4;
+  d.clock_hz = 200e6;
+  d.static_watts = 0.8;
+  return d;
+}
+
+FpgaDevice kintex_ultrascale_plus_ku15p() {
+  FpgaDevice d;
+  d.name = "xcku15p";
+  d.luts = 522'720;
+  d.ffs = 1'045'440;
+  d.dsps = 1'968;
+  d.bram36_kb = 984 * 4;
+  d.clock_hz = 200e6;
+  d.static_watts = 1.3;
+  return d;
+}
+
+FpgaDevice device_by_name(const std::string& name) {
+  if (name == "ku3p") return kintex_ultrascale_plus_ku3p();
+  if (name == "ku5p") return kintex_ultrascale_plus_ku5p();
+  if (name == "ku15p") return kintex_ultrascale_plus_ku15p();
+  throw InvalidArgument("unknown FPGA device: " + name);
+}
+
+}  // namespace spiketune::hw

@@ -1,0 +1,48 @@
+// FPGA device catalog.
+//
+// The paper maps its accelerator onto a Xilinx Kintex UltraScale+ part.
+// FpgaDevice captures the resource envelope the allocator budgets against
+// and the electrical parameters the power model uses.  Resource figures are
+// public datasheet numbers (DS890/DS922 class); static power is the typical
+// device + board envelope the paper's FPS/W regime implies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spiketune::hw {
+
+struct FpgaDevice {
+  std::string name;
+  std::int64_t luts = 0;      // 6-input LUTs
+  std::int64_t ffs = 0;       // flip-flops
+  std::int64_t dsps = 0;      // DSP48E2 slices
+  std::int64_t bram36_kb = 0; // total block RAM, KiB (36Kb blocks x 4.5KiB)
+  double clock_hz = 200e6;    // achieved accelerator clock
+  double static_watts = 0.9;  // device + board static/idle power
+};
+
+/// Kintex UltraScale+ KU5P — the mid-size part the paper's platform targets.
+FpgaDevice kintex_ultrascale_plus_ku5p();
+/// Kintex UltraScale+ KU3P — smaller sibling for resource-pressure studies.
+FpgaDevice kintex_ultrascale_plus_ku3p();
+/// Kintex UltraScale+ KU15P — larger sibling.
+FpgaDevice kintex_ultrascale_plus_ku15p();
+
+/// Looks up a device by name ("ku3p" | "ku5p" | "ku15p").
+FpgaDevice device_by_name(const std::string& name);
+
+/// Resources consumed by a candidate design; compared against the device.
+struct ResourceUsage {
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t dsps = 0;
+  std::int64_t bram36_kb = 0;
+
+  bool fits(const FpgaDevice& device) const {
+    return luts <= device.luts && ffs <= device.ffs && dsps <= device.dsps &&
+           bram36_kb <= device.bram36_kb;
+  }
+};
+
+}  // namespace spiketune::hw

@@ -1,0 +1,76 @@
+#include "hw/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "hw/calibration.h"
+
+namespace spiketune::hw {
+
+PerfReport analyze(const std::vector<LayerWorkload>& workloads,
+                   const Allocation& alloc, const FpgaDevice& device,
+                   std::int64_t timesteps, ComputeMode mode) {
+  ST_REQUIRE(workloads.size() == alloc.pes_per_layer.size(),
+             "allocation does not match workloads");
+  ST_REQUIRE(timesteps > 0, "timesteps must be positive");
+
+  PerfReport report;
+  report.mode = mode;
+  report.layers.reserve(workloads.size());
+
+  double spikes_per_step = 0.0;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const LayerWorkload& w = workloads[i];
+    LayerPerf lp;
+    lp.name = w.name;
+    lp.pes = alloc.pes(i);
+    lp.synops_per_step =
+        mode == ComputeMode::kEventDriven ? w.sparse_synops()
+                                          : w.dense_synops();
+    const double events = mode == ComputeMode::kEventDriven
+                              ? w.avg_input_spikes
+                              : static_cast<double>(w.input_size);
+    lp.cycles_per_step =
+        stage_cycles_for(lp.synops_per_step, events, w.neurons, lp.pes);
+    report.layers.push_back(std::move(lp));
+    spikes_per_step += w.avg_input_spikes;
+  }
+
+  report.stage_cycles = 0.0;
+  for (const auto& lp : report.layers)
+    report.stage_cycles = std::max(report.stage_cycles, lp.cycles_per_step);
+  for (auto& lp : report.layers) {
+    const double busy =
+        lp.cycles_per_step - calib::kStageOverheadCycles;
+    lp.utilization =
+        std::max(0.0, busy) / std::max(1.0, report.stage_cycles);
+  }
+
+  const auto t = static_cast<double>(timesteps);
+  const auto l = static_cast<double>(report.layers.size());
+  report.cycles_per_inference = t * report.stage_cycles;
+  report.latency_s =
+      (t + l - 1.0) * report.stage_cycles / device.clock_hz;
+  report.throughput_fps = device.clock_hz / report.cycles_per_inference;
+
+  double synops_per_inference = 0.0;
+  for (const auto& lp : report.layers)
+    synops_per_inference += lp.synops_per_step * t;
+  const double neuron_updates =
+      static_cast<double>(total_neurons(workloads)) * t;
+  const double spikes_per_inference = spikes_per_step * t;
+
+  report.power =
+      compute_power(device, alloc.total_pes, synops_per_inference,
+                    neuron_updates, spikes_per_inference,
+                    report.throughput_fps);
+  report.fps_per_watt = report.throughput_fps / report.power.total();
+  return report;
+}
+
+const char* mode_name(ComputeMode mode) {
+  return mode == ComputeMode::kEventDriven ? "event-driven" : "dense";
+}
+
+}  // namespace spiketune::hw

@@ -1,0 +1,60 @@
+// Analytic performance model of the lock-step, sparsity-aware accelerator.
+//
+// Execution model (matching the paper's platform description):
+//   * one PE group per weighted layer; groups run concurrently;
+//   * per timestep, group i drains its input event queue
+//     (synops_i / pes_i cycles), then updates its neurons;
+//   * the lock-step barrier makes every group wait for the slowest one, so
+//     the machine advances in "ticks" of stage_cycles = max_i cycles_i;
+//   * timesteps of one inference pipeline through the layer groups
+//     (layer l works on timestep t while layer l+1 works on t-1), and
+//     consecutive inferences stream back-to-back.
+//
+// Therefore, with T timesteps per inference, L weighted layers, clock f:
+//   latency    = (T + L - 1) * stage_cycles / f          (one inference)
+//   throughput = f / (T * stage_cycles)                  (pipelined FPS)
+//
+// ComputeMode::kEventDriven charges only measured spikes (the paper's
+// hardware); kDense charges every input element (sparsity-oblivious
+// baseline, as in prior work the paper compares against).
+#pragma once
+
+#include <vector>
+
+#include "hw/allocate.h"
+#include "hw/fpga.h"
+#include "hw/power.h"
+#include "hw/workload.h"
+
+namespace spiketune::hw {
+
+enum class ComputeMode { kEventDriven, kDense };
+
+struct LayerPerf {
+  std::string name;
+  double synops_per_step = 0.0;   // charged synaptic ops (mode-dependent)
+  std::int64_t pes = 0;
+  double cycles_per_step = 0.0;   // this stage alone
+  double utilization = 0.0;       // busy cycles / stage cycles
+};
+
+struct PerfReport {
+  ComputeMode mode = ComputeMode::kEventDriven;
+  std::vector<LayerPerf> layers;
+  double stage_cycles = 0.0;        // lock-step tick
+  double cycles_per_inference = 0.0;
+  double latency_s = 0.0;           // single-inference latency
+  double throughput_fps = 0.0;      // pipelined
+  PowerBreakdown power;
+  double fps_per_watt = 0.0;
+};
+
+/// Full analytic evaluation of a mapped model.  Per-layer cost uses
+/// stage_cycles_for (allocate.h) so "what we optimize" is "what we report".
+PerfReport analyze(const std::vector<LayerWorkload>& workloads,
+                   const Allocation& alloc, const FpgaDevice& device,
+                   std::int64_t timesteps, ComputeMode mode);
+
+const char* mode_name(ComputeMode mode);
+
+}  // namespace spiketune::hw

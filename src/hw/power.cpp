@@ -1,0 +1,28 @@
+#include "hw/power.h"
+
+#include "core/error.h"
+#include "hw/calibration.h"
+
+namespace spiketune::hw {
+
+PowerBreakdown compute_power(const FpgaDevice& device, std::int64_t total_pes,
+                             double synops_per_inference,
+                             double neuron_updates_per_inference,
+                             double spikes_per_inference, double fps) {
+  ST_REQUIRE(total_pes > 0, "total_pes must be positive");
+  ST_REQUIRE(fps >= 0.0 && synops_per_inference >= 0.0 &&
+                 neuron_updates_per_inference >= 0.0 &&
+                 spikes_per_inference >= 0.0,
+             "power inputs must be non-negative");
+
+  PowerBreakdown p;
+  p.static_watts = device.static_watts;
+  p.clock_watts = calib::kClockWattsPerPe * static_cast<double>(total_pes);
+  p.synop_watts = synops_per_inference * calib::kEnergyPerSynopJ * fps;
+  p.neuron_watts =
+      neuron_updates_per_inference * calib::kEnergyPerNeuronUpdateJ * fps;
+  p.routing_watts = spikes_per_inference * calib::kEnergyPerSpikeRouteJ * fps;
+  return p;
+}
+
+}  // namespace spiketune::hw

@@ -1,0 +1,38 @@
+// Power model: static + event-proportional dynamic power.
+//
+// Dynamic energy is charged per event actually processed — synaptic updates,
+// neuron membrane updates, and inter-layer spike routing — so a sparser
+// model consumes proportionally less switching energy, which is the
+// mechanism behind the paper's FPS/W gains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/fpga.h"
+#include "hw/workload.h"
+
+namespace spiketune::hw {
+
+struct PowerBreakdown {
+  double static_watts = 0.0;   // device + board idle
+  double clock_watts = 0.0;    // clock tree over allocated PEs
+  double synop_watts = 0.0;    // synaptic MAC + weight fetch
+  double neuron_watts = 0.0;   // membrane updates
+  double routing_watts = 0.0;  // spike queue traffic
+
+  double total() const {
+    return static_watts + clock_watts + synop_watts + neuron_watts +
+           routing_watts;
+  }
+};
+
+/// Computes power at a given achieved frame rate.
+/// `synops_per_inference` / `spikes_per_inference` are totals across layers
+/// and timesteps; `neuron_updates_per_inference` = total_neurons * T.
+PowerBreakdown compute_power(const FpgaDevice& device, std::int64_t total_pes,
+                             double synops_per_inference,
+                             double neuron_updates_per_inference,
+                             double spikes_per_inference, double fps);
+
+}  // namespace spiketune::hw

@@ -1,0 +1,47 @@
+#include "snn/checkpoint.h"
+
+#include "core/error.h"
+#include "core/serialize.h"
+
+namespace spiketune::snn {
+
+namespace {
+std::vector<std::pair<std::string, Param*>> named_params(
+    SpikingNetwork& net) {
+  std::vector<std::pair<std::string, Param*>> out;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    for (Param* p : net.layer(li).params()) {
+      out.emplace_back(std::to_string(li) + "." + p->name, p);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void save_network(const std::string& path, SpikingNetwork& net) {
+  std::vector<NamedTensor> records;
+  for (auto& [name, param] : named_params(net))
+    records.push_back(NamedTensor{name, param->value});
+  save_checkpoint(path, records);
+}
+
+void load_network(const std::string& path, SpikingNetwork& net) {
+  const auto records = load_checkpoint(path);
+  auto params = named_params(net);
+  ST_REQUIRE(records.size() == params.size(),
+             "checkpoint record count does not match network: " + path);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& rec = records[i];
+    auto& [name, param] = params[i];
+    ST_REQUIRE(rec.name == name, "checkpoint record '" + rec.name +
+                                     "' does not match parameter '" + name +
+                                     "'");
+    ST_REQUIRE(rec.value.shape() == param->value.shape(),
+               "shape mismatch for " + name + ": checkpoint " +
+                   rec.value.shape().str() + " vs network " +
+                   param->value.shape().str());
+    param->value = rec.value;
+  }
+}
+
+}  // namespace spiketune::snn

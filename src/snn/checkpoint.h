@@ -1,0 +1,21 @@
+// Save/load a SpikingNetwork's parameters through core/serialize.
+//
+// Record names are "<layer-index>.<param-name>" (e.g. "0.conv.weight"), so
+// checkpoints are tied to a topology; loading validates both the record set
+// and every shape, making silent architecture mismatches impossible.
+#pragma once
+
+#include <string>
+
+#include "snn/network.h"
+
+namespace spiketune::snn {
+
+/// Writes all parameters of `net` to `path`.
+void save_network(const std::string& path, SpikingNetwork& net);
+
+/// Loads parameters saved by save_network into `net`.  Throws
+/// InvalidArgument if the record names or shapes do not match the network.
+void load_network(const std::string& path, SpikingNetwork& net);
+
+}  // namespace spiketune::snn

@@ -1,0 +1,27 @@
+#include "snn/layers.h"
+
+#include "core/error.h"
+
+namespace spiketune::snn {
+
+Tensor Flatten::forward_step(const Tensor& input) {
+  const Shape& s = input.shape();
+  ST_REQUIRE(s.rank() >= 2, "flatten expects a batch dimension");
+  shapes_.push_back(s);
+  std::int64_t per_sample = 1;
+  for (std::size_t i = 1; i < s.rank(); ++i) per_sample *= s[i];
+  return input.reshaped(Shape{s[0], per_sample});
+}
+
+Tensor Flatten::backward_step(const Tensor& grad_output) {
+  ST_REQUIRE(!shapes_.empty(), "flatten backward without matching forward");
+  Shape s = shapes_.back();
+  shapes_.pop_back();
+  return grad_output.reshaped(std::move(s));
+}
+
+Shape Flatten::output_shape(const Shape& input) const {
+  return Shape{input.numel()};
+}
+
+}  // namespace spiketune::snn

@@ -1,0 +1,102 @@
+#include "snn/loss.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace spiketune::snn {
+
+namespace {
+void require_counts(const Tensor& counts, const std::vector<int>& labels) {
+  ST_REQUIRE(counts.shape().rank() == 2, "counts must be [N, C]");
+  ST_REQUIRE(counts.shape()[0] == static_cast<std::int64_t>(labels.size()),
+             "labels size must match batch size");
+  const int classes = static_cast<int>(counts.shape()[1]);
+  for (int y : labels)
+    ST_REQUIRE(y >= 0 && y < classes, "label out of range");
+}
+}  // namespace
+
+RateCrossEntropyLoss::RateCrossEntropyLoss(double temperature)
+    : temperature_(temperature) {
+  ST_REQUIRE(temperature > 0.0, "temperature must be positive");
+}
+
+LossResult RateCrossEntropyLoss::compute(
+    const Tensor& counts, const std::vector<int>& labels) const {
+  require_counts(counts, labels);
+  const std::int64_t n = counts.shape()[0];
+  const std::int64_t c = counts.shape()[1];
+
+  Tensor logits = ops::scale(counts, static_cast<float>(1.0 / temperature_));
+  Tensor probs = ops::softmax_rows(logits, c);
+
+  double loss = 0.0;
+  Tensor grad(counts.shape());
+  const float* pp = probs.data();
+  float* pg = grad.data();
+  const float inv_nt = static_cast<float>(1.0 / (static_cast<double>(n) *
+                                                 temperature_));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    const double p = std::max(1e-12, static_cast<double>(pp[i * c + y]));
+    loss -= std::log(p);
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float onehot = (j == y) ? 1.0f : 0.0f;
+      pg[i * c + j] = (pp[i * c + j] - onehot) * inv_nt;
+    }
+  }
+  return LossResult{loss / static_cast<double>(n), std::move(grad)};
+}
+
+CountMseLoss::CountMseLoss(std::int64_t num_steps, double correct_rate,
+                           double incorrect_rate)
+    : num_steps_(num_steps),
+      correct_rate_(correct_rate),
+      incorrect_rate_(incorrect_rate) {
+  ST_REQUIRE(num_steps > 0, "num_steps must be positive");
+  ST_REQUIRE(correct_rate >= 0.0 && correct_rate <= 1.0 &&
+                 incorrect_rate >= 0.0 && incorrect_rate <= 1.0,
+             "target rates must be in [0, 1]");
+}
+
+LossResult CountMseLoss::compute(const Tensor& counts,
+                                 const std::vector<int>& labels) const {
+  require_counts(counts, labels);
+  const std::int64_t n = counts.shape()[0];
+  const std::int64_t c = counts.shape()[1];
+  const float t_correct =
+      static_cast<float>(correct_rate_ * static_cast<double>(num_steps_));
+  const float t_wrong =
+      static_cast<float>(incorrect_rate_ * static_cast<double>(num_steps_));
+
+  double loss = 0.0;
+  Tensor grad(counts.shape());
+  const float* pc = counts.data();
+  float* pg = grad.data();
+  const float inv = 1.0f / static_cast<float>(n * c);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float target = (j == y) ? t_correct : t_wrong;
+      const float diff = pc[i * c + j] - target;
+      loss += static_cast<double>(diff) * diff;
+      pg[i * c + j] = 2.0f * diff * inv;
+    }
+  }
+  return LossResult{loss / (static_cast<double>(n) * static_cast<double>(c)),
+                    std::move(grad)};
+}
+
+double accuracy(const Tensor& counts, const std::vector<int>& labels) {
+  require_counts(counts, labels);
+  const std::int64_t c = counts.shape()[1];
+  const auto preds = ops::argmax_rows(counts, c);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    correct += (preds[i] == labels[i]);
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace spiketune::snn

@@ -1,0 +1,63 @@
+// Losses on the spike-count readout.
+//
+// The output layer's spikes are summed over the window into counts[N, C];
+// classification reads argmax of the counts.  Two standard SNN losses:
+//   * RateCrossEntropyLoss — softmax cross-entropy with the (temperature-
+//     scaled) counts as logits; the default, mirroring snnTorch's rate loss.
+//   * CountMseLoss — drives the correct class towards firing on a target
+//     fraction of steps and wrong classes towards a low fraction
+//     (snnTorch's mse_count_loss).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace spiketune::snn {
+
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad_counts;  // dL/dcounts, [N, C]
+};
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// `counts` is [N, C]; `labels` has N entries in [0, C).
+  virtual LossResult compute(const Tensor& counts,
+                             const std::vector<int>& labels) const = 0;
+};
+
+class RateCrossEntropyLoss final : public Loss {
+ public:
+  /// Logits are counts / temperature; temperature == num_steps turns counts
+  /// into firing rates, which keeps softmax saturation independent of T.
+  explicit RateCrossEntropyLoss(double temperature = 1.0);
+
+  LossResult compute(const Tensor& counts,
+                     const std::vector<int>& labels) const override;
+
+ private:
+  double temperature_;
+};
+
+class CountMseLoss final : public Loss {
+ public:
+  /// Targets: correct class fires on `correct_rate` of the `num_steps`
+  /// steps, the rest on `incorrect_rate`.
+  CountMseLoss(std::int64_t num_steps, double correct_rate = 0.8,
+               double incorrect_rate = 0.05);
+
+  LossResult compute(const Tensor& counts,
+                     const std::vector<int>& labels) const override;
+
+ private:
+  std::int64_t num_steps_;
+  double correct_rate_;
+  double incorrect_rate_;
+};
+
+/// Fraction of rows whose argmax equals the label.
+double accuracy(const Tensor& counts, const std::vector<int>& labels);
+
+}  // namespace spiketune::snn

@@ -1,0 +1,175 @@
+#include "snn/pool.h"
+
+#include "core/error.h"
+
+namespace spiketune::snn {
+
+namespace {
+void require_4d(const Shape& s, const char* who) {
+  ST_REQUIRE(s.rank() == 4, std::string(who) + " expects [N, C, H, W]");
+}
+
+Shape pooled_shape(const Shape& in, std::int64_t k) {
+  // floor division truncates ragged borders, like PyTorch's default.
+  return Shape{in[0], in[1], in[2] / k, in[3] / k};
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::int64_t kernel) : kernel_(kernel) {
+  ST_REQUIRE(kernel_ > 0, "pool kernel must be positive");
+}
+
+void MaxPool2d::begin_window(std::int64_t, bool training) {
+  training_ = training;
+  cache_.clear();
+}
+
+Tensor MaxPool2d::forward_step(const Tensor& input) {
+  require_4d(input.shape(), "maxpool");
+  const Shape out_shape = pooled_shape(input.shape(), kernel_);
+  ST_REQUIRE(out_shape[2] > 0 && out_shape[3] > 0,
+             "maxpool input smaller than kernel");
+
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  const std::int64_t oh = out_shape[2];
+  const std::int64_t ow = out_shape[3];
+  const std::int64_t planes = out_shape[0] * out_shape[1];
+
+  Tensor output(out_shape);
+  StepCache cache;
+  cache.input_shape = input.shape();
+  cache.argmax.resize(static_cast<std::size_t>(output.numel()));
+
+  const float* in = input.data();
+  float* out = output.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* iplane = in + p * h * w;
+    const std::int64_t ibase = p * h * w;
+    float* oplane = out + p * oh * ow;
+    std::int64_t* aplane = cache.argmax.data() + p * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const std::int64_t y0 = y * kernel_;
+        const std::int64_t x0 = x * kernel_;
+        float best = iplane[y0 * w + x0];
+        std::int64_t best_idx = y0 * w + x0;
+        for (std::int64_t dy = 0; dy < kernel_; ++dy) {
+          for (std::int64_t dx = 0; dx < kernel_; ++dx) {
+            const std::int64_t idx = (y0 + dy) * w + (x0 + dx);
+            if (iplane[idx] > best) {
+              best = iplane[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        oplane[y * ow + x] = best;
+        aplane[y * ow + x] = ibase + best_idx;
+      }
+    }
+  }
+  if (training_) cache_.push_back(std::move(cache));
+  return output;
+}
+
+Tensor MaxPool2d::backward_step(const Tensor& grad_output) {
+  ST_REQUIRE(!cache_.empty(),
+             "maxpool backward without matching cached forward step");
+  StepCache cache = std::move(cache_.back());
+  cache_.pop_back();
+  ST_REQUIRE(grad_output.numel() ==
+                 static_cast<std::int64_t>(cache.argmax.size()),
+             "maxpool grad_output size mismatch");
+
+  Tensor grad_input(cache.input_shape);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  for (std::int64_t i = 0, n = grad_output.numel(); i < n; ++i)
+    gi[cache.argmax[static_cast<std::size_t>(i)]] += go[i];
+  return grad_input;
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  ST_REQUIRE(input.rank() == 3, "output_shape expects per-sample [C, H, W]");
+  return Shape{input[0], input[1] / kernel_, input[2] / kernel_};
+}
+
+AvgPool2d::AvgPool2d(std::int64_t kernel) : kernel_(kernel) {
+  ST_REQUIRE(kernel_ > 0, "pool kernel must be positive");
+}
+
+void AvgPool2d::begin_window(std::int64_t, bool training) {
+  training_ = training;
+  shapes_.clear();
+}
+
+Tensor AvgPool2d::forward_step(const Tensor& input) {
+  require_4d(input.shape(), "avgpool");
+  const Shape out_shape = pooled_shape(input.shape(), kernel_);
+  ST_REQUIRE(out_shape[2] > 0 && out_shape[3] > 0,
+             "avgpool input smaller than kernel");
+
+  const std::int64_t h = input.shape()[2];
+  const std::int64_t w = input.shape()[3];
+  const std::int64_t oh = out_shape[2];
+  const std::int64_t ow = out_shape[3];
+  const std::int64_t planes = out_shape[0] * out_shape[1];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  Tensor output(out_shape);
+  const float* in = input.data();
+  float* out = output.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    const float* iplane = in + p * h * w;
+    float* oplane = out + p * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        float acc = 0.0f;
+        for (std::int64_t dy = 0; dy < kernel_; ++dy)
+          for (std::int64_t dx = 0; dx < kernel_; ++dx)
+            acc += iplane[(y * kernel_ + dy) * w + (x * kernel_ + dx)];
+        oplane[y * ow + x] = acc * inv;
+      }
+    }
+  }
+  if (training_) shapes_.push_back(input.shape());
+  return output;
+}
+
+Tensor AvgPool2d::backward_step(const Tensor& grad_output) {
+  ST_REQUIRE(!shapes_.empty(),
+             "avgpool backward without matching cached forward step");
+  Shape in_shape = shapes_.back();
+  shapes_.pop_back();
+
+  const std::int64_t h = in_shape[2];
+  const std::int64_t w = in_shape[3];
+  const std::int64_t oh = grad_output.shape()[2];
+  const std::int64_t ow = grad_output.shape()[3];
+  const std::int64_t planes = in_shape[0] * in_shape[1];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+
+  Tensor grad_input(in_shape);
+  float* gi = grad_input.data();
+  const float* go = grad_output.data();
+  for (std::int64_t p = 0; p < planes; ++p) {
+    float* iplane = gi + p * h * w;
+    const float* oplane = go + p * oh * ow;
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x) {
+        const float g = oplane[y * ow + x] * inv;
+        for (std::int64_t dy = 0; dy < kernel_; ++dy)
+          for (std::int64_t dx = 0; dx < kernel_; ++dx)
+            iplane[(y * kernel_ + dy) * w + (x * kernel_ + dx)] += g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+Shape AvgPool2d::output_shape(const Shape& input) const {
+  ST_REQUIRE(input.rank() == 3, "output_shape expects per-sample [C, H, W]");
+  return Shape{input[0], input[1] / kernel_, input[2] / kernel_};
+}
+
+}  // namespace spiketune::snn

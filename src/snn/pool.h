@@ -1,0 +1,53 @@
+// Spatial pooling layers over [N, C, H, W].
+//
+// MaxPool2d caches the argmax index per output cell for backward routing;
+// AvgPool2d distributes gradient uniformly over its window.  Both use
+// non-overlapping windows (kernel == stride), truncating ragged borders
+// like PyTorch's default (floor division).
+#pragma once
+
+#include "snn/layers.h"
+
+namespace spiketune::snn {
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel);
+
+  void begin_window(std::int64_t batch_size, bool training) override;
+  Tensor forward_step(const Tensor& input) override;
+  Tensor backward_step(const Tensor& grad_output) override;
+
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "maxpool2d"; }
+  std::int64_t kernel() const { return kernel_; }
+
+ private:
+  struct StepCache {
+    Shape input_shape;
+    std::vector<std::int64_t> argmax;  // flat input index per output element
+  };
+  std::int64_t kernel_;
+  bool training_ = false;
+  std::vector<StepCache> cache_;
+};
+
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::int64_t kernel);
+
+  void begin_window(std::int64_t batch_size, bool training) override;
+  Tensor forward_step(const Tensor& input) override;
+  Tensor backward_step(const Tensor& grad_output) override;
+
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "avgpool2d"; }
+  std::int64_t kernel() const { return kernel_; }
+
+ private:
+  std::int64_t kernel_;
+  bool training_ = false;
+  std::vector<Shape> shapes_;
+};
+
+}  // namespace spiketune::snn

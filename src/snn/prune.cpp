@@ -1,0 +1,58 @@
+#include "snn/prune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+
+namespace spiketune::snn {
+
+PruneReport prune_network(SpikingNetwork& net, double fraction) {
+  ST_REQUIRE(fraction >= 0.0 && fraction < 1.0, "fraction must be in [0, 1)");
+  PruneReport report;
+  report.target_fraction = fraction;
+
+  std::vector<float> magnitudes;
+  for (Param* p : net.params()) {
+    report.total_values += p->numel();
+    for (std::int64_t i = 0; i < p->numel(); ++i)
+      magnitudes.push_back(std::fabs(p->value[i]));
+  }
+  ST_REQUIRE(report.total_values > 0, "network has no parameters");
+  if (fraction == 0.0) return report;
+
+  const auto k = static_cast<std::size_t>(
+      fraction * static_cast<double>(magnitudes.size()));
+  if (k == 0) return report;
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (k - 1),
+                   magnitudes.end());
+  report.threshold = magnitudes[k - 1];
+
+  for (Param* p : net.params()) {
+    float* w = p->value.data();
+    for (std::int64_t i = 0; i < p->numel(); ++i) {
+      if (std::fabs(w[i]) <= report.threshold && w[i] != 0.0f) {
+        w[i] = 0.0f;
+        ++report.pruned_values;
+      }
+    }
+  }
+  report.pruned_fraction = static_cast<double>(report.pruned_values) /
+                           static_cast<double>(report.total_values);
+  return report;
+}
+
+double weight_sparsity(SpikingNetwork& net) {
+  std::int64_t zeros = 0;
+  std::int64_t total = 0;
+  for (Param* p : net.params()) {
+    total += p->numel();
+    for (std::int64_t i = 0; i < p->numel(); ++i)
+      zeros += (p->value[i] == 0.0f);
+  }
+  ST_REQUIRE(total > 0, "network has no parameters");
+  return static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+}  // namespace spiketune::snn

@@ -1,0 +1,30 @@
+// Magnitude-based weight pruning.
+//
+// The sparsity the paper exploits is *activation* sparsity; the related
+// accelerator literature it cites (SATA [1], ping-pong [2]) additionally
+// exploits *weight* sparsity.  This module provides global magnitude
+// pruning so both axes can be studied: prune a fraction of the smallest
+// weights, measure the accuracy cost, and feed the weight-sparsity level
+// into storage estimates.
+#pragma once
+
+#include "snn/network.h"
+
+namespace spiketune::snn {
+
+struct PruneReport {
+  double target_fraction = 0.0;  // requested
+  double pruned_fraction = 0.0;  // achieved (ties at threshold included)
+  std::int64_t pruned_values = 0;
+  std::int64_t total_values = 0;
+  float threshold = 0.0f;        // |w| below this was zeroed
+};
+
+/// Zeroes the `fraction` smallest-magnitude weights across all parameters
+/// of `net` (global threshold, bias included).  fraction in [0, 1).
+PruneReport prune_network(SpikingNetwork& net, double fraction);
+
+/// Fraction of exactly-zero weights across all parameters.
+double weight_sparsity(SpikingNetwork& net);
+
+}  // namespace spiketune::snn

@@ -1,0 +1,46 @@
+#include "snn/quantize.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace spiketune::snn {
+
+void quantize_tensor(Tensor& t, int bits) {
+  ST_REQUIRE(bits >= 2 && bits <= 16, "bits must be in [2, 16]");
+  if (t.numel() == 0) return;
+  float max_abs = 0.0f;
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    max_abs = std::max(max_abs, std::fabs(p[i]));
+  if (max_abs == 0.0f) return;
+
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  const float scale = max_abs / levels;
+  float* q = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    q[i] = std::round(q[i] / scale) * scale;
+}
+
+QuantizationReport quantize_network(SpikingNetwork& net, int bits) {
+  QuantizationReport report;
+  report.bits = bits;
+  double abs_sum = 0.0;
+  for (Param* param : net.params()) {
+    Tensor before = param->value;
+    quantize_tensor(param->value, bits);
+    for (std::int64_t i = 0; i < before.numel(); ++i) {
+      const float err = std::fabs(before[i] - param->value[i]);
+      report.max_abs_error = std::max(report.max_abs_error, err);
+      abs_sum += err;
+    }
+    report.num_values += before.numel();
+  }
+  if (report.num_values > 0)
+    report.mean_abs_error =
+        static_cast<float>(abs_sum / static_cast<double>(report.num_values));
+  return report;
+}
+
+}  // namespace spiketune::snn

@@ -1,0 +1,34 @@
+// Post-training weight quantization.
+//
+// The modeled accelerator stores weights in reduced precision (the BRAM
+// budget in hw/calibration.h assumes 8-bit weights).  This module provides
+// symmetric per-tensor fake-quantization so the accuracy cost of a given
+// bit width can be measured before committing a model to hardware — the
+// standard deployment-time question for SNN accelerators.
+#pragma once
+
+#include <cstdint>
+
+#include "snn/network.h"
+
+namespace spiketune::snn {
+
+struct QuantizationReport {
+  int bits = 8;
+  /// Largest |w - q(w)| over all parameters.
+  float max_abs_error = 0.0f;
+  /// Mean |w - q(w)|.
+  float mean_abs_error = 0.0f;
+  /// Parameters touched.
+  std::int64_t num_values = 0;
+};
+
+/// Symmetric per-tensor fake quantization of one tensor, in place:
+/// q(w) = round(w / s) * s with s = max|w| / (2^(bits-1) - 1).
+/// `bits` must be in [2, 16].  A zero tensor is left unchanged.
+void quantize_tensor(Tensor& t, int bits);
+
+/// Fake-quantizes every parameter of `net` in place and reports the error.
+QuantizationReport quantize_network(SpikingNetwork& net, int bits);
+
+}  // namespace spiketune::snn

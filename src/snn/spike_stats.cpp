@@ -1,0 +1,60 @@
+#include "snn/spike_stats.h"
+
+#include "core/error.h"
+
+namespace spiketune::snn {
+
+SpikeRecord::SpikeRecord(std::vector<std::string> layer_names,
+                         std::vector<bool> spiking) {
+  ST_REQUIRE(layer_names.size() == spiking.size(),
+             "layer_names and spiking arity mismatch");
+  layers_.resize(layer_names.size());
+  for (std::size_t i = 0; i < layer_names.size(); ++i) {
+    layers_[i].layer_name = std::move(layer_names[i]);
+    layers_[i].spiking = spiking[i];
+  }
+}
+
+void SpikeRecord::add_step(std::size_t layer, std::int64_t in_nz,
+                           std::int64_t in_total, std::int64_t out_nz,
+                           std::int64_t out_total) {
+  ST_REQUIRE(layer < layers_.size(), "layer index out of range");
+  ST_REQUIRE(in_nz >= 0 && in_nz <= in_total && out_nz >= 0 &&
+                 out_nz <= out_total,
+             "nonzero counts must lie within element counts");
+  LayerActivity& a = layers_[layer];
+  a.input_nonzeros += in_nz;
+  a.input_elements += in_total;
+  a.output_nonzeros += out_nz;
+  a.output_elements += out_total;
+}
+
+void SpikeRecord::merge(const SpikeRecord& other) {
+  ST_REQUIRE(layers_.size() == other.layers_.size(),
+             "cannot merge records with different layer structure");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    ST_REQUIRE(layers_[i].layer_name == other.layers_[i].layer_name,
+               "cannot merge records with different layer names");
+    layers_[i].input_nonzeros += other.layers_[i].input_nonzeros;
+    layers_[i].input_elements += other.layers_[i].input_elements;
+    layers_[i].output_nonzeros += other.layers_[i].output_nonzeros;
+    layers_[i].output_elements += other.layers_[i].output_elements;
+  }
+  total_timesteps_ += other.total_timesteps_;
+  total_samples_ += other.total_samples_;
+}
+
+double SpikeRecord::mean_firing_rate() const {
+  std::int64_t spikes = 0;
+  std::int64_t elements = 0;
+  for (const auto& a : layers_) {
+    if (!a.spiking) continue;
+    spikes += a.output_nonzeros;
+    elements += a.output_elements;
+  }
+  return elements ? static_cast<double>(spikes) /
+                        static_cast<double>(elements)
+                  : 0.0;
+}
+
+}  // namespace spiketune::snn

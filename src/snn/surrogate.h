@@ -1,0 +1,66 @@
+// Surrogate gradient functions.
+//
+// SNNs are trained with backprop-through-time by replacing the derivative of
+// the (non-differentiable) Heaviside spike function with a smooth surrogate
+// evaluated at the distance from threshold, v = U - theta.  The paper's two
+// protagonists are:
+//
+//   arctangent   (Eq. 3):  S ~ (1/pi) * arctan(pi * U * alpha / 2)
+//                          dS/dU = (alpha/2) / (1 + (pi * U * alpha / 2)^2)
+//   fast sigmoid (Eq. 4):  S ~ U / (1 + k * |U|)
+//                          dS/dU = 1 / (1 + k * |U|)^2
+//
+// plus four extras that round out the library (sigmoid, triangular, boxcar,
+// straight-through).  Surrogate is a value type so the LIF kernel can inline
+// the derivative without virtual dispatch in the hot loop.
+#pragma once
+
+#include <string>
+
+namespace spiketune::snn {
+
+class Surrogate {
+ public:
+  enum class Kind {
+    kArctan,
+    kFastSigmoid,
+    kSigmoid,
+    kTriangular,
+    kBoxcar,
+    kStraightThrough,
+  };
+
+  /// Factories; `scale` is alpha (arctan), k (fast sigmoid / sigmoid /
+  /// triangular), or the half-width reciprocal (boxcar).
+  static Surrogate arctan(float alpha = 2.0f);
+  static Surrogate fast_sigmoid(float k = 25.0f);
+  static Surrogate sigmoid(float k = 1.0f);
+  static Surrogate triangular(float k = 1.0f);
+  static Surrogate boxcar(float k = 2.0f);
+  static Surrogate straight_through();
+
+  /// Parses "arctan" | "fast_sigmoid" | "sigmoid" | "triangular" | "boxcar"
+  /// | "straight_through"; throws InvalidArgument otherwise.
+  static Surrogate by_name(const std::string& name, float scale);
+
+  Kind kind() const { return kind_; }
+  float scale() const { return scale_; }
+  std::string name() const;
+
+  /// Smooth forward approximation S(v); only used for analysis/plotting —
+  /// the spike forward pass always uses the exact Heaviside.
+  float forward(float v) const;
+
+  /// Surrogate derivative dS/dv at v = U - theta.  Inlined switch; the
+  /// compiler hoists the branch out of elementwise loops because `kind_`
+  /// is loop-invariant.
+  float grad(float v) const;
+
+ private:
+  Surrogate(Kind kind, float scale);
+
+  Kind kind_;
+  float scale_;
+};
+
+}  // namespace spiketune::snn

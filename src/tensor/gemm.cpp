@@ -1,0 +1,103 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+namespace {
+// Block sizes sized for a typical 32 KiB L1 / 1 MiB L2 on one core.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+void require_args(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float* a, const float* b, const float* c) {
+  ST_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm dims must be non-negative");
+  ST_REQUIRE(a != nullptr && b != nullptr && c != nullptr,
+             "gemm pointers must be non-null");
+}
+
+void scale_c(std::int64_t mn, float beta, float* c) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::fill(c, c + mn, 0.0f);
+    return;
+  }
+  for (std::int64_t i = 0; i < mn; ++i) c[i] *= beta;
+}
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  require_args(m, n, k, a, b, c);
+  scale_c(m * n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(i0 + kBlockM, m);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::int64_t p1 = std::min(p0 + kBlockK, k);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j1 = std::min(j0 + kBlockN, n);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          const float* arow = a + i * k;
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const float av = alpha * arow[p];
+            if (av == 0.0f) continue;  // spikes make A genuinely sparse
+            const float* brow = b + p * n;
+            for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  require_args(m, n, k, a, b, c);
+  scale_c(m * n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  // A is [k, m]; iterate over k outer so both A and B rows stream.
+  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::int64_t p1 = std::min(p0 + kBlockK, k);
+    for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+      const std::int64_t i1 = std::min(i0 + kBlockM, m);
+      for (std::int64_t p = p0; p < p1; ++p) {
+        const float* arow = a + p * m;
+        const float* brow = b + p * n;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float av = alpha * arow[i];
+          if (av == 0.0f) continue;
+          float* crow = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b, float beta, float* c) {
+  require_args(m, n, k, a, b, c);
+  scale_c(m * n, beta, c);
+  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+
+  // Dot-product formulation: C[i,j] = sum_p A[i,p] * B[j,p].
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace spiketune

@@ -1,0 +1,43 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+GradCheckResult check_gradient(
+    const std::function<double(const Tensor&)>& f, const Tensor& x,
+    const Tensor& analytic_grad, double h) {
+  ST_REQUIRE(x.same_shape(analytic_grad),
+             "gradcheck: gradient shape must match input shape");
+  ST_REQUIRE(h > 0.0, "gradcheck: step must be positive");
+
+  GradCheckResult res;
+  Tensor probe = x;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float saved = probe[i];
+    probe[i] = saved + static_cast<float>(h);
+    const double fp = f(probe);
+    probe[i] = saved - static_cast<float>(h);
+    const double fm = f(probe);
+    probe[i] = saved;
+
+    const double numeric = (fp - fm) / (2.0 * h);
+    const double analytic = analytic_grad[i];
+    const double abs_err = std::fabs(numeric - analytic);
+    const double denom =
+        std::max({std::fabs(numeric), std::fabs(analytic), 1e-8});
+    const double rel_err = abs_err / denom;
+    if (rel_err > res.max_rel_error) {
+      res.max_rel_error = rel_err;
+      res.worst_index = i;
+      res.analytic_at_worst = analytic;
+      res.numeric_at_worst = numeric;
+    }
+    res.max_abs_error = std::max(res.max_abs_error, abs_err);
+  }
+  return res;
+}
+
+}  // namespace spiketune

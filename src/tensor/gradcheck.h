@@ -1,0 +1,34 @@
+// Numeric gradient checking.
+//
+// Every manual backward pass in spiketune (conv, linear, pool, LIF/BPTT) is
+// validated in tests against central finite differences through these
+// helpers.  The checker compares the analytic gradient of a scalar function
+// against (f(x+h) - f(x-h)) / 2h per coordinate and reports the worst
+// relative error.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace spiketune {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::int64_t worst_index = -1;
+  double analytic_at_worst = 0.0;
+  double numeric_at_worst = 0.0;
+
+  bool ok(double rel_tol, double abs_tol) const {
+    return max_rel_error <= rel_tol || max_abs_error <= abs_tol;
+  }
+};
+
+/// Checks `analytic_grad` (d scalar / d x) against central differences of
+/// `f`.  `f` must be a pure function of its argument.  `h` is the step.
+GradCheckResult check_gradient(
+    const std::function<double(const Tensor&)>& f, const Tensor& x,
+    const Tensor& analytic_grad, double h = 1e-3);
+
+}  // namespace spiketune

@@ -1,0 +1,62 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+    : Shape(std::vector<std::int64_t>(dims)) {}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_)
+    ST_REQUIRE(d >= 0, "shape extents must be non-negative, got " + str());
+}
+
+std::int64_t Shape::dim(std::size_t axis) const {
+  ST_REQUIRE(axis < dims_.size(),
+             "axis " + std::to_string(axis) + " out of range for " + str());
+  return dims_[axis];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size());
+  std::int64_t acc = 1;
+  for (std::size_t i = dims_.size(); i-- > 0;) {
+    s[i] = acc;
+    acc *= dims_[i];
+  }
+  return s;
+}
+
+std::int64_t Shape::offset(std::initializer_list<std::int64_t> index) const {
+  ST_REQUIRE(index.size() == dims_.size(), "index rank mismatch for " + str());
+  std::int64_t off = 0;
+  std::size_t axis = 0;
+  for (auto i : index) {
+    ST_ASSERT(i >= 0 && i < dims_[axis], "index out of bounds for " + str());
+    off = off * dims_[axis] + i;
+    ++axis;
+  }
+  return off;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace spiketune

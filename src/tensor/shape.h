@@ -1,0 +1,45 @@
+// Shape: dimension bookkeeping for dense row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace spiketune {
+
+/// A tensor shape: an ordered list of non-negative extents.
+/// Rank 0 denotes a scalar with one element.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t axis) const;
+  std::int64_t operator[](std::size_t axis) const { return dim(axis); }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total element count (product of extents; 1 for rank-0).
+  std::int64_t numel() const;
+
+  /// Row-major strides, in elements.
+  std::vector<std::int64_t> strides() const;
+
+  /// Flat offset of a multi-index (bounds-checked via ST_ASSERT in debug
+  /// semantics — always on, these are hot but correctness-critical paths in
+  /// tests; production call sites use raw pointers).
+  std::int64_t offset(std::initializer_list<std::int64_t> index) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]"
+  std::string str() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace spiketune

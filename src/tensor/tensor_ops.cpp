@@ -1,0 +1,201 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+
+namespace spiketune::ops {
+
+namespace {
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  ST_REQUIRE(a.same_shape(b), std::string(op) + ": shape mismatch " +
+                                  a.shape().str() + " vs " + b.shape().str());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  add_(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  sub_(out, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  mul_(out, b);
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_(out, s);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i) pa[i] += pb[i];
+}
+
+void sub_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "sub");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i) pa[i] -= pb[i];
+}
+
+void mul_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i) pa[i] *= pb[i];
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i) pa[i] *= s;
+}
+
+void axpy_(Tensor& a, float s, const Tensor& b) {
+  require_same_shape(a, b, "axpy");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i) pa[i] += s * pb[i];
+}
+
+void add_rowwise_(Tensor& a, const Tensor& v) {
+  const std::int64_t cols = v.numel();
+  ST_REQUIRE(cols > 0 && a.numel() % cols == 0,
+             "add_rowwise_: vector length must divide matrix size");
+  const std::int64_t rows = a.numel() / cols;
+  float* pa = a.data();
+  const float* pv = v.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = pa + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] += pv[c];
+  }
+}
+
+Tensor sum_rows(const Tensor& a, std::int64_t cols) {
+  ST_REQUIRE(cols > 0 && a.numel() % cols == 0,
+             "sum_rows: cols must divide matrix size");
+  const std::int64_t rows = a.numel() / cols;
+  Tensor out(Shape{cols});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) po[c] += row[c];
+  }
+  return out;
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish accumulation in double to keep large reductions accurate.
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  ST_REQUIRE(a.numel() > 0, "mean of empty tensor");
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max(const Tensor& a) {
+  ST_REQUIRE(a.numel() > 0, "max of empty tensor");
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float min(const Tensor& a) {
+  ST_REQUIRE(a.numel() > 0, "min of empty tensor");
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+std::int64_t argmax(const Tensor& a) {
+  ST_REQUIRE(a.numel() > 0, "argmax of empty tensor");
+  return std::max_element(a.data(), a.data() + a.numel()) - a.data();
+}
+
+double zero_fraction(const Tensor& a) {
+  if (a.numel() == 0) return 0.0;
+  return 1.0 - static_cast<double>(count_nonzero(a)) /
+                   static_cast<double>(a.numel());
+}
+
+std::int64_t count_nonzero(const Tensor& a) {
+  std::int64_t n = 0;
+  const float* p = a.data();
+  for (std::int64_t i = 0, sz = a.numel(); i < sz; ++i) n += (p[i] != 0.0f);
+  return n;
+}
+
+float l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i)
+    acc += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor softmax_rows(const Tensor& logits, std::int64_t cols) {
+  ST_REQUIRE(cols > 0 && logits.numel() % cols == 0,
+             "softmax_rows: cols must divide matrix size");
+  const std::int64_t rows = logits.numel() / cols;
+  Tensor out = logits;
+  float* p = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = p + r * cols;
+    const float m = *std::max_element(row, row + cols);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - m);
+      denom += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& m, std::int64_t cols) {
+  ST_REQUIRE(cols > 0 && m.numel() % cols == 0,
+             "argmax_rows: cols must divide matrix size");
+  const std::int64_t rows = m.numel() / cols;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const float* p = m.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    out[static_cast<std::size_t>(r)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+void clamp_(Tensor& a, float lo, float hi) {
+  ST_REQUIRE(lo <= hi, "clamp_: lo must be <= hi");
+  float* p = a.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i)
+    p[i] = std::min(hi, std::max(lo, p[i]));
+}
+
+Tensor heaviside(const Tensor& a, float threshold) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0, n = a.numel(); i < n; ++i)
+    po[i] = pa[i] > threshold ? 1.0f : 0.0f;
+  return out;
+}
+
+}  // namespace spiketune::ops

@@ -1,0 +1,117 @@
+#include "train/confusion.h"
+
+#include <sstream>
+
+#include "core/error.h"
+#include "core/table.h"
+#include "tensor/tensor_ops.h"
+
+namespace spiketune::train {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+             static_cast<std::size_t>(num_classes)) {
+  ST_REQUIRE(num_classes > 0, "num_classes must be positive");
+}
+
+void ConfusionMatrix::add(int label, int prediction) {
+  ST_REQUIRE(label >= 0 && label < num_classes_, "label out of range");
+  ST_REQUIRE(prediction >= 0 && prediction < num_classes_,
+             "prediction out of range");
+  ++cells_[static_cast<std::size_t>(label) *
+               static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(prediction)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_batch(const Tensor& counts,
+                                const std::vector<int>& labels) {
+  ST_REQUIRE(counts.shape().rank() == 2 &&
+                 counts.shape()[0] ==
+                     static_cast<std::int64_t>(labels.size()) &&
+                 counts.shape()[1] == num_classes_,
+             "counts must be [N, num_classes] matching labels");
+  const auto preds = ops::argmax_rows(counts, num_classes_);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    add(labels[i], static_cast<int>(preds[i]));
+}
+
+std::int64_t ConfusionMatrix::count(int label, int prediction) const {
+  ST_REQUIRE(label >= 0 && label < num_classes_ && prediction >= 0 &&
+                 prediction < num_classes_,
+             "cell index out of range");
+  return cells_[static_cast<std::size_t>(label) *
+                    static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(prediction)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  ST_REQUIRE(total_ > 0, "empty confusion matrix");
+  std::int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  std::int64_t predicted = 0;
+  for (int i = 0; i < num_classes_; ++i) predicted += count(i, c);
+  return predicted ? static_cast<double>(count(c, c)) /
+                         static_cast<double>(predicted)
+                   : 0.0;
+}
+
+double ConfusionMatrix::recall(int c) const {
+  std::int64_t actual = 0;
+  for (int j = 0; j < num_classes_; ++j) actual += count(c, j);
+  return actual ? static_cast<double>(count(c, c)) /
+                      static_cast<double>(actual)
+                : 0.0;
+}
+
+double ConfusionMatrix::macro_precision() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += precision(c);
+  return sum / num_classes_;
+}
+
+double ConfusionMatrix::macro_recall() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += recall(c);
+  return sum / num_classes_;
+}
+
+int ConfusionMatrix::distinct_predictions() const {
+  int distinct = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    for (int i = 0; i < num_classes_; ++i) {
+      if (count(i, c) > 0) {
+        ++distinct;
+        break;
+      }
+    }
+  }
+  return distinct;
+}
+
+std::string ConfusionMatrix::render() const {
+  std::vector<std::string> header{"true \\ pred"};
+  for (int c = 0; c < num_classes_; ++c) header.push_back(std::to_string(c));
+  header.push_back("recall");
+  AsciiTable table(std::move(header));
+  for (int i = 0; i < num_classes_; ++i) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (int j = 0; j < num_classes_; ++j)
+      row.push_back(std::to_string(count(i, j)));
+    row.push_back(fmt_pct(recall(i), 1));
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << table.render();
+  os << "accuracy=" << fmt_pct(accuracy(), 2)
+     << " macro-precision=" << fmt_pct(macro_precision(), 2)
+     << " macro-recall=" << fmt_pct(macro_recall(), 2) << '\n';
+  return os.str();
+}
+
+}  // namespace spiketune::train

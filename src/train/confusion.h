@@ -1,0 +1,52 @@
+// Confusion matrix and per-class metrics.
+//
+// Accuracy alone hides class collapse (a failure mode of under-trained
+// SNNs: every input maps to one class).  ConfusionMatrix accumulates
+// (label, prediction) pairs across evaluation batches and derives per-class
+// precision/recall and macro averages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace spiketune::train {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Records one (true label, predicted label) pair.
+  void add(int label, int prediction);
+
+  /// Records a batch from spike counts [N, C] and labels.
+  void add_batch(const Tensor& counts, const std::vector<int>& labels);
+
+  int num_classes() const { return num_classes_; }
+  std::int64_t total() const { return total_; }
+  /// counts()[i][j]: examples with true class i predicted as j.
+  std::int64_t count(int label, int prediction) const;
+
+  double accuracy() const;
+  /// Precision of class c: TP / (TP + FP); 0 when the class was never
+  /// predicted.
+  double precision(int c) const;
+  /// Recall of class c: TP / (TP + FN); 0 when the class never occurred.
+  double recall(int c) const;
+  double macro_precision() const;
+  double macro_recall() const;
+  /// Number of distinct classes ever predicted (1 indicates collapse).
+  int distinct_predictions() const;
+
+  /// Multi-line ASCII rendering (rows = true class, cols = prediction).
+  std::string render() const;
+
+ private:
+  int num_classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> cells_;  // [num_classes * num_classes]
+};
+
+}  // namespace spiketune::train

@@ -1,0 +1,23 @@
+#include "train/metrics.h"
+
+#include "core/error.h"
+
+namespace spiketune::train {
+
+void RunningMean::add(double value, std::int64_t weight) {
+  ST_REQUIRE(weight > 0, "weight must be positive");
+  sum_ += value * static_cast<double>(weight);
+  count_ += weight;
+}
+
+double RunningMean::mean() const {
+  ST_REQUIRE(count_ > 0, "mean of empty RunningMean");
+  return sum_ / static_cast<double>(count_);
+}
+
+void RunningMean::reset() {
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace spiketune::train

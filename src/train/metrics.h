@@ -1,0 +1,41 @@
+// Training/evaluation metric aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snn/spike_stats.h"
+
+namespace spiketune::train {
+
+/// Running mean of a scalar (loss, accuracy).
+class RunningMean {
+ public:
+  void add(double value, std::int64_t weight = 1);
+  double mean() const;
+  std::int64_t count() const { return count_; }
+  void reset();
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+struct EpochMetrics {
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double lr = 0.0;
+  std::int64_t epoch = 0;
+};
+
+struct EvalMetrics {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  /// Mean output-spike firing rate across all spiking layers.
+  double firing_rate = 0.0;
+  /// Accumulated per-layer activity for the hardware workload extractor.
+  snn::SpikeRecord record;
+  std::int64_t num_examples = 0;
+};
+
+}  // namespace spiketune::train

@@ -1,0 +1,104 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace spiketune::train {
+
+Optimizer::Optimizer(std::vector<snn::Param*> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  ST_REQUIRE(!params_.empty(), "optimizer needs at least one parameter");
+  ST_REQUIRE(lr > 0.0, "learning rate must be positive");
+  for (auto* p : params_) ST_REQUIRE(p != nullptr, "null parameter");
+}
+
+void Optimizer::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+void Optimizer::set_lr(double lr) {
+  ST_REQUIRE(lr > 0.0, "learning rate must be positive");
+  lr_ = lr;
+}
+
+Sgd::Sgd(std::vector<snn::Param*> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  ST_REQUIRE(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0, 1)");
+  ST_REQUIRE(weight_decay >= 0.0, "weight decay must be non-negative");
+  if (momentum_ > 0.0) {
+    velocity_.reserve(params_.size());
+    for (auto* p : params_) velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    snn::Param& p = *params_[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    if (momentum_ > 0.0) {
+      float* vel = velocity_[pi].data();
+      for (std::int64_t i = 0, n = p.numel(); i < n; ++i) {
+        const float grad = g[i] + wd * w[i];
+        vel[i] = mu * vel[i] + grad;
+        w[i] -= lr * vel[i];
+      }
+    } else {
+      for (std::int64_t i = 0, n = p.numel(); i < n; ++i)
+        w[i] -= lr * (g[i] + wd * w[i]);
+    }
+  }
+}
+
+Adam::Adam(std::vector<snn::Param*> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  ST_REQUIRE(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0,
+             "Adam betas must be in [0, 1)");
+  ST_REQUIRE(eps > 0.0, "Adam eps must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_ / bc1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(eps_);
+  const auto wd = static_cast<float>(weight_decay_);
+  const auto inv_sqrt_bc2 = static_cast<float>(1.0 / std::sqrt(bc2));
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    snn::Param& p = *params_[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    for (std::int64_t i = 0, n = p.numel(); i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * grad;
+      v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
+      w[i] -= lr * m[i] / (std::sqrt(v[i]) * inv_sqrt_bc2 + eps);
+    }
+  }
+}
+
+}  // namespace spiketune::train

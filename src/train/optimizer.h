@@ -1,0 +1,60 @@
+// First-order optimizers over snn::Param sets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snn/layers.h"
+
+namespace spiketune::train {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<snn::Param*> params, double lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+  void set_lr(double lr);
+  double lr() const { return lr_; }
+  virtual std::string name() const = 0;
+
+ protected:
+  std::vector<snn::Param*> params_;
+  double lr_;
+};
+
+/// SGD with optional classical momentum and L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<snn::Param*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+
+  void step() override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; the paper's training setup.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<snn::Param*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+
+  void step() override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace spiketune::train

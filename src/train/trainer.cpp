@@ -1,0 +1,92 @@
+#include "train/trainer.h"
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "core/table.h"
+
+namespace spiketune::train {
+
+Trainer::Trainer(snn::SpikingNetwork& net, const data::SpikeEncoder& encoder,
+                 const snn::Loss& loss, TrainerConfig config)
+    : net_(net), encoder_(encoder), loss_(loss), config_(config) {
+  ST_REQUIRE(config_.epochs > 0, "epochs must be positive");
+  ST_REQUIRE(config_.num_steps > 0, "num_steps must be positive");
+  ST_REQUIRE(config_.batch_size > 0, "batch_size must be positive");
+  ST_REQUIRE(config_.base_lr > 0.0, "base_lr must be positive");
+}
+
+EpochMetrics Trainer::train_epoch(data::DataLoader& loader, Optimizer& opt,
+                                  const LrScheduler& schedule,
+                                  std::int64_t epoch) {
+  schedule.apply(opt, epoch);
+  loader.start_epoch(epoch);
+
+  RunningMean loss_mean;
+  RunningMean acc_mean;
+  data::Batch batch;
+  while (loader.next(batch)) {
+    const auto steps =
+        encoder_.encode(batch.images, config_.num_steps, encode_stream_++);
+    net_.zero_grad();
+    auto fwd = net_.forward(steps, /*training=*/true);
+    const auto lr = loss_.compute(fwd.spike_counts, batch.labels);
+    net_.backward(lr.grad_counts);
+    opt.step();
+
+    loss_mean.add(lr.loss, batch.batch_size());
+    acc_mean.add(snn::accuracy(fwd.spike_counts, batch.labels),
+                 batch.batch_size());
+  }
+
+  EpochMetrics m;
+  m.epoch = epoch;
+  m.lr = opt.lr();
+  m.train_loss = loss_mean.mean();
+  m.train_accuracy = acc_mean.mean();
+  return m;
+}
+
+void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
+  Adam opt(net_.params(), config_.base_lr);
+  CosineAnnealingLr schedule(config_.base_lr, config_.epochs,
+                             config_.lr_eta_min);
+  for (std::int64_t e = 0; e < config_.epochs; ++e) {
+    const EpochMetrics m = train_epoch(loader, opt, schedule, e);
+    if (config_.verbose) {
+      ST_LOG_INFO << "epoch " << m.epoch + 1 << "/" << config_.epochs
+                  << "  loss=" << fmt_f(m.train_loss, 4)
+                  << "  acc=" << fmt_pct(m.train_accuracy, 2)
+                  << "  lr=" << fmt_f(m.lr, 6);
+    }
+    if (on_epoch) on_epoch(m);
+  }
+}
+
+EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
+  loader.start_epoch(0);
+
+  EvalMetrics out;
+  out.record = net_.make_record();
+  RunningMean loss_mean;
+  RunningMean acc_mean;
+  data::Batch batch;
+  std::uint64_t stream = 0xe5a1ULL;
+  while (loader.next(batch)) {
+    const auto steps =
+        encoder_.encode(batch.images, config_.num_steps, stream++);
+    auto fwd = net_.forward(steps, /*training=*/false, /*record_stats=*/true);
+    const auto lr = loss_.compute(fwd.spike_counts, batch.labels);
+    loss_mean.add(lr.loss, batch.batch_size());
+    acc_mean.add(snn::accuracy(fwd.spike_counts, batch.labels),
+                 batch.batch_size());
+    out.record.merge(fwd.stats);
+    out.num_examples += batch.batch_size();
+  }
+  ST_REQUIRE(out.num_examples > 0, "evaluate on empty loader");
+  out.loss = loss_mean.mean();
+  out.accuracy = acc_mean.mean();
+  out.firing_rate = out.record.mean_firing_rate();
+  return out;
+}
+
+}  // namespace spiketune::train

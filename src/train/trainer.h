@@ -1,0 +1,58 @@
+// Trainer: the surrogate-gradient training loop.
+//
+// Mirrors the paper's setup: mini-batch BPTT with Adam and cosine-annealing
+// learning rate over a fixed epoch budget; evaluation measures accuracy and
+// the per-layer firing statistics the hardware model maps.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "data/dataloader.h"
+#include "data/encoders.h"
+#include "snn/loss.h"
+#include "snn/network.h"
+#include "train/lr_scheduler.h"
+#include "train/metrics.h"
+#include "train/optimizer.h"
+
+namespace spiketune::train {
+
+struct TrainerConfig {
+  std::int64_t epochs = 25;      // paper: cosine annealing over 25 epochs
+  std::int64_t num_steps = 10;   // BPTT window length T
+  std::int64_t batch_size = 32;
+  double base_lr = 1e-3;
+  double lr_eta_min = 0.0;
+  bool verbose = true;           // log per-epoch progress
+};
+
+class Trainer {
+ public:
+  /// The trainer borrows network/encoder/loss; they must outlive it.
+  Trainer(snn::SpikingNetwork& net, const data::SpikeEncoder& encoder,
+          const snn::Loss& loss, TrainerConfig config);
+
+  /// Runs one epoch over the loader; returns averaged training metrics.
+  EpochMetrics train_epoch(data::DataLoader& loader, Optimizer& opt,
+                           const LrScheduler& schedule, std::int64_t epoch);
+
+  /// Full training run: epochs x train_epoch with a fresh Adam + cosine
+  /// schedule per TrainerConfig.  Optional per-epoch callback (may be null).
+  using EpochCallback = std::function<void(const EpochMetrics&)>;
+  void fit(data::DataLoader& loader, const EpochCallback& on_epoch = {});
+
+  /// Evaluates accuracy/loss/spike statistics without touching weights.
+  EvalMetrics evaluate(data::DataLoader& loader);
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  snn::SpikingNetwork& net_;
+  const data::SpikeEncoder& encoder_;
+  const snn::Loss& loss_;
+  TrainerConfig config_;
+  std::uint64_t encode_stream_ = 0;  // decorrelates encoder draws per batch
+};
+
+}  // namespace spiketune::train

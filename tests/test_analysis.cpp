@@ -1,0 +1,258 @@
+// Tests for the analysis/deployment extensions: confusion matrices,
+// hardware design-space exploration, data augmentation, weight pruning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "data/augment.h"
+#include "data/synth_digits.h"
+#include "hw/dse.h"
+#include "snn/model_zoo.h"
+#include "snn/prune.h"
+#include "tensor/tensor_ops.h"
+#include "train/confusion.h"
+
+namespace spiketune {
+namespace {
+
+// ---- ConfusionMatrix --------------------------------------------------------
+
+TEST(Confusion, PerfectPredictions) {
+  train::ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c)
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 1.0);
+  EXPECT_EQ(cm.distinct_predictions(), 3);
+}
+
+TEST(Confusion, CollapseDetection) {
+  train::ConfusionMatrix cm(4);
+  for (int c = 0; c < 4; ++c)
+    for (int i = 0; i < 3; ++i) cm.add(c, 0);  // everything -> class 0
+  EXPECT_EQ(cm.distinct_predictions(), 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.25);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.25);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.0);
+}
+
+TEST(Confusion, HandComputedCells) {
+  train::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.count(0, 0), 1);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_EQ(cm.count(1, 1), 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+}
+
+TEST(Confusion, AddBatchUsesArgmax) {
+  train::ConfusionMatrix cm(3);
+  Tensor counts(Shape{2, 3}, {5, 1, 0, 0, 0, 9});
+  cm.add_batch(counts, {0, 1});
+  EXPECT_EQ(cm.count(0, 0), 1);  // argmax row0 = 0, correct
+  EXPECT_EQ(cm.count(1, 2), 1);  // argmax row1 = 2, wrong
+  EXPECT_EQ(cm.total(), 2);
+}
+
+TEST(Confusion, RenderAndValidation) {
+  train::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const std::string s = cm.render();
+  EXPECT_NE(s.find("true \\ pred"), std::string::npos);
+  EXPECT_NE(s.find("accuracy="), std::string::npos);
+  EXPECT_THROW(cm.add(2, 0), InvalidArgument);
+  EXPECT_THROW(cm.add(0, -1), InvalidArgument);
+  EXPECT_THROW(train::ConfusionMatrix(0), InvalidArgument);
+}
+
+// ---- DSE --------------------------------------------------------------------
+
+std::vector<hw::LayerWorkload> dse_workloads() {
+  std::vector<hw::LayerWorkload> ws(2);
+  ws[0].name = "conv1";
+  ws[0].input_size = 2048;
+  ws[0].fanout = 288;
+  ws[0].neurons = 8192;
+  ws[0].num_weights = 9216;
+  ws[0].avg_input_spikes = 0.2 * 2048;
+  ws[1].name = "fc1";
+  ws[1].input_size = 512;
+  ws[1].fanout = 128;
+  ws[1].neurons = 128;
+  ws[1].num_weights = 65536;
+  ws[1].avg_input_spikes = 0.1 * 512;
+  return ws;
+}
+
+TEST(Dse, ExploresFullGrid) {
+  hw::DseConfig cfg;
+  cfg.timesteps = 16;
+  const auto points = hw::explore(dse_workloads(), cfg);
+  // 3 devices x 3 policies x 2 modes.
+  EXPECT_EQ(points.size(), 18u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.fps_per_watt, 0.0);
+    EXPECT_GT(p.latency_s, 0.0);
+    EXPECT_FALSE(p.label().empty());
+  }
+}
+
+TEST(Dse, ParetoFrontIsNonDominated) {
+  hw::DseConfig cfg;
+  cfg.timesteps = 16;
+  const auto points = hw::explore(dse_workloads(), cfg);
+  const auto front = hw::pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  EXPECT_LE(front.size(), points.size());
+  // No front point dominates another front point.
+  for (const auto& a : front)
+    for (const auto& b : front) {
+      if (&a == &b) continue;
+      const bool a_dominates_b = a.latency_s <= b.latency_s &&
+                                 a.fps_per_watt >= b.fps_per_watt &&
+                                 (a.latency_s < b.latency_s ||
+                                  a.fps_per_watt > b.fps_per_watt);
+      EXPECT_FALSE(a_dominates_b);
+    }
+  // Sorted by latency.
+  for (std::size_t i = 1; i < front.size(); ++i)
+    EXPECT_LE(front[i - 1].latency_s, front[i].latency_s);
+}
+
+TEST(Dse, EventDrivenDominatesDenseSomewhere) {
+  hw::DseConfig cfg;
+  cfg.timesteps = 16;
+  const auto front = hw::pareto_front(hw::explore(dse_workloads(), cfg));
+  // With 10-20% densities the event-driven mode must appear on the front.
+  bool has_event = false;
+  for (const auto& p : front)
+    has_event |= (p.mode == hw::ComputeMode::kEventDriven);
+  EXPECT_TRUE(has_event);
+}
+
+TEST(Dse, SkipsTooSmallDevices) {
+  auto ws = dse_workloads();
+  ws[0].num_weights = 3'000'000;  // ~3 MB: fits ku15p (3936 KiB) only
+  hw::DseConfig cfg;
+  cfg.timesteps = 8;
+  const auto points = hw::explore(ws, cfg);
+  EXPECT_FALSE(points.empty());
+  for (const auto& p : points) EXPECT_EQ(p.device, "xcku15p");
+}
+
+// ---- AugmentedDataset -------------------------------------------------------
+
+std::shared_ptr<const data::Dataset> digits_base() {
+  data::SynthDigitsConfig cfg;
+  cfg.num_examples = 8;
+  cfg.image_size = 12;
+  return std::make_shared<data::SynthDigits>(cfg);
+}
+
+TEST(Augment, CopyZeroIsIdentity) {
+  auto base = digits_base();
+  data::AugmentedDataset aug(base, data::AugmentConfig{});
+  EXPECT_EQ(aug.size(), base->size());
+  for (std::int64_t i = 0; i < base->size(); ++i) {
+    const auto a = aug.get(i);
+    const auto b = base->get(i);
+    EXPECT_EQ(a.label, b.label);
+    for (std::int64_t k = 0; k < a.image.numel(); ++k)
+      EXPECT_EQ(a.image[k], b.image[k]);
+  }
+}
+
+TEST(Augment, CopiesEnlargeAndPerturb) {
+  auto base = digits_base();
+  data::AugmentConfig cfg;
+  cfg.copies = 3;
+  data::AugmentedDataset aug(base, cfg);
+  EXPECT_EQ(aug.size(), 3 * base->size());
+  // Copy 1 keeps the label but changes pixels.
+  const auto orig = base->get(0);
+  const auto jit = aug.get(base->size());
+  EXPECT_EQ(jit.label, orig.label);
+  float diff = 0.0f;
+  for (std::int64_t k = 0; k < orig.image.numel(); ++k)
+    diff += std::fabs(jit.image[k] - orig.image[k]);
+  EXPECT_GT(diff, 0.0f);
+  // Still valid pixel range.
+  EXPECT_GE(ops::min(jit.image), 0.0f);
+  EXPECT_LE(ops::max(jit.image), 1.0f);
+}
+
+TEST(Augment, Deterministic) {
+  auto base = digits_base();
+  data::AugmentConfig cfg;
+  cfg.copies = 2;
+  data::AugmentedDataset a(base, cfg);
+  data::AugmentedDataset b(base, cfg);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const auto ea = a.get(i);
+    const auto eb = b.get(i);
+    for (std::int64_t k = 0; k < ea.image.numel(); ++k)
+      EXPECT_EQ(ea.image[k], eb.image[k]);
+  }
+}
+
+TEST(Augment, Validation) {
+  auto base = digits_base();
+  data::AugmentConfig bad;
+  bad.copies = 0;
+  EXPECT_THROW(data::AugmentedDataset(base, bad), InvalidArgument);
+  bad = data::AugmentConfig{};
+  bad.contrast = 1.0f;
+  EXPECT_THROW(data::AugmentedDataset(base, bad), InvalidArgument);
+}
+
+// ---- pruning ----------------------------------------------------------------
+
+TEST(Prune, AchievesRequestedSparsity) {
+  snn::MlpConfig cfg;
+  auto net = snn::make_snn_mlp(cfg);
+  EXPECT_NEAR(snn::weight_sparsity(*net), 0.0, 1e-6);
+  const auto report = snn::prune_network(*net, 0.5);
+  EXPECT_NEAR(report.pruned_fraction, 0.5, 0.02);
+  EXPECT_NEAR(snn::weight_sparsity(*net), report.pruned_fraction, 1e-9);
+  EXPECT_GT(report.threshold, 0.0f);
+}
+
+TEST(Prune, KeepsLargeWeights) {
+  snn::MlpConfig cfg;
+  auto net = snn::make_snn_mlp(cfg);
+  // Plant a sentinel large weight; pruning 60% must not touch it.
+  net->params()[0]->value[0] = 42.0f;
+  snn::prune_network(*net, 0.6);
+  EXPECT_EQ(net->params()[0]->value[0], 42.0f);
+}
+
+TEST(Prune, ZeroFractionIsNoop) {
+  snn::MlpConfig cfg;
+  auto a = snn::make_snn_mlp(cfg);
+  auto b = snn::make_snn_mlp(cfg);
+  const auto report = snn::prune_network(*a, 0.0);
+  EXPECT_EQ(report.pruned_values, 0);
+  auto pa = a->params();
+  auto pb = b->params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t k = 0; k < pa[i]->numel(); ++k)
+      EXPECT_EQ(pa[i]->value[k], pb[i]->value[k]);
+}
+
+TEST(Prune, Validation) {
+  snn::MlpConfig cfg;
+  auto net = snn::make_snn_mlp(cfg);
+  EXPECT_THROW(snn::prune_network(*net, 1.0), InvalidArgument);
+  EXPECT_THROW(snn::prune_network(*net, -0.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spiketune

@@ -1,0 +1,215 @@
+// Unit tests for core utilities: error macros, RNG, CSV, tables, CLI flags.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/cli.h"
+#include "core/csv.h"
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/table.h"
+
+namespace spiketune {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(ST_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(ST_REQUIRE(true, "fine"));
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(ST_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(Error, MessageContainsContext) {
+  try {
+    ST_REQUIRE(1 == 2, "custom message");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_int(17), 17u);
+  EXPECT_THROW(rng.uniform_int(0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng rng(5);
+  std::array<int, 5> hits{};
+  for (int i = 0; i < 1000; ++i) ++hits[rng.uniform_int(5)];
+  for (int h : hits) EXPECT_GT(h, 100);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 40000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(99);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(123);
+  Rng p2(123);
+  Rng a = p1.fork(7);
+  Rng b = p2.fork(7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/spiketune_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.write_row({"1", "2"});
+    csv.write_row({"x,y", "he\"llo"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"he\"\"llo\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  const std::string path = ::testing::TempDir() + "/spiketune_arity.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.write_row({"only-one"}), InvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(Table, RendersAligned) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name   | value"), std::string::npos);
+  EXPECT_NE(s.find("longer | 22"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(fmt_f(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.4821, 1), "48.2%");
+  EXPECT_EQ(fmt_x(1.7234, 2), "1.72x");
+  EXPECT_EQ(fmt_si(12300.0, 1), "12.3k");
+  EXPECT_EQ(fmt_si(2.5e6, 1), "2.5M");
+  EXPECT_EQ(fmt_si(5.0, 1), "5.0");
+}
+
+TEST(Cli, ParsesForms) {
+  CliFlags flags;
+  flags.declare("alpha", "1.0", "a number");
+  flags.declare("name", "x", "a string");
+  flags.declare("fast", "false", "a bool");
+  const char* argv[] = {"--alpha=2.5", "--name", "svhn", "--fast"};
+  flags.parse(4, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), 2.5);
+  EXPECT_EQ(flags.get("name"), "svhn");
+  EXPECT_TRUE(flags.get_bool("fast"));
+}
+
+TEST(Cli, DefaultsHold) {
+  CliFlags flags;
+  flags.declare("n", "42", "int");
+  flags.parse(0, nullptr);
+  EXPECT_EQ(flags.get_int("n"), 42);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliFlags flags;
+  flags.declare("n", "1", "int");
+  const char* argv[] = {"--bogus=3"};
+  EXPECT_THROW(flags.parse(1, argv), InvalidArgument);
+}
+
+TEST(Cli, HelpRequested) {
+  CliFlags flags;
+  flags.declare("n", "1", "int");
+  const char* argv[] = {"--help"};
+  flags.parse(1, argv);
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.usage("prog").find("--n"), std::string::npos);
+}
+
+TEST(Cli, BadNumberThrows) {
+  CliFlags flags;
+  flags.declare("n", "1", "int");
+  const char* argv[] = {"--n=abc"};
+  flags.parse(1, argv);
+  EXPECT_THROW(flags.get_int("n"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spiketune

@@ -1,0 +1,161 @@
+// Cycle-level event simulator tests, including VAL-SIM (agreement with the
+// analytic model within a documented envelope).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "hw/calibration.h"
+#include "hw/event_sim.h"
+#include "hw/perf_model.h"
+
+namespace spiketune::hw {
+namespace {
+
+EventSimConfig one_layer(std::int64_t pes, std::int64_t fanout,
+                         std::int64_t neurons) {
+  EventSimConfig cfg;
+  cfg.pes = {pes};
+  cfg.fanout = {fanout};
+  cfg.neurons = {neurons};
+  return cfg;
+}
+
+TEST(EventSim, HandComputableSingleTick) {
+  // 2 PEs, fanout 10, 5 events, 8 neurons, 4 dispatch ports (capped at 2).
+  auto cfg = one_layer(2, 10, 8);
+  const auto r = simulate_inference(cfg, {{5}});
+  // dispatch = ceil(5/2) = 3; mac = ceil(5*10/2) = 25 (binds over dispatch);
+  // update = ceil(8/2) = 4.
+  const double expected = calib::kStageOverheadCycles + 25.0 + 4.0;
+  EXPECT_DOUBLE_EQ(r.total_cycles, expected);
+  EXPECT_DOUBLE_EQ(r.mean_stage_cycles, expected);
+}
+
+TEST(EventSim, ZeroEventsStillPaysOverheadAndUpdate) {
+  auto cfg = one_layer(4, 100, 16);
+  const auto r = simulate_inference(cfg, {{0}});
+  EXPECT_DOUBLE_EQ(r.total_cycles, calib::kStageOverheadCycles + 4.0);
+}
+
+TEST(EventSim, LockStepTakesMaxAcrossLayers) {
+  EventSimConfig cfg;
+  cfg.pes = {1, 1};
+  cfg.fanout = {10, 10};
+  cfg.neurons = {0, 0};
+  // Layer 0 gets 10 events (100 cycles), layer 1 gets 1 (10 cycles).
+  const auto r = simulate_inference(cfg, {{10, 1}});
+  EXPECT_DOUBLE_EQ(r.total_cycles,
+                   calib::kStageOverheadCycles + 10.0 * 10.0);
+}
+
+TEST(EventSim, MorePesIsFaster) {
+  const SpikeTrace trace{{100}, {80}, {120}};
+  const auto slow = simulate_inference(one_layer(2, 64, 256), trace);
+  const auto fast = simulate_inference(one_layer(16, 64, 256), trace);
+  EXPECT_LT(fast.total_cycles, slow.total_cycles);
+  EXPECT_GT(fast.throughput_fps, slow.throughput_fps);
+}
+
+TEST(EventSim, AntiCorrelatedBurstsAcrossLayersCost) {
+  // Lock-step pays the per-tick maximum across layers, so bursts that
+  // alternate between layers are strictly worse than a smooth trace with
+  // the same per-layer totals.
+  EventSimConfig cfg;
+  cfg.pes = {4, 4};
+  cfg.fanout = {32, 32};
+  cfg.neurons = {64, 64};
+  const auto smooth = simulate_inference(cfg, {{50, 50}, {50, 50}});
+  const auto bursty = simulate_inference(cfg, {{100, 0}, {0, 100}});
+  EXPECT_GT(bursty.total_cycles, smooth.total_cycles);
+}
+
+TEST(EventSim, UtilizationBounded) {
+  EventSimConfig cfg;
+  cfg.pes = {4, 4};
+  cfg.fanout = {16, 16};
+  cfg.neurons = {32, 32};
+  const auto r = simulate_inference(cfg, {{40, 4}, {36, 2}});
+  ASSERT_EQ(r.layer_utilization.size(), 2u);
+  for (double u : r.layer_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GT(r.layer_utilization[0], r.layer_utilization[1]);
+}
+
+TEST(EventSim, ValidatesInput) {
+  auto cfg = one_layer(2, 8, 4);
+  EXPECT_THROW(simulate_inference(cfg, {}), InvalidArgument);
+  EXPECT_THROW(simulate_inference(cfg, {{1, 2}}), InvalidArgument);
+  EXPECT_THROW(simulate_inference(cfg, {{-1}}), InvalidArgument);
+  cfg.pes = {0};
+  EXPECT_THROW(simulate_inference(cfg, {{1}}), InvalidArgument);
+}
+
+std::vector<LayerWorkload> sim_workloads() {
+  LayerWorkload a;
+  a.name = "conv1";
+  a.neurons = 2048;
+  a.fanout = 288;
+  a.input_size = 768;
+  a.avg_input_spikes = 0.15 * 768;
+  a.num_weights = 9216;
+  LayerWorkload b;
+  b.name = "fc1";
+  b.neurons = 256;
+  b.fanout = 256;
+  b.input_size = 512;
+  b.avg_input_spikes = 0.08 * 512;
+  b.num_weights = 131072;
+  return {a, b};
+}
+
+TEST(EventSim, RandomTraceMatchesDensity) {
+  const auto ws = sim_workloads();
+  Rng rng(4242);
+  const auto trace = random_trace(ws, 400, rng);
+  ASSERT_EQ(trace.size(), 400u);
+  double mean0 = 0.0;
+  for (const auto& step : trace) mean0 += static_cast<double>(step[0]);
+  mean0 /= 400.0;
+  EXPECT_NEAR(mean0, ws[0].avg_input_spikes,
+              0.1 * ws[0].avg_input_spikes);
+  for (const auto& step : trace) {
+    EXPECT_GE(step[0], 0);
+    EXPECT_LE(step[0], ws[0].input_size);
+  }
+}
+
+// VAL-SIM: the analytic mean-value model and the cycle-level simulator
+// must agree on mean stage cycles within 15% on realistic traces (the sim
+// is >= analytic because lock-step pays per-tick maxima).
+TEST(EventSim, AgreesWithAnalyticModel) {
+  const auto ws = sim_workloads();
+  const auto dev = kintex_ultrascale_plus_ku5p();
+  const auto alloc = allocate(ws, dev, AllocationPolicy::kBalanced);
+  const auto analytic =
+      analyze(ws, alloc, dev, 64, ComputeMode::kEventDriven);
+
+  Rng rng(77);
+  const auto trace = random_trace(ws, 64, rng);
+  const auto sim =
+      simulate_inference(EventSimConfig::from(ws, alloc, dev), trace);
+
+  EXPECT_GE(sim.mean_stage_cycles, 0.85 * analytic.stage_cycles);
+  EXPECT_LE(sim.mean_stage_cycles, 1.15 * analytic.stage_cycles);
+}
+
+TEST(EventSim, ConfigFromMapping) {
+  const auto ws = sim_workloads();
+  const auto dev = kintex_ultrascale_plus_ku5p();
+  const auto alloc = allocate(ws, dev, AllocationPolicy::kBalanced);
+  const auto cfg = EventSimConfig::from(ws, alloc, dev);
+  EXPECT_EQ(cfg.pes, alloc.pes_per_layer);
+  EXPECT_EQ(cfg.fanout[0], 288);
+  EXPECT_EQ(cfg.neurons[1], 256);
+  EXPECT_DOUBLE_EQ(cfg.clock_hz, dev.clock_hz);
+}
+
+}  // namespace
+}  // namespace spiketune::hw

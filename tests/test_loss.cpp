@@ -1,0 +1,105 @@
+// Loss functions on spike counts: values, gradients (finite differences —
+// losses are smooth in the counts), and the accuracy metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "snn/loss.h"
+#include "tensor/gradcheck.h"
+
+namespace spiketune::snn {
+namespace {
+
+TEST(RateCe, UniformCountsGiveLogC) {
+  RateCrossEntropyLoss loss(1.0);
+  Tensor counts = Tensor::full(Shape{2, 4}, 3.0f);
+  const auto r = loss.compute(counts, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(RateCe, CorrectClassDominantGivesSmallLoss) {
+  RateCrossEntropyLoss loss(1.0);
+  Tensor counts(Shape{1, 3}, {10.0f, 0.0f, 0.0f});
+  const auto r = loss.compute(counts, {0});
+  EXPECT_LT(r.loss, 1e-3);
+}
+
+TEST(RateCe, GradientSumsToZeroPerRow) {
+  RateCrossEntropyLoss loss(2.0);
+  Tensor counts(Shape{2, 3}, {1, 4, 2, 0, 3, 3});
+  const auto r = loss.compute(counts, {1, 2});
+  for (int row = 0; row < 2; ++row) {
+    float s = 0.0f;
+    for (int c = 0; c < 3; ++c) s += r.grad_counts.at({row, c});
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(RateCe, GradientMatchesFiniteDifference) {
+  RateCrossEntropyLoss loss(3.0);
+  Tensor counts(Shape{2, 4}, {1, 5, 2, 0, 4, 4, 1, 3});
+  const std::vector<int> labels{1, 0};
+  const auto r = loss.compute(counts, labels);
+  auto f = [&](const Tensor& c) { return loss.compute(c, labels).loss; };
+  const auto res = check_gradient(f, counts, r.grad_counts, 1e-3);
+  EXPECT_TRUE(res.ok(1e-3, 1e-6)) << res.max_rel_error;
+}
+
+TEST(RateCe, TemperatureSoftensGradient) {
+  Tensor counts(Shape{1, 2}, {5.0f, 0.0f});
+  const auto sharp = RateCrossEntropyLoss(1.0).compute(counts, {1});
+  const auto soft = RateCrossEntropyLoss(10.0).compute(counts, {1});
+  EXPECT_GT(sharp.loss, soft.loss * 0.0);  // both positive
+  EXPECT_GT(std::fabs(sharp.grad_counts[0]),
+            std::fabs(soft.grad_counts[0]));
+}
+
+TEST(RateCe, LabelOutOfRangeThrows) {
+  RateCrossEntropyLoss loss;
+  Tensor counts(Shape{1, 3});
+  EXPECT_THROW(loss.compute(counts, {3}), InvalidArgument);
+  EXPECT_THROW(loss.compute(counts, {-1}), InvalidArgument);
+}
+
+TEST(RateCe, BatchSizeMismatchThrows) {
+  RateCrossEntropyLoss loss;
+  Tensor counts(Shape{2, 3});
+  EXPECT_THROW(loss.compute(counts, {0}), InvalidArgument);
+}
+
+TEST(CountMse, PerfectTargetsGiveZeroLoss) {
+  CountMseLoss loss(10, 0.8, 0.1);
+  Tensor counts(Shape{1, 2}, {8.0f, 1.0f});
+  const auto r = loss.compute(counts, {0});
+  EXPECT_NEAR(r.loss, 0.0, 1e-9);
+  EXPECT_NEAR(r.grad_counts[0], 0.0f, 1e-7f);
+}
+
+TEST(CountMse, GradientMatchesFiniteDifference) {
+  CountMseLoss loss(8, 0.75, 0.05);
+  Tensor counts(Shape{2, 3}, {1, 6, 2, 3, 0, 5});
+  const std::vector<int> labels{1, 2};
+  const auto r = loss.compute(counts, labels);
+  auto f = [&](const Tensor& c) { return loss.compute(c, labels).loss; };
+  const auto res = check_gradient(f, counts, r.grad_counts, 1e-3);
+  EXPECT_TRUE(res.ok(1e-3, 1e-6)) << res.max_rel_error;
+}
+
+TEST(CountMse, PullsTowardTargets) {
+  CountMseLoss loss(10, 0.8, 0.1);
+  Tensor counts(Shape{1, 2}, {0.0f, 9.0f});  // correct class silent
+  const auto r = loss.compute(counts, {0});
+  EXPECT_LT(r.grad_counts[0], 0.0f);  // push correct-class count up
+  EXPECT_GT(r.grad_counts[1], 0.0f);  // push wrong-class count down
+}
+
+TEST(Accuracy, CountsArgmax) {
+  Tensor counts(Shape{3, 3}, {5, 1, 0, 0, 2, 7, 4, 4, 1});
+  EXPECT_DOUBLE_EQ(accuracy(counts, {0, 2, 0}), 1.0);
+  EXPECT_NEAR(accuracy(counts, {0, 2, 1}), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(accuracy(counts, {1, 0, 2}), 0.0);
+}
+
+}  // namespace
+}  // namespace spiketune::snn

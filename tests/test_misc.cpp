@@ -1,0 +1,142 @@
+// Coverage for the remaining thin spots: logging levels, the explicit
+// train_epoch(optimizer, schedule) entry point with SGD + StepLr, empty
+// checkpoints, DSE with custom device lists, and report formatting edges.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "core/serialize.h"
+#include "data/dataloader.h"
+#include "data/encoders.h"
+#include "data/synth_digits.h"
+#include "hw/dse.h"
+#include "snn/linear.h"
+#include "snn/model_zoo.h"
+#include "train/trainer.h"
+
+namespace spiketune {
+namespace {
+
+TEST(Logging, LevelGate) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are dropped (no observable side effect to
+  // assert beyond not crashing, but the gate value must round-trip).
+  ST_LOG_INFO << "dropped";
+  ST_LOG_ERROR << "kept";
+  set_log_level(LogLevel::kOff);
+  ST_LOG_ERROR << "also dropped";
+  set_log_level(before);
+}
+
+TEST(Serialize, EmptyCheckpointRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/empty_ckpt.bin";
+  save_checkpoint(path, {});
+  EXPECT_TRUE(load_checkpoint(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin"), Error);
+}
+
+TEST(Trainer, ExplicitOptimizerAndSchedule) {
+  // Drive train_epoch directly with SGD + StepLr (fit() covers Adam +
+  // cosine); the learning rate must follow the schedule.
+  data::SynthDigitsConfig dcfg;
+  dcfg.num_examples = 32;
+  dcfg.image_size = 12;
+  auto ds = std::make_shared<data::InMemoryDataset>(
+      data::InMemoryDataset::from(data::SynthDigits(dcfg)));
+  data::DataLoader loader(ds, 16, true, 3);
+
+  auto net = std::make_unique<snn::SpikingNetwork>();
+  net->add<snn::Flatten>();
+  Rng rng(11);
+  net->add<snn::Linear>(snn::LinearConfig{144, 16}, rng);
+  net->add<snn::Lif>(snn::LifConfig{});
+  net->add<snn::Linear>(snn::LinearConfig{16, 10}, rng);
+  net->add<snn::Lif>(snn::LifConfig{});
+
+  data::DirectEncoder encoder;
+  snn::RateCrossEntropyLoss loss(4.0);
+  train::TrainerConfig tcfg;
+  tcfg.num_steps = 4;
+  tcfg.batch_size = 16;
+  tcfg.verbose = false;
+  train::Trainer trainer(*net, encoder, loss, tcfg);
+
+  train::Sgd opt(net->params(), 0.1, 0.9);
+  train::StepLr schedule(0.1, 2, 0.1);
+  const auto e0 = trainer.train_epoch(loader, opt, schedule, 0);
+  const auto e2 = trainer.train_epoch(loader, opt, schedule, 2);
+  EXPECT_DOUBLE_EQ(e0.lr, 0.1);
+  EXPECT_DOUBLE_EQ(e2.lr, 0.01);
+  EXPECT_EQ(e0.epoch, 0);
+  EXPECT_GE(e0.train_loss, 0.0);
+}
+
+TEST(Dse, CustomDeviceListRestrictsGrid) {
+  std::vector<hw::LayerWorkload> ws(1);
+  ws[0].name = "fc";
+  ws[0].input_size = 256;
+  ws[0].fanout = 64;
+  ws[0].neurons = 64;
+  ws[0].num_weights = 16384;
+  ws[0].avg_input_spikes = 32.0;
+
+  hw::DseConfig cfg;
+  cfg.devices = {hw::kintex_ultrascale_plus_ku5p()};
+  cfg.policies = {hw::AllocationPolicy::kBalanced};
+  cfg.modes = {hw::ComputeMode::kEventDriven};
+  cfg.timesteps = 8;
+  const auto points = hw::explore(ws, cfg);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].device, "xcku5p");
+  EXPECT_EQ(points[0].label(), "xcku5p/balanced-sparse/event-driven");
+}
+
+TEST(Dse, ParetoOfSinglePointIsItself) {
+  hw::DsePoint p;
+  p.device = "x";
+  p.latency_s = 1.0;
+  p.fps_per_watt = 10.0;
+  const auto front = hw::pareto_front({p});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].device, "x");
+}
+
+TEST(Dse, ParetoDropsDominated) {
+  hw::DsePoint good;
+  good.latency_s = 1.0;
+  good.fps_per_watt = 10.0;
+  hw::DsePoint bad;
+  bad.latency_s = 2.0;
+  bad.fps_per_watt = 5.0;
+  hw::DsePoint tradeoff;
+  tradeoff.latency_s = 0.5;
+  tradeoff.fps_per_watt = 8.0;
+  const auto front = hw::pareto_front({good, bad, tradeoff});
+  EXPECT_EQ(front.size(), 2u);  // bad is dominated by good
+  EXPECT_DOUBLE_EQ(front[0].latency_s, 0.5);  // sorted by latency
+}
+
+TEST(ModelZoo, InitGainScalesWeights) {
+  snn::MlpConfig a;
+  a.init_gain = 1.0f;
+  snn::MlpConfig b = a;
+  b.init_gain = 2.0f;
+  auto na = snn::make_snn_mlp(a);
+  auto nb = snn::make_snn_mlp(b);
+  auto pa = na->params();
+  auto pb = nb->params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t k = 0; k < pa[i]->numel(); ++k)
+      EXPECT_FLOAT_EQ(pb[i]->value[k], 2.0f * pa[i]->value[k]);
+}
+
+}  // namespace
+}  // namespace spiketune

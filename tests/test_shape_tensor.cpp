@@ -1,0 +1,143 @@
+// Unit tests for Shape and Tensor.
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "tensor/tensor.h"
+
+namespace spiketune {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, ScalarRankZero) {
+  Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Strides) {
+  Shape s{2, 3, 4};
+  const auto st = s.strides();
+  ASSERT_EQ(st.size(), 3u);
+  EXPECT_EQ(st[0], 12);
+  EXPECT_EQ(st[1], 4);
+  EXPECT_EQ(st[2], 1);
+}
+
+TEST(Shape, OffsetRowMajor) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.offset({0, 0, 0}), 0);
+  EXPECT_EQ(s.offset({0, 0, 3}), 3);
+  EXPECT_EQ(s.offset({0, 1, 0}), 4);
+  EXPECT_EQ(s.offset({1, 2, 3}), 23);
+}
+
+TEST(Shape, NegativeDimRejected) {
+  EXPECT_THROW(Shape({2, -1}), InvalidArgument);
+}
+
+TEST(Shape, EqualityByDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+}
+
+TEST(Shape, AxisOutOfRangeThrows) {
+  Shape s{2};
+  EXPECT_THROW(s.dim(1), InvalidArgument);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullFills) {
+  Tensor t = Tensor::full(Shape{5}, 2.5f);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t(Shape{2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t.at({1, 2}), 7.0f);
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, FlatAtBoundsChecked) {
+  Tensor t(Shape{4});
+  EXPECT_THROW(t.at(4), InvalidArgument);
+  EXPECT_THROW(t.at(-1), InvalidArgument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+  EXPECT_THROW(t.reshaped(Shape{4}), InvalidArgument);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, UniformRespectsBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform(Shape{1000}, rng, -2.0f, 3.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(Tensor, NormalMoments) {
+  Rng rng(2);
+  Tensor t = Tensor::normal(Shape{20000}, rng, 1.0f, 2.0f);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / static_cast<double>(t.numel());
+  const double var = sq / static_cast<double>(t.numel()) - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Tensor, KaimingBound) {
+  Rng rng(3);
+  Tensor t = Tensor::kaiming_uniform(Shape{100, 25}, rng, 25);
+  const float bound = 1.0f / 5.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -bound);
+    EXPECT_LE(t[i], bound);
+  }
+}
+
+TEST(Tensor, DeterministicInit) {
+  Rng a(42);
+  Rng b(42);
+  Tensor ta = Tensor::uniform(Shape{64}, a, 0.0f, 1.0f);
+  Tensor tb = Tensor::uniform(Shape{64}, b, 0.0f, 1.0f);
+  for (std::int64_t i = 0; i < 64; ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+}  // namespace
+}  // namespace spiketune

@@ -1,0 +1,123 @@
+// Surrogate gradient function tests: closed-form values, symmetry,
+// derivative-of-forward consistency, and the paper's parameterization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "snn/surrogate.h"
+
+namespace spiketune::snn {
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+TEST(Surrogate, ArctanGradClosedForm) {
+  // dS/dU = (alpha/2) / (1 + (pi U alpha / 2)^2)   (paper Eq. 3)
+  const float alpha = 2.0f;
+  Surrogate s = Surrogate::arctan(alpha);
+  EXPECT_NEAR(s.grad(0.0f), alpha / 2.0f, 1e-6f);
+  const float u = 0.7f;
+  const float z = kPi * u * alpha / 2.0f;
+  EXPECT_NEAR(s.grad(u), (alpha / 2.0f) / (1.0f + z * z), 1e-6f);
+}
+
+TEST(Surrogate, FastSigmoidGradClosedForm) {
+  // dS/dU = 1 / (1 + k |U|)^2   (paper Eq. 4)
+  const float k = 25.0f;
+  Surrogate s = Surrogate::fast_sigmoid(k);
+  EXPECT_NEAR(s.grad(0.0f), 1.0f, 1e-6f);
+  const float u = -0.1f;
+  const float d = 1.0f + k * std::fabs(u);
+  EXPECT_NEAR(s.grad(u), 1.0f / (d * d), 1e-6f);
+}
+
+class SurrogateKinds : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SurrogateKinds, GradIsEvenFunction) {
+  Surrogate s = Surrogate::by_name(GetParam(), 2.0f);
+  for (float v : {0.1f, 0.5f, 1.0f, 3.0f})
+    EXPECT_NEAR(s.grad(v), s.grad(-v), 1e-6f) << GetParam() << " v=" << v;
+}
+
+TEST_P(SurrogateKinds, GradPeaksAtThreshold) {
+  Surrogate s = Surrogate::by_name(GetParam(), 2.0f);
+  const float at0 = s.grad(0.0f);
+  for (float v : {0.5f, 1.0f, 2.0f})
+    EXPECT_GE(at0, s.grad(v)) << GetParam() << " v=" << v;
+}
+
+TEST_P(SurrogateKinds, GradNonNegative) {
+  Surrogate s = Surrogate::by_name(GetParam(), 1.5f);
+  for (float v = -4.0f; v <= 4.0f; v += 0.25f)
+    EXPECT_GE(s.grad(v), 0.0f) << GetParam() << " v=" << v;
+}
+
+TEST_P(SurrogateKinds, GradMatchesForwardDerivative) {
+  // Central difference of the smooth forward must match grad().
+  Surrogate s = Surrogate::by_name(GetParam(), 2.0f);
+  const float h = 1e-3f;
+  for (float v : {-1.3f, -0.4f, 0.05f, 0.6f, 2.0f}) {
+    if (GetParam() == "boxcar" || GetParam() == "straight_through")
+      continue;  // piecewise-constant grads: FD invalid at kinks
+    const float fd = (s.forward(v + h) - s.forward(v - h)) / (2.0f * h);
+    EXPECT_NEAR(s.grad(v), fd, 5e-3f) << GetParam() << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SurrogateKinds,
+                         ::testing::Values("arctan", "fast_sigmoid",
+                                           "sigmoid", "triangular", "boxcar",
+                                           "straight_through"));
+
+TEST(Surrogate, ScaleSharpensArctan) {
+  // Larger alpha -> narrower, taller gradient bump.
+  Surrogate narrow = Surrogate::arctan(8.0f);
+  Surrogate wide = Surrogate::arctan(0.5f);
+  EXPECT_GT(narrow.grad(0.0f), wide.grad(0.0f));
+  EXPECT_LT(narrow.grad(1.0f), wide.grad(1.0f));
+}
+
+TEST(Surrogate, ScaleNarrowsFastSigmoid) {
+  // Larger k decays the fast-sigmoid gradient faster away from threshold,
+  // while the peak stays at 1 — the asymmetry the paper exploits.
+  Surrogate steep = Surrogate::fast_sigmoid(32.0f);
+  Surrogate shallow = Surrogate::fast_sigmoid(0.5f);
+  EXPECT_NEAR(steep.grad(0.0f), shallow.grad(0.0f), 1e-6f);
+  EXPECT_LT(steep.grad(0.5f), shallow.grad(0.5f));
+}
+
+TEST(Surrogate, TriangularHasCompactSupport) {
+  Surrogate s = Surrogate::triangular(2.0f);
+  EXPECT_GT(s.grad(0.4f), 0.0f);
+  EXPECT_EQ(s.grad(0.6f), 0.0f);  // support |v| < 1/k = 0.5
+}
+
+TEST(Surrogate, BoxcarWindow) {
+  Surrogate s = Surrogate::boxcar(2.0f);
+  EXPECT_EQ(s.grad(0.49f), 1.0f);  // 0.5 * k inside |v| < 1/k
+  EXPECT_EQ(s.grad(0.51f), 0.0f);
+}
+
+TEST(Surrogate, StraightThroughIsUnity) {
+  Surrogate s = Surrogate::straight_through();
+  for (float v : {-2.0f, 0.0f, 2.0f}) EXPECT_EQ(s.grad(v), 1.0f);
+}
+
+TEST(Surrogate, ByNameRejectsUnknown) {
+  EXPECT_THROW(Surrogate::by_name("tanh", 1.0f), InvalidArgument);
+}
+
+TEST(Surrogate, NonPositiveScaleRejected) {
+  EXPECT_THROW(Surrogate::arctan(0.0f), InvalidArgument);
+  EXPECT_THROW(Surrogate::fast_sigmoid(-1.0f), InvalidArgument);
+}
+
+TEST(Surrogate, NamesRoundTrip) {
+  for (const char* n : {"arctan", "fast_sigmoid", "sigmoid", "triangular",
+                        "boxcar", "straight_through"})
+    EXPECT_EQ(Surrogate::by_name(n, 1.0f).name(), n);
+}
+
+}  // namespace
+}  // namespace spiketune::snn

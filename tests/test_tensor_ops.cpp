@@ -1,0 +1,126 @@
+// Unit tests for elementwise/reduction/nn kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "tensor/tensor_ops.h"
+
+namespace spiketune {
+namespace {
+
+TEST(Ops, AddSubMulScale) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  Tensor c = ops::add(a, b);
+  EXPECT_EQ(c[0], 11.0f);
+  EXPECT_EQ(c[2], 33.0f);
+  c = ops::sub(b, a);
+  EXPECT_EQ(c[1], 18.0f);
+  c = ops::mul(a, b);
+  EXPECT_EQ(c[2], 90.0f);
+  c = ops::scale(a, -2.0f);
+  EXPECT_EQ(c[0], -2.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(ops::add(a, b), InvalidArgument);
+  EXPECT_THROW(ops::mul(a, b), InvalidArgument);
+}
+
+TEST(Ops, Axpy) {
+  Tensor a(Shape{2}, {1, 1});
+  Tensor b(Shape{2}, {2, 4});
+  ops::axpy_(a, 0.5f, b);
+  EXPECT_EQ(a[0], 2.0f);
+  EXPECT_EQ(a[1], 3.0f);
+}
+
+TEST(Ops, AddRowwise) {
+  Tensor m(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor v(Shape{3}, {10, 20, 30});
+  ops::add_rowwise_(m, v);
+  EXPECT_EQ(m.at({0, 0}), 10.0f);
+  EXPECT_EQ(m.at({1, 2}), 31.0f);
+}
+
+TEST(Ops, SumRows) {
+  Tensor m(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = ops::sum_rows(m, 3);
+  EXPECT_EQ(s[0], 5.0f);
+  EXPECT_EQ(s[1], 7.0f);
+  EXPECT_EQ(s[2], 9.0f);
+}
+
+TEST(Ops, Reductions) {
+  Tensor t(Shape{4}, {-1, 3, 0, 2});
+  EXPECT_FLOAT_EQ(ops::sum(t), 4.0f);
+  EXPECT_FLOAT_EQ(ops::mean(t), 1.0f);
+  EXPECT_FLOAT_EQ(ops::max(t), 3.0f);
+  EXPECT_FLOAT_EQ(ops::min(t), -1.0f);
+  EXPECT_EQ(ops::argmax(t), 1);
+  EXPECT_EQ(ops::count_nonzero(t), 3);
+  EXPECT_DOUBLE_EQ(ops::zero_fraction(t), 0.25);
+  EXPECT_NEAR(ops::l2_norm(t), std::sqrt(14.0f), 1e-5);
+}
+
+TEST(Ops, ArgmaxFirstOnTies) {
+  Tensor t(Shape{3}, {5, 5, 5});
+  EXPECT_EQ(ops::argmax(t), 0);
+}
+
+TEST(Ops, SoftmaxRowsNormalized) {
+  Tensor logits(Shape{2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = ops::softmax_rows(logits, 3);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += p.at({r, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+  // monotone in logits
+  EXPECT_LT(p.at({0, 0}), p.at({0, 1}));
+  EXPECT_LT(p.at({0, 1}), p.at({0, 2}));
+}
+
+TEST(Ops, SoftmaxStableForLargeLogits) {
+  Tensor logits(Shape{1, 2}, {1000.0f, 1001.0f});
+  Tensor p = ops::softmax_rows(logits, 2);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-6);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor m(Shape{2, 3}, {1, 9, 2, 7, 1, 3});
+  const auto idx = ops::argmax_rows(m, 3);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, Clamp) {
+  Tensor t(Shape{3}, {-5, 0.5f, 7});
+  ops::clamp_(t, 0.0f, 1.0f);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 0.5f);
+  EXPECT_EQ(t[2], 1.0f);
+}
+
+TEST(Ops, HeavisideStrictlyGreater) {
+  Tensor t(Shape{3}, {0.9f, 1.0f, 1.1f});
+  Tensor h = ops::heaviside(t, 1.0f);
+  EXPECT_EQ(h[0], 0.0f);
+  EXPECT_EQ(h[1], 0.0f);  // strictly greater, not >=
+  EXPECT_EQ(h[2], 1.0f);
+}
+
+TEST(Ops, EmptyReductionsThrow) {
+  Tensor t(Shape{0});
+  EXPECT_THROW(ops::mean(t), InvalidArgument);
+  EXPECT_THROW(ops::argmax(t), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace spiketune
