@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   flags.declare("profile", "smoke",
                 "experiment scale for the single training run");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
+  declare_threads_flag(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -29,6 +30,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
+  }
+  try {
+    apply_threads_flag(flags);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(

@@ -16,6 +16,7 @@ using namespace spiketune;
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  declare_threads_flag(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -25,6 +26,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
+  }
+  try {
+    apply_threads_flag(flags);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   flags.declare("train-size", "256", "training images");
   flags.declare("epochs", "10", "training epochs");
   flags.declare("image-size", "16", "image side length");
+  declare_threads_flag(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -34,6 +35,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
+  }
+  try {
+    apply_threads_flag(flags);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
   }
 
   const std::int64_t img = flags.get_int("image-size");

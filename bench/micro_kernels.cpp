@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "data/encoders.h"
 #include "hw/event_sim.h"
@@ -26,8 +27,27 @@ std::vector<float> random_vec(std::int64_t n, Rng& rng) {
   return v;
 }
 
+// Applies the benchmark's `threads` argument for its duration and restores
+// the serial default afterwards so later benchmarks are unaffected.
+class ThreadsArg {
+ public:
+  explicit ThreadsArg(benchmark::State& state)
+      : threads_(static_cast<int>(state.range(1))) {
+    set_num_threads(threads_);
+  }
+  ~ThreadsArg() { set_num_threads(1); }
+  ThreadsArg(const ThreadsArg&) = delete;
+  ThreadsArg& operator=(const ThreadsArg&) = delete;
+
+ private:
+  int threads_;
+};
+
+const std::vector<std::int64_t> kThreadCounts{1, 2, 4};
+
 void BM_Gemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  ThreadsArg threads(state);
   Rng rng(1);
   const auto a = random_vec(n * n, rng);
   const auto b = random_vec(n * n, rng);
@@ -38,13 +58,17 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)
+    ->UseRealTime()
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{64, 128, 256}, kThreadCounts});
 
 void BM_GemmSparseSpikes(benchmark::State& state) {
   // Spike-matrix GEMM: A is binary with the given density(%); the kernel's
   // zero-skip makes this the software analog of event-driven compute.
   const std::int64_t n = 256;
   const double density = static_cast<double>(state.range(0)) / 100.0;
+  ThreadsArg threads(state);
   Rng rng(2);
   std::vector<float> a(static_cast<std::size_t>(n * n), 0.0f);
   for (auto& x : a) x = rng.bernoulli(density) ? 1.0f : 0.0f;
@@ -55,10 +79,14 @@ void BM_GemmSparseSpikes(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
 }
-BENCHMARK(BM_GemmSparseSpikes)->Arg(5)->Arg(20)->Arg(100);
+BENCHMARK(BM_GemmSparseSpikes)
+    ->UseRealTime()
+    ->ArgNames({"density", "threads"})
+    ->ArgsProduct({{5, 20, 100}, kThreadCounts});
 
 void BM_Im2col(benchmark::State& state) {
   const std::int64_t s = state.range(0);
+  ThreadsArg threads(state);
   ConvGeom g{32, s, s, 3, 3, 0, 0, 1, 1};
   Rng rng(3);
   const auto img = random_vec(g.channels * s * s, rng);
@@ -69,10 +97,14 @@ void BM_Im2col(benchmark::State& state) {
     benchmark::DoNotOptimize(cols.data());
   }
 }
-BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+BENCHMARK(BM_Im2col)
+    ->UseRealTime()
+    ->ArgNames({"s", "threads"})
+    ->ArgsProduct({{16, 32}, kThreadCounts});
 
 void BM_ConvForward(benchmark::State& state) {
   const std::int64_t img = state.range(0);
+  ThreadsArg threads(state);
   Rng rng(4);
   snn::Conv2d conv(snn::Conv2dConfig{3, 32, 3}, rng);
   Tensor x = Tensor::uniform(Shape{8, 3, img, img}, rng, -1.0f, 1.0f);
@@ -82,10 +114,14 @@ void BM_ConvForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
 }
-BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32);
+BENCHMARK(BM_ConvForward)
+    ->UseRealTime()
+    ->ArgNames({"img", "threads"})
+    ->ArgsProduct({{16, 32}, kThreadCounts});
 
 void BM_ConvBackward(benchmark::State& state) {
   const std::int64_t img = state.range(0);
+  ThreadsArg threads(state);
   Rng rng(5);
   snn::Conv2d conv(snn::Conv2dConfig{3, 32, 3}, rng);
   Tensor x = Tensor::uniform(Shape{8, 3, img, img}, rng, -1.0f, 1.0f);
@@ -100,10 +136,14 @@ void BM_ConvBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(gx.data());
   }
 }
-BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(32);
+BENCHMARK(BM_ConvBackward)
+    ->UseRealTime()
+    ->ArgNames({"img", "threads"})
+    ->ArgsProduct({{16, 32}, kThreadCounts});
 
 void BM_LifStep(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  ThreadsArg threads(state);
   snn::Lif lif(snn::LifConfig{});
   Rng rng(6);
   Tensor x = Tensor::uniform(Shape{1, n}, rng, 0.0f, 2.0f);
@@ -114,7 +154,10 @@ void BM_LifStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_LifStep)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_LifStep)
+    ->UseRealTime()
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{1024, 65536}, kThreadCounts});
 
 void BM_RateEncode(benchmark::State& state) {
   data::RateEncoder enc(7);

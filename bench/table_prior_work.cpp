@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("profile", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
+  declare_threads_flag(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -42,6 +43,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
+  }
+  try {
+    apply_threads_flag(flags);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(

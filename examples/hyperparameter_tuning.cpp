@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
   flags.declare("accuracy-budget", "0.035",
                 "max allowed accuracy drop vs the best configuration");
+  declare_threads_flag(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -27,6 +28,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
+  }
+  try {
+    apply_threads_flag(flags);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
   }
   const double budget = flags.get_double("accuracy-budget");
 

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   flags.declare("epochs", "10", "training epochs");
   flags.declare("checkpoint", "/tmp/spiketune_deploy.bin",
                 "checkpoint path");
+  declare_threads_flag(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -36,6 +37,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
+  }
+  try {
+    apply_threads_flag(flags);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
   }
 
   // Data.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace spiketune {
 
@@ -78,6 +79,21 @@ bool CliFlags::get_bool(const std::string& name) const {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
   throw InvalidArgument("flag --" + name + " is not a boolean: " + v);
+}
+
+void declare_threads_flag(CliFlags& flags) {
+  flags.declare("threads", "1",
+                "worker threads for tensor/SNN kernels (1 = serial; results "
+                "are bit-identical for any value)");
+}
+
+int apply_threads_flag(const CliFlags& flags) {
+  const long long n = flags.get_int("threads");
+  ST_REQUIRE(n >= 1 && n <= max_num_threads(),
+             "--threads must be in [1, " + std::to_string(max_num_threads()) +
+                 "], got " + std::to_string(n));
+  set_num_threads(static_cast<int>(n));
+  return static_cast<int>(n);
 }
 
 std::string CliFlags::usage(const std::string& program) const {

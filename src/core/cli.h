@@ -42,4 +42,12 @@ class CliFlags {
   bool help_requested_ = false;
 };
 
+/// Declares the standard `--threads` flag (default "1" = serial) shared by
+/// the bench/example drivers.
+void declare_threads_flag(CliFlags& flags);
+
+/// Reads `--threads`, validates it, applies it process-wide via
+/// set_num_threads(), and returns the value.  Call after parse().
+int apply_threads_flag(const CliFlags& flags);
+
 }  // namespace spiketune

@@ -1,6 +1,7 @@
 #include "core/csv.h"
 
-#include <sstream>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/error.h"
 
@@ -28,10 +29,15 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 std::string CsvWriter::cell(double v) {
-  std::ostringstream os;
-  os.precision(17);
-  os << v;
-  return os.str();
+  // Shortest round-trip formatting: the fewest significant digits that
+  // parse back to exactly `v`, so sweep CSVs stay readable ("0.1", not
+  // "0.10000000000000001") and diff-stable across writers.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
 }
 
 std::string CsvWriter::cell(long long v) { return std::to_string(v); }

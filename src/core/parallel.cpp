@@ -1,0 +1,176 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace spiketune {
+
+namespace {
+thread_local bool tls_in_worker = false;
+constexpr int kMaxThreads = 256;
+}  // namespace
+
+int max_num_threads() { return kMaxThreads; }
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::in_worker() { return tls_in_worker; }
+
+void ThreadPool::resize(int threads) {
+  ST_REQUIRE(threads >= 1 && threads <= kMaxThreads,
+             "thread count must be in [1, " + std::to_string(kMaxThreads) +
+                 "], got " + std::to_string(threads));
+  ST_REQUIRE(!in_worker(), "cannot resize the pool from a pool worker");
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  if (threads == threads_) return;
+  stop_workers();
+  threads_ = threads;
+  std::uint64_t spawn_epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = false;
+    active_workers_ = 0;
+    // New workers must start synchronized to the current epoch, or stale
+    // epoch_/active_workers_ values from runs before the resize would look
+    // like a pending task.
+    spawn_epoch = epoch_;
+  }
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int slot = 0; slot < threads - 1; ++slot)
+    workers_.emplace_back(
+        [this, slot, spawn_epoch] { worker_loop(slot, spawn_epoch); });
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::worker_loop(int slot, std::uint64_t seen_epoch) {
+  tls_in_worker = true;
+  for (;;) {
+    Slice slice;
+    const RangeFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      if (slot >= active_workers_) continue;  // no slice this round
+      // Participant index: the caller always takes slice 0.
+      slice = slices_[static_cast<std::size_t>(slot + 1)];
+      fn = fn_;
+    }
+    try {
+      (*fn)(slice.begin, slice.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                     const RangeFn& fn) {
+  ST_REQUIRE(grain >= 1, "parallel grain must be >= 1");
+  ST_ASSERT(!in_worker(), "ThreadPool::run called from a pool worker");
+  if (end <= begin) return;
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const std::int64_t range = end - begin;
+  const std::int64_t units = (range + grain - 1) / grain;
+  const int parts = static_cast<int>(
+      std::min<std::int64_t>(threads_, units));
+  if (parts <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // Static partition: contiguous runs of `grain`-sized units, the first
+  // (units % parts) slices one unit larger.  Independent of timing.
+  slices_.assign(static_cast<std::size_t>(parts), Slice{});
+  const std::int64_t base_units = units / parts;
+  const std::int64_t extra = units % parts;
+  std::int64_t cursor = begin;
+  for (int p = 0; p < parts; ++p) {
+    const std::int64_t take = (base_units + (p < extra ? 1 : 0)) * grain;
+    auto& s = slices_[static_cast<std::size_t>(p)];
+    s.begin = cursor;
+    s.end = std::min(cursor + take, end);
+    cursor = s.end;
+  }
+  ST_ASSERT(cursor == end, "parallel_for partition does not cover range");
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    active_workers_ = parts - 1;
+    pending_ = parts - 1;
+    error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  // The caller is participant 0.  Mark it as inside a parallel region for
+  // the duration of its slice so nested parallel_for calls run inline
+  // instead of re-entering the pool.
+  std::exception_ptr caller_error;
+  tls_in_worker = true;
+  try {
+    fn(slices_[0].begin, slices_[0].end);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  tls_in_worker = false;
+
+  std::exception_ptr worker_error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+    worker_error = error_;
+    error_ = nullptr;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (worker_error) std::rethrow_exception(worker_error);
+}
+
+int num_threads() { return ThreadPool::instance().size(); }
+
+void set_num_threads(int n) { ThreadPool::instance().resize(n); }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ThreadPool::RangeFn& fn) {
+  ST_REQUIRE(grain >= 1, "parallel grain must be >= 1");
+  if (end <= begin) return;
+  // Nested calls (a kernel invoked from inside a sliced region) run inline:
+  // the outer level already owns the pool.
+  if (ThreadPool::in_worker()) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::instance();
+  if (pool.size() <= 1 || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  pool.run(begin, end, grain, fn);
+}
+
+}  // namespace spiketune

@@ -41,12 +41,21 @@ double Rng::uniform(double lo, double hi) {
 
 std::uint64_t Rng::uniform_int(std::uint64_t n) {
   ST_REQUIRE(n > 0, "uniform_int(n) requires n > 0");
-  // Lemire's nearly-divisionless bounded generation with rejection.
-  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
-  for (;;) {
-    const std::uint64_t r = next_u64();
-    if (r >= threshold) return r % n;
+  // Lemire's nearly-divisionless bounded generation: the high word of a
+  // 64x64 -> 128-bit multiply maps r uniformly onto [0, n); only the rare
+  // draws whose low word lands in the biased region (probability
+  // (2^64 mod n) / 2^64) pay the `%` to compute the rejection threshold.
+  // This sits on the per-epoch Fisher-Yates shuffle hot path.
+  unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+    while (lo < threshold) {
+      m = static_cast<unsigned __int128>(next_u64()) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
   }
+  return static_cast<std::uint64_t>(m >> 64);
 }
 
 double Rng::normal() {

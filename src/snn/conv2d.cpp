@@ -1,6 +1,9 @@
 #include "snn/conv2d.h"
 
+#include <vector>
+
 #include "core/error.h"
+#include "core/parallel.h"
 #include "tensor/gemm.h"
 
 namespace spiketune::snn {
@@ -46,25 +49,31 @@ Tensor Conv2d::forward_step(const Tensor& input) {
   const std::int64_t spatial = oh * ow;
 
   Tensor output(Shape{n, config_.out_channels, oh, ow});
-  col_buf_.resize(static_cast<std::size_t>(kk * spatial));
 
   const std::int64_t in_stride = g.channels * g.height * g.width;
   const std::int64_t out_stride = config_.out_channels * spatial;
-  for (std::int64_t i = 0; i < n; ++i) {
-    im2col(g, input.data() + i * in_stride, col_buf_.data());
-    // out[OC, OHW] = W[OC, K] * cols[K, OHW]
-    gemm(config_.out_channels, spatial, kk, 1.0f, weight_.value.data(),
-         col_buf_.data(), 0.0f, output.data() + i * out_stride);
-    if (config_.bias) {
-      float* out = output.data() + i * out_stride;
-      const float* b = bias_.value.data();
-      for (std::int64_t oc = 0; oc < config_.out_channels; ++oc) {
-        const float bv = b[oc];
-        float* plane = out + oc * spatial;
-        for (std::int64_t s = 0; s < spatial; ++s) plane[s] += bv;
+  // The forward pass has no cross-sample reductions, so the batch splits
+  // across threads with one im2col scratch buffer per slice; each sample
+  // writes its own output block.  (With a single-sample batch the slice
+  // runs inline and the im2col/gemm kernels parallelize internally.)
+  parallel_for(0, n, 1, [&](std::int64_t sb, std::int64_t se) {
+    std::vector<float> cols(static_cast<std::size_t>(kk * spatial));
+    for (std::int64_t i = sb; i < se; ++i) {
+      im2col(g, input.data() + i * in_stride, cols.data());
+      // out[OC, OHW] = W[OC, K] * cols[K, OHW]
+      gemm(config_.out_channels, spatial, kk, 1.0f, weight_.value.data(),
+           cols.data(), 0.0f, output.data() + i * out_stride);
+      if (config_.bias) {
+        float* out = output.data() + i * out_stride;
+        const float* b = bias_.value.data();
+        for (std::int64_t oc = 0; oc < config_.out_channels; ++oc) {
+          const float bv = b[oc];
+          float* plane = out + oc * spatial;
+          for (std::int64_t s = 0; s < spatial; ++s) plane[s] += bv;
+        }
       }
     }
-  }
+  });
 
   if (training_) input_cache_.push_back(input);
   return output;
@@ -92,6 +101,10 @@ Tensor Conv2d::backward_step(const Tensor& grad_output) {
 
   const std::int64_t in_stride = g.channels * g.height * g.width;
   const std::int64_t out_stride = config_.out_channels * spatial;
+  // The weight gradient accumulates across samples, so the sample loop
+  // stays serial to preserve the serial path's summation order exactly;
+  // the per-sample im2col/gemm/col2im kernels parallelize internally over
+  // disjoint output rows instead.
   for (std::int64_t i = 0; i < n; ++i) {
     const float* go = grad_output.data() + i * out_stride;
     // Weight gradient: gW[OC, K] += go[OC, OHW] * cols[K, OHW]^T.
@@ -102,15 +115,19 @@ Tensor Conv2d::backward_step(const Tensor& grad_output) {
     gemm_tn(kk, spatial, config_.out_channels, 1.0f, weight_.value.data(), go,
             0.0f, grad_cols.data());
     col2im(g, grad_cols.data(), grad_input.data() + i * in_stride);
-    // Bias gradient: sum over spatial positions.
+    // Bias gradient: sum over spatial positions (disjoint per channel).
     if (config_.bias) {
       float* gb = bias_.grad.data();
-      for (std::int64_t oc = 0; oc < config_.out_channels; ++oc) {
-        const float* plane = go + oc * spatial;
-        double acc = 0.0;
-        for (std::int64_t s = 0; s < spatial; ++s) acc += plane[s];
-        gb[oc] += static_cast<float>(acc);
-      }
+      parallel_for(0, config_.out_channels, 4,
+                   [&](std::int64_t ob, std::int64_t oe) {
+                     for (std::int64_t oc = ob; oc < oe; ++oc) {
+                       const float* plane = go + oc * spatial;
+                       double acc = 0.0;
+                       for (std::int64_t s = 0; s < spatial; ++s)
+                         acc += plane[s];
+                       gb[oc] += static_cast<float>(acc);
+                     }
+                   });
     }
   }
   return grad_input;

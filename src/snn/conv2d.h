@@ -54,7 +54,8 @@ class Conv2d final : public Layer {
   Param bias_;
   bool training_ = false;
   std::vector<Tensor> input_cache_;  // per-step inputs (training only)
-  std::vector<float> col_buf_;       // scratch reused across steps
+  std::vector<float> col_buf_;       // backward scratch reused across steps
+                                     // (forward uses per-slice buffers)
 };
 
 }  // namespace spiketune::snn

@@ -1,8 +1,17 @@
 #include "snn/lif.h"
 
+#include <atomic>
+
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace spiketune::snn {
+
+namespace {
+// Minimum elements per slice for the elementwise membrane loops; below
+// this the fork-join handshake costs more than the arithmetic.
+constexpr std::int64_t kElemGrain = 2048;
+}  // namespace
 
 Lif::Lif(LifConfig config) : config_(config) {
   ST_REQUIRE(config_.beta >= 0.0f && config_.beta <= 1.0f,
@@ -29,8 +38,11 @@ Tensor Lif::forward_step(const Tensor& input) {
                "LIF input shape changed mid-window");
     float* up = u_pre.data();
     const float* um = membrane_.data();
-    for (std::int64_t i = 0, n = u_pre.numel(); i < n; ++i)
-      up[i] += beta * um[i];
+    parallel_for(0, u_pre.numel(), kElemGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   for (std::int64_t i = b; i < e; ++i)
+                     up[i] += beta * um[i];
+                 });
   }
 
   Tensor spikes(u_pre.shape());
@@ -39,16 +51,23 @@ Tensor Lif::forward_step(const Tensor& input) {
     const float* up = u_pre.data();
     float* sp = spikes.data();
     float* upost = u_post.data();
-    std::int64_t fired = 0;
-    for (std::int64_t i = 0, n = u_pre.numel(); i < n; ++i) {
-      const bool fire = up[i] > theta;
-      sp[i] = fire ? 1.0f : 0.0f;
-      if (fire) {
-        upost[i] -= theta;
-        ++fired;
-      }
-    }
-    window_spikes_ += fired;
+    // Disjoint elementwise writes; the spike tally is an integer sum, so
+    // combining per-slice counts is exact for any slicing.
+    std::atomic<std::int64_t> fired{0};
+    parallel_for(0, u_pre.numel(), kElemGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   std::int64_t local = 0;
+                   for (std::int64_t i = b; i < e; ++i) {
+                     const bool fire = up[i] > theta;
+                     sp[i] = fire ? 1.0f : 0.0f;
+                     if (fire) {
+                       upost[i] -= theta;
+                       ++local;
+                     }
+                   }
+                   fired.fetch_add(local, std::memory_order_relaxed);
+                 });
+    window_spikes_ += fired.load(std::memory_order_relaxed);
     window_elements_ += u_pre.numel();
   }
 
@@ -79,18 +98,24 @@ Tensor Lif::backward_step(const Tensor& grad_output) {
   const float* up = u_pre.data();
   const float* carry = has_grad_carry_ ? grad_carry_.data() : nullptr;
 
-  for (std::int64_t i = 0, n = u_pre.numel(); i < n; ++i) {
-    const float c = carry ? carry[i] : 0.0f;
-    const float spike_path = go[i] - (detach ? 0.0f : theta * c);
-    gi[i] = c + spike_path * sg.grad(up[i] - theta);
-  }
+  parallel_for(0, u_pre.numel(), kElemGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   const float c = carry ? carry[i] : 0.0f;
+                   const float spike_path =
+                       go[i] - (detach ? 0.0f : theta * c);
+                   gi[i] = c + spike_path * sg.grad(up[i] - theta);
+                 }
+               });
 
   // c[t-1] = beta * dL/du_pre[t]
   grad_carry_ = grad_input;
   {
     float* gc = grad_carry_.data();
-    for (std::int64_t i = 0, n = grad_carry_.numel(); i < n; ++i)
-      gc[i] *= beta;
+    parallel_for(0, grad_carry_.numel(), kElemGrain,
+                 [&](std::int64_t b, std::int64_t e) {
+                   for (std::int64_t i = b; i < e; ++i) gc[i] *= beta;
+                 });
   }
   has_grad_carry_ = true;
   return grad_input;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace spiketune {
 
@@ -11,6 +12,10 @@ namespace {
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
+// Minimum C rows per thread slice.  Small enough that the skinny GEMMs in
+// the conv backward pass (m = out_channels = 32) still split across
+// threads, large enough to amortize the fork-join handshake.
+constexpr std::int64_t kRowGrain = 8;
 
 void require_args(std::int64_t m, std::int64_t n, std::int64_t k,
                   const float* a, const float* b, const float* c) {
@@ -29,75 +34,97 @@ void scale_c(std::int64_t mn, float beta, float* c) {
 }
 }  // namespace
 
+// Threading: all three kernels are parallelized over rows of C, so each
+// slice owns a disjoint block of the output.  For any fixed C element the
+// reduction over k runs in ascending-p order regardless of where the slice
+// boundaries fall, so results are bit-identical to the serial path for any
+// thread count (the determinism contract in core/parallel.h).
+
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
   require_args(m, n, k, a, b, c);
-  scale_c(m * n, beta, c);
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  if (m == 0 || n == 0) return;
 
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(i0 + kBlockM, m);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::int64_t p1 = std::min(p0 + kBlockK, k);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t j1 = std::min(j0 + kBlockN, n);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          float* crow = c + i * n;
-          const float* arow = a + i * k;
-          for (std::int64_t p = p0; p < p1; ++p) {
-            const float av = alpha * arow[p];
-            if (av == 0.0f) continue;  // spikes make A genuinely sparse
-            const float* brow = b + p * n;
-            for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+  parallel_for(0, m, kRowGrain, [&](std::int64_t rb, std::int64_t re) {
+    scale_c((re - rb) * n, beta, c + rb * n);
+    if (alpha == 0.0f || k == 0) return;
+    for (std::int64_t i0 = rb; i0 < re; i0 += kBlockM) {
+      const std::int64_t i1 = std::min(i0 + kBlockM, re);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::int64_t p1 = std::min(p0 + kBlockK, k);
+        for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const std::int64_t j1 = std::min(j0 + kBlockN, n);
+          for (std::int64_t i = i0; i < i1; ++i) {
+            float* crow = c + i * n;
+            const float* arow = a + i * k;
+            for (std::int64_t p = p0; p < p1; ++p) {
+              const float av = alpha * arow[p];
+              if (av == 0.0f) continue;  // spikes make A genuinely sparse
+              const float* brow = b + p * n;
+              for (std::int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
   require_args(m, n, k, a, b, c);
-  scale_c(m * n, beta, c);
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  if (m == 0 || n == 0) return;
 
-  // A is [k, m]; iterate over k outer so both A and B rows stream.
-  for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
-    const std::int64_t p1 = std::min(p0 + kBlockK, k);
-    for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-      const std::int64_t i1 = std::min(i0 + kBlockM, m);
-      for (std::int64_t p = p0; p < p1; ++p) {
-        const float* arow = a + p * m;
-        const float* brow = b + p * n;
-        for (std::int64_t i = i0; i < i1; ++i) {
-          const float av = alpha * arow[i];
-          if (av == 0.0f) continue;
-          float* crow = c + i * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // A is [k, m]; k stays the inner streaming loop within each row block so
+  // both A and B rows stream while the C block stays hot.
+  parallel_for(0, m, kRowGrain, [&](std::int64_t rb, std::int64_t re) {
+    scale_c((re - rb) * n, beta, c + rb * n);
+    if (alpha == 0.0f || k == 0) return;
+    for (std::int64_t i0 = rb; i0 < re; i0 += kBlockM) {
+      const std::int64_t i1 = std::min(i0 + kBlockM, re);
+      for (std::int64_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::int64_t p1 = std::min(p0 + kBlockK, k);
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const float* arow = a + p * m;
+          const float* brow = b + p * n;
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float av = alpha * arow[i];
+            if (av == 0.0f) continue;
+            float* crow = c + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
         }
       }
     }
-  }
+  });
 }
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
   require_args(m, n, k, a, b, c);
-  scale_c(m * n, beta, c);
-  if (alpha == 0.0f || m == 0 || n == 0 || k == 0) return;
+  if (m == 0 || n == 0) return;
 
-  // Dot-product formulation: C[i,j] = sum_p A[i,p] * B[j,p].
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += alpha * acc;
+  // Dot-product formulation: C[i,j] = sum_p A[i,p] * B[j,p].  Blocked over
+  // rows of B so a tile of B (kBlockNtJ rows of k floats) is reused across
+  // every row of the slice instead of streaming all of B once per row.
+  constexpr std::int64_t kBlockNtJ = 64;
+  parallel_for(0, m, kRowGrain, [&](std::int64_t rb, std::int64_t re) {
+    scale_c((re - rb) * n, beta, c + rb * n);
+    if (alpha == 0.0f || k == 0) return;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kBlockNtJ) {
+      const std::int64_t j1 = std::min(j0 + kBlockNtJ, n);
+      for (std::int64_t i = rb; i < re; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::int64_t j = j0; j < j1; ++j) {
+          const float* brow = b + j * k;
+          float acc = 0.0f;
+          for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+          crow[j] += alpha * acc;
+        }
+      }
     }
-  }
+  });
 }
 
 }  // namespace spiketune

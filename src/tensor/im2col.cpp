@@ -1,6 +1,7 @@
 #include "tensor/im2col.h"
 
 #include "core/error.h"
+#include "core/parallel.h"
 
 namespace spiketune {
 
@@ -25,53 +26,61 @@ void im2col(const ConvGeom& g, const float* image, float* columns) {
   ST_REQUIRE(image != nullptr && columns != nullptr, "im2col null pointer");
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.channels; ++c) {
-    const float* plane = image + c * g.height * g.width;
-    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out = columns + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t sy = y * g.stride_h + kh - g.pad_h;
-          if (sy < 0 || sy >= g.height) {
-            for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0f;
-            continue;
-          }
-          const float* src = plane + sy * g.width;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t sx = x * g.stride_w + kw - g.pad_w;
-            out[y * ow + x] =
-                (sx >= 0 && sx < g.width) ? src[sx] : 0.0f;
-          }
+  const std::int64_t kk = g.kernel_h * g.kernel_w;
+  // Each column row (c, kh, kw) writes a disjoint [oh*ow] stripe, so rows
+  // partition freely across threads without changing any value.
+  parallel_for(0, g.col_rows(), 1, [&](std::int64_t rb, std::int64_t re) {
+    for (std::int64_t row = rb; row < re; ++row) {
+      const std::int64_t c = row / kk;
+      const std::int64_t kh = (row % kk) / g.kernel_w;
+      const std::int64_t kw = row % g.kernel_w;
+      const float* plane = image + c * g.height * g.width;
+      float* out = columns + row * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        const std::int64_t sy = y * g.stride_h + kh - g.pad_h;
+        if (sy < 0 || sy >= g.height) {
+          for (std::int64_t x = 0; x < ow; ++x) out[y * ow + x] = 0.0f;
+          continue;
+        }
+        const float* src = plane + sy * g.width;
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const std::int64_t sx = x * g.stride_w + kw - g.pad_w;
+          out[y * ow + x] =
+              (sx >= 0 && sx < g.width) ? src[sx] : 0.0f;
         }
       }
     }
-  }
-  ST_ASSERT(row == g.col_rows(), "im2col row bookkeeping broke");
+  });
 }
 
 void col2im(const ConvGeom& g, const float* columns, float* image) {
   ST_REQUIRE(image != nullptr && columns != nullptr, "col2im null pointer");
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.channels; ++c) {
-    float* plane = image + c * g.height * g.width;
-    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* in = columns + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t sy = y * g.stride_h + kh - g.pad_h;
-          if (sy < 0 || sy >= g.height) continue;
-          float* dst = plane + sy * g.width;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t sx = x * g.stride_w + kw - g.pad_w;
-            if (sx >= 0 && sx < g.width) dst[sx] += in[y * ow + x];
+  // Column rows of the *same* channel overlap in the image, so the scatter
+  // is partitioned per channel: each slice owns whole image planes, and
+  // within a channel the (kh, kw) accumulation order matches the serial
+  // path exactly — bit-identical for any thread count.
+  parallel_for(0, g.channels, 1, [&](std::int64_t cb, std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
+      float* plane = image + c * g.height * g.width;
+      std::int64_t row = c * g.kernel_h * g.kernel_w;
+      for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+        for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+          const float* in = columns + row * oh * ow;
+          for (std::int64_t y = 0; y < oh; ++y) {
+            const std::int64_t sy = y * g.stride_h + kh - g.pad_h;
+            if (sy < 0 || sy >= g.height) continue;
+            float* dst = plane + sy * g.width;
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t sx = x * g.stride_w + kw - g.pad_w;
+              if (sx >= 0 && sx < g.width) dst[sx] += in[y * ow + x];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace spiketune

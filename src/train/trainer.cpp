@@ -2,6 +2,7 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "core/table.h"
 
 namespace spiketune::train {
@@ -13,6 +14,8 @@ Trainer::Trainer(snn::SpikingNetwork& net, const data::SpikeEncoder& encoder,
   ST_REQUIRE(config_.num_steps > 0, "num_steps must be positive");
   ST_REQUIRE(config_.batch_size > 0, "batch_size must be positive");
   ST_REQUIRE(config_.base_lr > 0.0, "base_lr must be positive");
+  ST_REQUIRE(config_.threads >= 0, "threads must be non-negative");
+  if (config_.threads > 0) set_num_threads(config_.threads);
 }
 
 EpochMetrics Trainer::train_epoch(data::DataLoader& loader, Optimizer& opt,
@@ -62,6 +65,17 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
   }
 }
 
+std::uint64_t Trainer::eval_stream(std::uint64_t call, std::uint64_t batch) {
+  // Bit 63 tags evaluation; bits [40, 63) hold the call index and the low
+  // 40 bits the batch ordinal.  Training streams are plain batch ordinals
+  // (a run would need 2^40 batches to reach the tagged space), so the two
+  // namespaces are disjoint and every (call, batch) pair is distinct.
+  constexpr std::uint64_t kEvalTag = 1ULL << 63;
+  constexpr int kBatchBits = 40;
+  return kEvalTag | (call << kBatchBits) |
+         (batch & ((1ULL << kBatchBits) - 1));
+}
+
 EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   loader.start_epoch(0);
 
@@ -70,10 +84,11 @@ EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   RunningMean loss_mean;
   RunningMean acc_mean;
   data::Batch batch;
-  std::uint64_t stream = 0xe5a1ULL;
+  const std::uint64_t call = eval_calls_++;
+  std::uint64_t batch_idx = 0;
   while (loader.next(batch)) {
-    const auto steps =
-        encoder_.encode(batch.images, config_.num_steps, stream++);
+    const auto steps = encoder_.encode(batch.images, config_.num_steps,
+                                       eval_stream(call, batch_idx++));
     auto fwd = net_.forward(steps, /*training=*/false, /*record_stats=*/true);
     const auto lr = loss_.compute(fwd.spike_counts, batch.labels);
     loss_mean.add(lr.loss, batch.batch_size());

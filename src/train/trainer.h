@@ -25,6 +25,12 @@ struct TrainerConfig {
   double base_lr = 1e-3;
   double lr_eta_min = 0.0;
   bool verbose = true;           // log per-epoch progress
+  /// Worker threads for the tensor/SNN kernels.  0 (the default) leaves
+  /// the process-wide setting untouched; >= 1 applies it via
+  /// set_num_threads() when the Trainer is constructed.  Results are
+  /// bit-identical for any value (see core/parallel.h), so this only
+  /// changes wall-clock time, never training outcomes.
+  int threads = 0;
 };
 
 class Trainer {
@@ -43,7 +49,17 @@ class Trainer {
   void fit(data::DataLoader& loader, const EpochCallback& on_epoch = {});
 
   /// Evaluates accuracy/loss/spike statistics without touching weights.
+  /// Each call draws fresh (but reproducible) encoder noise: the k-th
+  /// evaluate() of a Trainer uses the same streams in every run, and those
+  /// streams never collide with training streams (see eval_stream).
   EvalMetrics evaluate(data::DataLoader& loader);
+
+  /// Encoder stream id for batch `batch` of the `call`-th evaluate().
+  /// Training uses plain batch ordinals (0, 1, 2, ...); evaluation streams
+  /// carry a high-bit tag plus the call index so they can never alias a
+  /// training stream and successive evaluations never replay each other's
+  /// rate-coding noise.
+  static std::uint64_t eval_stream(std::uint64_t call, std::uint64_t batch);
 
   const TrainerConfig& config() const { return config_; }
 
@@ -53,6 +69,7 @@ class Trainer {
   const snn::Loss& loss_;
   TrainerConfig config_;
   std::uint64_t encode_stream_ = 0;  // decorrelates encoder draws per batch
+  std::uint64_t eval_calls_ = 0;     // evaluate() invocations so far
 };
 
 }  // namespace spiketune::train

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -136,6 +137,21 @@ TEST(Csv, WritesHeaderAndRows) {
   std::getline(in, line);
   EXPECT_EQ(line, "\"x,y\",\"he\"\"llo\"");
   std::remove(path.c_str());
+}
+
+TEST(Csv, DoubleCellUsesShortestRoundTrip) {
+  // Shortest decimal string that parses back to the same double — not the
+  // old fixed precision-17 dump (0.1 used to render as
+  // 0.10000000000000001).
+  EXPECT_EQ(CsvWriter::cell(0.1), "0.1");
+  EXPECT_EQ(CsvWriter::cell(0.25), "0.25");
+  EXPECT_EQ(CsvWriter::cell(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(CsvWriter::cell(-2.5e-7), "-2.5e-07");
+  EXPECT_EQ(CsvWriter::cell(0.0), "0");
+  const double cases[] = {0.1,   1.0 / 3.0, 6.02214076e23, -1e-300,
+                          123.456, 2.0,     1e16,          0.30000000000000004};
+  for (double v : cases)
+    EXPECT_EQ(std::strtod(CsvWriter::cell(v).c_str(), nullptr), v);
 }
 
 TEST(Csv, RejectsArityMismatch) {
