@@ -12,15 +12,17 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "smoke",
+  flags.declare("preset", "smoke",
                 "experiment scale for the single training run");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -31,20 +33,22 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
 
-  std::cout << "== ABL-ALLOC: PE allocation policy ablation (profile="
-            << flags.get("profile") << ") ==\ntraining one model...\n"
+  std::cout << "== ABL-ALLOC: PE allocation policy ablation (preset="
+            << flags.get("preset") << ") ==\ntraining one model...\n"
             << std::flush;
   const auto trained = exp::run_experiment(base);
   const auto& workloads = trained.mapping.workloads;

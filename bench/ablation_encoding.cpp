@@ -9,13 +9,15 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -26,20 +28,22 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   base.trainer.epochs = std::max<std::int64_t>(base.trainer.epochs, 8);
 
-  std::cout << "== ABL-ENC: input coding scheme ablation (profile="
-            << flags.get("profile") << ") ==\n";
+  std::cout << "== ABL-ENC: input coding scheme ablation (preset="
+            << flags.get("preset") << ") ==\n";
   AsciiTable table({"encoder", "train acc", "test acc", "fire-rate",
                     "latency", "FPS/W"});
   table.set_title("same topology/hyperparameters, three input codings");

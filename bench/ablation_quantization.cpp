@@ -12,6 +12,7 @@
 #include "data/dataloader.h"
 #include "data/encoders.h"
 #include "data/synth_svhn.h"
+#include "obs/flags.h"
 #include "snn/checkpoint.h"
 #include "snn/loss.h"
 #include "snn/model_zoo.h"
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   flags.declare("epochs", "10", "training epochs");
   flags.declare("image-size", "16", "image side length");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -36,8 +38,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;

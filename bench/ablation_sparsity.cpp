@@ -10,6 +10,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "hw/perf_model.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   flags.declare("timesteps", "25", "inference window length T");
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
   const auto device = hw::device_by_name(flags.get("device"));
   const std::int64_t T = flags.get_int("timesteps");
 

@@ -4,7 +4,7 @@
 // (0.25 / 1.0).  Prints the paper-style series, the prior-work green line,
 // and the fast-sigmoid-vs-arctangent efficiency ratio; writes fig1.csv.
 //
-// Profiles: --profile=smoke (seconds), fast (default, ~10-15 min on one
+// Profiles: --preset=smoke (seconds), fast (default, ~10-15 min on one
 // core), paper (paper-scale, hours).
 #include <cstdio>
 #include <iostream>
@@ -14,15 +14,17 @@
 #include "core/logging.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "fast", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("csv", "fig1.csv", "output CSV path (empty to skip)");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -33,19 +35,21 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
 
-  std::cout << "== FIG1: surrogate derivative-scale sweep (profile="
-            << flags.get("profile") << ", device=" << base.accel.device.name
+  std::cout << "== FIG1: surrogate derivative-scale sweep (preset="
+            << flags.get("preset") << ", device=" << base.accel.device.name
             << ") ==\n";
   const auto points = exp::run_surrogate_sweep(
       base, {"arctan", "fast_sigmoid"}, exp::fig1_scales(),

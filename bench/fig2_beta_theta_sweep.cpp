@@ -14,16 +14,18 @@
 #include "core/error.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "fast", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("csv", "fig2.csv", "output CSV path (empty to skip)");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   flags.declare("full", "false", "use the canonical 5x5 grid");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -34,15 +36,17 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
 
   std::vector<double> betas{0.25, 0.5, 0.7, 0.9};
@@ -54,7 +58,7 @@ int main(int argc, char** argv) {
 
   std::cout << "== FIG2: beta x theta cross-sweep (fast sigmoid k="
             << exp::kFig2FastSigmoidSlope
-            << ", profile=" << flags.get("profile") << ") ==\n";
+            << ", preset=" << flags.get("preset") << ") ==\n";
   const auto points = exp::run_beta_theta_sweep(
       base, betas, thetas,
       [](std::size_t i, std::size_t total, const std::string& label) {

@@ -16,6 +16,7 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "hw/baseline.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
@@ -31,9 +32,10 @@ exp::ExperimentResult run_point(exp::ExperimentConfig base, double beta,
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "fast", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -44,19 +46,21 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
   }
 
   auto base = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
 
-  std::cout << "== TAB-PW: fine-tuned vs default vs prior work (profile="
-            << flags.get("profile") << ") ==\n";
+  std::cout << "== TAB-PW: fine-tuned vs default vs prior work (preset="
+            << flags.get("preset") << ") ==\n";
   std::cout << "[1/3] training default (beta=0.25, theta=1.0)...\n"
             << std::flush;
   const auto def = run_point(base, 0.25, 1.0);

@@ -9,12 +9,14 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "hw/baseline.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -25,9 +27,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
 
   auto cfg = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   cfg.validate_with_sim = true;
 

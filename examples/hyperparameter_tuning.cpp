@@ -10,15 +10,17 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   flags.declare("accuracy-budget", "0.035",
                 "max allowed accuracy drop vs the best configuration");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -29,8 +31,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -38,7 +42,7 @@ int main(int argc, char** argv) {
   const double budget = flags.get_double("accuracy-budget");
 
   auto base = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
 
   struct Candidate {

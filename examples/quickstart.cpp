@@ -3,7 +3,7 @@
 // accelerator — the whole spiketune pipeline in ~40 lines of user code.
 //
 //   ./quickstart                 # seconds-scale demo
-//   ./quickstart --profile=fast  # a properly trained model (~1 min)
+//   ./quickstart --preset=fast  # a properly trained model (~1 min)
 #include <iostream>
 
 #include "core/cli.h"
@@ -11,13 +11,15 @@
 #include "core/logging.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "obs/flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  flags.declare("profile", "smoke", "experiment scale: smoke | fast | paper");
+  flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -28,8 +30,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
   //    topology, LIF neurons (beta = 0.25, theta = 1.0), fast sigmoid
   //    surrogate, Adam + cosine annealing.
   auto cfg = exp::ExperimentConfig::for_profile(
-      exp::profile_by_name(flags.get("profile")));
+      exp::profile_by_name(flags.get("preset")));
   cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   cfg.trainer.verbose = true;  // log per-epoch progress
   cfg.validate_with_sim = true;

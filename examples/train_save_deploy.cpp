@@ -15,6 +15,7 @@
 #include "data/encoders.h"
 #include "data/synth_svhn.h"
 #include "hw/accelerator.h"
+#include "obs/flags.h"
 #include "snn/checkpoint.h"
 #include "snn/model_zoo.h"
 #include "snn/quantize.h"
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   flags.declare("checkpoint", "/tmp/spiketune_deploy.bin",
                 "checkpoint path");
   declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -38,8 +40,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
+  obs::TelemetrySession telemetry;
   try {
     apply_threads_flag(flags);
+    telemetry = obs::apply_telemetry_flags(flags);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;

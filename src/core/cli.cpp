@@ -1,7 +1,9 @@
 #include "core/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "core/error.h"
 #include "core/parallel.h"
@@ -82,16 +84,24 @@ bool CliFlags::get_bool(const std::string& name) const {
 }
 
 void declare_threads_flag(CliFlags& flags) {
-  flags.declare("threads", "1",
-                "worker threads for tensor/SNN kernels (1 = serial; results "
-                "are bit-identical for any value)");
+  flags.declare("threads", "0",
+                "worker threads for tensor/SNN kernels (0 = auto, 1 = "
+                "serial; results are bit-identical for any value)");
 }
 
 int apply_threads_flag(const CliFlags& flags) {
-  const long long n = flags.get_int("threads");
-  ST_REQUIRE(n >= 1 && n <= max_num_threads(),
-             "--threads must be in [1, " + std::to_string(max_num_threads()) +
+  long long n = flags.get_int("threads");
+  ST_REQUIRE(n >= 0 && n <= max_num_threads(),
+             "--threads must be in [0, " + std::to_string(max_num_threads()) +
                  "], got " + std::to_string(n));
+  if (n == 0) {
+    // Auto: at least two threads (so the parallel paths are exercised even
+    // on single-core CI machines), at most four.  Thread count is a pure
+    // throughput knob — results are bit-identical for any value
+    // (core/parallel determinism contract).
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = std::clamp<long long>(hw, 2, 4);
+  }
   set_num_threads(static_cast<int>(n));
   return static_cast<int>(n);
 }

@@ -42,8 +42,8 @@ class CliFlags {
   bool help_requested_ = false;
 };
 
-/// Declares the standard `--threads` flag (default "1" = serial) shared by
-/// the bench/example drivers.
+/// Declares the standard `--threads` flag (default "0" = auto: up to four
+/// threads, bounded by the machine) shared by the bench/example drivers.
 void declare_threads_flag(CliFlags& flags);
 
 /// Reads `--threads`, validates it, applies it process-wide via

@@ -1,7 +1,8 @@
 #include "core/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <chrono>
+#include <cstdio>
 
 namespace spiketune {
 
@@ -22,16 +23,47 @@ const char* level_tag(LogLevel level) {
       return "?????";
   }
 }
+
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+std::uint64_t process_elapsed_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - log_epoch())
+          .count());
+}
+
 namespace detail {
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
-  os << "[" << level_tag(level) << "] " << msg << '\n';
+  const double elapsed_s =
+      static_cast<double>(process_elapsed_ns()) * 1e-9;
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%8.3fs t%02d %s] ", elapsed_s,
+                thread_ordinal(), level_tag(level));
+  std::string line;
+  line.reserve(sizeof prefix + msg.size() + 1);
+  line += prefix;
+  line += msg;
+  line += '\n';
+  // One fwrite per line: C stdio locks the stream internally, so lines
+  // from concurrent pool workers never interleave mid-line.
+  std::FILE* stream = (level >= LogLevel::kWarn) ? stderr : stdout;
+  std::fwrite(line.data(), 1, line.size(), stream);
+  if (level >= LogLevel::kWarn) std::fflush(stream);
 }
 }  // namespace detail
 

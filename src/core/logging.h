@@ -2,8 +2,19 @@
 //
 // Experiments and benches narrate progress through this instead of raw
 // std::cout so verbosity can be tuned globally (e.g. silenced in tests).
+//
+// Properties the multi-threaded kernels rely on:
+//   * a line below the threshold costs ~nothing: the stream is never
+//     constructed and operands are streamed into nowhere (operands are
+//     still *evaluated*; hot paths should log aggregates, not per-element);
+//   * each line is emitted with a single stdio write, so concurrent lines
+//     from pool workers never interleave mid-line;
+//   * lines carry the elapsed time since process start and a small stable
+//     thread ordinal, e.g. "[   1.042s t03 INFO ] ...".
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -15,25 +26,40 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Small stable per-thread ordinal (0 = first thread to ask).  Shared by
+/// the log-line prefix and the obs subsystem's trace thread ids.
+int thread_ordinal();
+
+/// Monotonic nanoseconds since the logger's first use (the log timestamp
+/// base).
+std::uint64_t process_elapsed_ns();
+
 namespace detail {
 void log_message(LogLevel level, const std::string& msg);
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, os_.str()); }
+  explicit LogLine(LogLevel level) : level_(level) {
+    // Decide once at construction: below-threshold lines never build the
+    // stream, so a disabled ST_LOG_DEBUG is one load + branch per operand.
+    if (static_cast<int>(level) >= static_cast<int>(log_level()))
+      os_.emplace();
+  }
+  ~LogLine() {
+    if (os_) log_message(level_, os_->str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    os_ << v;
+    if (os_) *os_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream os_;
+  std::optional<std::ostringstream> os_;
 };
 }  // namespace detail
 

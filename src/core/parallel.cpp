@@ -1,14 +1,31 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/error.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
 
 namespace spiketune {
 
 namespace {
 thread_local bool tls_in_worker = false;
 constexpr int kMaxThreads = 256;
+
+/// Pool telemetry handles, interned once on first use.
+struct PoolMetrics {
+  obs::MetricId runs = obs::counter("parallel.runs");
+  obs::MetricId tasks = obs::counter("parallel.worker.tasks");
+  obs::MetricId slice_ns = obs::histogram("parallel.slice_ns");
+  obs::MetricId idle_ns = obs::counter("parallel.worker.idle_ns");
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics m;
+  return m;
+}
 }  // namespace
 
 int max_num_threads() { return kMaxThreads; }
@@ -59,13 +76,23 @@ ThreadPool::~ThreadPool() { stop_workers(); }
 
 void ThreadPool::worker_loop(int slot, std::uint64_t seen_epoch) {
   tls_in_worker = true;
+  obs::set_thread_label("worker-" + std::to_string(slot + 1));
   for (;;) {
     Slice slice;
     const RangeFn* fn = nullptr;
     {
+      // Idle time = time parked on the start condition; only metered while
+      // metrics are on (the clock reads are skipped otherwise).
+      const bool meter_idle = obs::metrics_enabled();
+      const std::uint64_t wait_t0 =
+          meter_idle ? obs::telemetry_now_ns() : 0;
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock,
                      [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (meter_idle)
+        obs::add(pool_metrics().idle_ns,
+                 static_cast<std::int64_t>(obs::telemetry_now_ns() -
+                                           wait_t0));
       if (shutdown_) return;
       seen_epoch = epoch_;
       if (slot >= active_workers_) continue;  // no slice this round
@@ -74,6 +101,8 @@ void ThreadPool::worker_loop(int slot, std::uint64_t seen_epoch) {
       fn = fn_;
     }
     try {
+      obs::ScopedTimer timer("parallel.slice", pool_metrics().slice_ns);
+      obs::add(pool_metrics().tasks);
       (*fn)(slice.begin, slice.end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -126,6 +155,7 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
     ++epoch_;
   }
   cv_start_.notify_all();
+  obs::add(pool_metrics().runs);
 
   // The caller is participant 0.  Mark it as inside a parallel region for
   // the duration of its slice so nested parallel_for calls run inline
@@ -133,6 +163,8 @@ void ThreadPool::run(std::int64_t begin, std::int64_t end, std::int64_t grain,
   std::exception_ptr caller_error;
   tls_in_worker = true;
   try {
+    obs::ScopedTimer timer("parallel.slice", pool_metrics().slice_ns);
+    obs::add(pool_metrics().tasks);
     fn(slices_[0].begin, slices_[0].end);
   } catch (...) {
     caller_error = std::current_exception();

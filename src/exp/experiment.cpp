@@ -1,11 +1,11 @@
 #include "exp/experiment.h"
 
-#include <chrono>
 #include <memory>
 
 #include "core/error.h"
 #include "data/synth_digits.h"
 #include "data/synth_svhn.h"
+#include "obs/profiler.h"
 
 namespace spiketune::exp {
 
@@ -121,20 +121,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   train::Trainer trainer(*net, *encoder, *loss, config.trainer);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // PhaseTimer both feeds the profiler/trace and yields the wall time for
+  // the result struct, so the report and the telemetry agree by
+  // construction.
+  obs::PhaseTimer train_timer("experiment.train");
   double final_train_acc = 0.0;
   trainer.fit(train_loader, [&](const train::EpochMetrics& m) {
     final_train_acc = m.train_accuracy;
   });
-  const auto t1 = std::chrono::steady_clock::now();
+  const double train_seconds = train_timer.stop();
 
-  const train::EvalMetrics eval = trainer.evaluate(test_loader);
+  train::EvalMetrics eval;
+  {
+    obs::PhaseTimer eval_timer("experiment.eval");
+    eval = trainer.evaluate(test_loader);
+  }
 
   // Hardware mapping from measured activity.
   hw::Accelerator accel(config.accel);
   ExperimentResult result;
-  result.mapping = accel.map(*net, eval.record, config.trainer.num_steps,
-                             config.validate_with_sim);
+  {
+    obs::PhaseTimer map_timer("experiment.map");
+    result.mapping = accel.map(*net, eval.record, config.trainer.num_steps,
+                               config.validate_with_sim);
+  }
   result.accuracy = eval.accuracy;
   result.loss = eval.loss;
   result.firing_rate = eval.firing_rate;
@@ -144,8 +154,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.watts = result.mapping.perf.power.total();
   result.fps_per_watt = result.mapping.perf.fps_per_watt;
   result.final_train_accuracy = final_train_acc;
-  result.train_seconds =
-      std::chrono::duration<double>(t1 - t0).count();
+  result.train_seconds = train_seconds;
   return result;
 }
 

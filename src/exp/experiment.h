@@ -5,7 +5,7 @@
 //   * kFast  — laptop-scale default (smaller images/splits/epochs) whose
 //     orderings and ratios track the paper's full-scale behaviour;
 //   * kPaper — the paper's scale (32x32, 25 epochs, T=25); hours on one
-//     CPU core, available behind --profile=paper.
+//     CPU core, available behind --preset=paper.
 #pragma once
 
 #include <cstdint>

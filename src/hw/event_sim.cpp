@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "core/error.h"
 #include "hw/calibration.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace spiketune::hw {
 
@@ -50,6 +53,7 @@ double group_cycles(const EventSimConfig& cfg, std::size_t l,
 
 EventSimResult simulate_inference(const EventSimConfig& config,
                                   const SpikeTrace& trace) {
+  ST_PROF_SCOPE("event_sim.inference");
   const std::size_t layers = config.pes.size();
   ST_REQUIRE(layers > 0, "event sim needs at least one layer group");
   ST_REQUIRE(config.fanout.size() == layers && config.neurons.size() == layers,
@@ -61,17 +65,36 @@ EventSimResult simulate_inference(const EventSimConfig& config,
 
   EventSimResult res;
   res.layer_busy_cycles.assign(layers, 0.0);
+  std::vector<std::int64_t> layer_events(layers, 0);
+  std::int64_t total_events = 0;
 
   for (const auto& step : trace) {
     ST_REQUIRE(step.size() == layers, "trace arity mismatch");
     double tick = 0.0;
     for (std::size_t l = 0; l < layers; ++l) {
       ST_REQUIRE(step[l] >= 0, "negative spike count in trace");
+      layer_events[l] += step[l];
+      total_events += step[l];
       const double c = group_cycles(config, l, step[l]);
       res.layer_busy_cycles[l] += c - calib::kStageOverheadCycles;
       tick = std::max(tick, c);
     }
     res.total_cycles += tick;
+  }
+
+  if (obs::metrics_enabled()) {
+    static const obs::MetricId kInferences = obs::counter("event_sim.inferences");
+    static const obs::MetricId kEvents = obs::counter("event_sim.events");
+    static const obs::MetricId kCycles = obs::counter("event_sim.cycles");
+    obs::add(kInferences);
+    obs::add(kEvents, total_events);
+    obs::add(kCycles, static_cast<std::int64_t>(res.total_cycles));
+    for (std::size_t l = 0; l < layers; ++l) {
+      const std::string tag = "event_sim.layer" + std::to_string(l);
+      obs::add(obs::counter(tag + ".busy_cycles"),
+               static_cast<std::int64_t>(res.layer_busy_cycles[l]));
+      obs::add(obs::counter(tag + ".events"), layer_events[l]);
+    }
   }
 
   const auto t = static_cast<double>(trace.size());

@@ -1,0 +1,92 @@
+#include "obs/flags.h"
+
+#include <iostream>
+#include <utility>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace spiketune::obs {
+
+void declare_telemetry_flags(CliFlags& flags) {
+  flags.declare("trace", "",
+                "write a Chrome/Perfetto trace (chrome://tracing JSON) of "
+                "this run to the given file");
+  flags.declare("metrics-out", "",
+                "dump the metrics registry to the given file at exit "
+                "(.jsonl => JSON lines, otherwise CSV)");
+  flags.declare("profile", "false",
+                "print a hierarchical wall-time profile table at exit");
+}
+
+TelemetrySession::TelemetrySession(std::string trace_path,
+                                   std::string metrics_path, bool profile)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)),
+      profile_(profile) {
+  unsigned bits = 0;
+  if (!trace_path_.empty()) bits |= kTraceBit;
+  if (!metrics_path_.empty()) bits |= kMetricsBit;
+  if (profile_) bits |= kProfileBit;
+  if (!bits) return;
+  set_thread_label("main");
+  if (bits & kTraceBit) start_trace();  // also clears stale events
+  enable_telemetry(bits);
+  active_ = true;
+}
+
+TelemetrySession::TelemetrySession(TelemetrySession&& other) noexcept
+    : trace_path_(std::move(other.trace_path_)),
+      metrics_path_(std::move(other.metrics_path_)),
+      profile_(other.profile_),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+TelemetrySession& TelemetrySession::operator=(
+    TelemetrySession&& other) noexcept {
+  if (this != &other) {
+    flush();
+    trace_path_ = std::move(other.trace_path_);
+    metrics_path_ = std::move(other.metrics_path_);
+    profile_ = other.profile_;
+    active_ = other.active_;
+    other.active_ = false;
+  }
+  return *this;
+}
+
+void TelemetrySession::flush() {
+  if (!active_) return;
+  active_ = false;
+  disable_telemetry(kMetricsBit | kProfileBit | kTraceBit);
+  if (!trace_path_.empty()) {
+    write_trace_json(trace_path_);
+    ST_LOG_INFO << "wrote trace: " << trace_path_ << " ("
+                << trace_event_count() << " events)";
+  }
+  if (!metrics_path_.empty()) {
+    if (metrics_path_.size() > 6 &&
+        metrics_path_.rfind(".jsonl") == metrics_path_.size() - 6)
+      write_metrics_jsonl(metrics_path_);
+    else
+      write_metrics_csv(metrics_path_);
+    ST_LOG_INFO << "wrote metrics: " << metrics_path_;
+  }
+  if (profile_) {
+    const std::string report = profile_report();
+    if (!report.empty()) std::cout << "\n" << report;
+  }
+}
+
+TelemetrySession::~TelemetrySession() { flush(); }
+
+TelemetrySession apply_telemetry_flags(const CliFlags& flags) {
+  return TelemetrySession(flags.get("trace"), flags.get("metrics-out"),
+                          flags.get_bool("profile"));
+}
+
+}  // namespace spiketune::obs

@@ -1,0 +1,58 @@
+// Telemetry CLI plumbing shared by the bench/example drivers.
+//
+//   CliFlags flags;
+//   obs::declare_telemetry_flags(flags);
+//   flags.parse(...);
+//   obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
+//   ... workload ...
+//   // TelemetrySession's destructor (or an explicit flush()) writes the
+//   // trace/metrics files and prints the profiler summary.
+//
+// Flags:
+//   --trace <file>        record a Chrome/Perfetto trace to <file>
+//   --metrics-out <file>  dump the metrics registry (.jsonl => JSONL,
+//                         anything else => CSV)
+//   --profile             print the hierarchical profiler table at exit
+#pragma once
+
+#include <string>
+
+#include "core/cli.h"
+
+namespace spiketune::obs {
+
+/// Declares --trace, --metrics-out, and --profile on `flags`.
+void declare_telemetry_flags(CliFlags& flags);
+
+/// RAII telemetry lifetime for a driver run; see apply_telemetry_flags.
+class TelemetrySession {
+ public:
+  TelemetrySession() = default;  // fully disabled
+  TelemetrySession(std::string trace_path, std::string metrics_path,
+                   bool profile);
+  ~TelemetrySession();
+
+  TelemetrySession(TelemetrySession&& other) noexcept;
+  TelemetrySession& operator=(TelemetrySession&& other) noexcept;
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Stops the trace, writes the requested outputs, prints the profiler
+  /// report, and disables telemetry.  Idempotent; runs at destruction if
+  /// not called explicitly.
+  void flush();
+
+  bool active() const { return active_; }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool profile_ = false;
+  bool active_ = false;
+};
+
+/// Reads the telemetry flags (after parse()) and enables the requested
+/// facets.  Returns the session whose flush writes everything out.
+TelemetrySession apply_telemetry_flags(const CliFlags& flags);
+
+}  // namespace spiketune::obs

@@ -1,0 +1,114 @@
+// Low-overhead, thread-safe metrics registry.
+//
+// Metrics are addressed by interned names: `obs::counter("gemm.calls")`
+// resolves the name once (callers cache the id in a function-local static)
+// and the hot-path write becomes an index into a lock-free per-thread
+// shard.  Counters and histograms shard per thread — the owning thread is
+// the only writer, so updates are plain relaxed stores with no contention —
+// and shards are merged under a mutex on read (snapshot/export) and folded
+// into retired totals when a thread exits, so no count is ever lost when
+// e.g. the parallel pool resizes.  Gauges are written rarely (per epoch)
+// and live centrally behind the registry mutex.
+//
+// With telemetry disabled every write is a single relaxed atomic load plus
+// a branch (see obs/telemetry.h); tests/test_obs.cpp asserts the disabled
+// path leaves counters untouched.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace spiketune::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Interned metric handle; kind lives in the top bits, the kind-local slot
+/// in the rest, so hot-path writes never consult the registry.
+using MetricId = std::uint32_t;
+inline constexpr MetricId kNoMetric = 0xFFFFFFFFu;
+
+/// Interns `name` as a counter/gauge/histogram; idempotent per (name, kind).
+/// Re-interning a name with a different kind throws InvalidArgument.
+MetricId counter(const std::string& name);
+MetricId gauge(const std::string& name);
+MetricId histogram(const std::string& name);
+
+/// Adds `delta` to a counter.  No-op unless kMetricsBit is enabled.
+void add(MetricId id, std::int64_t delta = 1);
+/// Sets a gauge to `value` (last writer wins).  No-op when disabled.
+void set(MetricId id, double value);
+/// Records `value` into a histogram.  No-op when disabled.
+void observe(MetricId id, double value);
+
+/// Fixed log-scale histogram: bucket 0 holds values <= 1, bucket i in
+/// (1, 63) holds (2^(i-1), 2^i], bucket 63 everything larger.  A plain
+/// value type — the per-thread shards, the profiler's per-scope latency
+/// distributions, and train::LatencySummary all aggregate into it.
+class LogHistogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void record(double value);
+  void merge(const LogHistogram& other);
+  void reset();
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min_seen() const;  // 0 when empty
+  double max_seen() const;  // 0 when empty
+  /// Mean of recorded values, or `fallback` when empty.
+  double mean_or(double fallback) const;
+  /// Approximate q-quantile (q in [0, 1]): the geometric midpoint of the
+  /// bucket holding the q-th value, clamped to the observed min/max.
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+
+  const std::array<std::int64_t, kNumBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  static int bucket_index(double value);
+  /// Inclusive upper edge of bucket `i` (2^i; +inf for the last bucket).
+  static double bucket_upper(int i);
+
+  /// Internal: folds a per-thread shard's raw atomic buckets plus its exact
+  /// count/sum/min/max into this histogram (used by snapshot/retirement).
+  void merge_raw(const std::array<std::atomic<std::int64_t>, kNumBuckets>& raw,
+                 std::int64_t count, double sum, double min, double max);
+
+ private:
+  std::array<std::int64_t, kNumBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Point-in-time view of one metric (counters report `count`, gauges
+/// `value`, histograms `hist`).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t count = 0;
+  double value = 0.0;
+  LogHistogram hist;
+};
+
+/// Merges all live shards + retired totals; sorted by name.
+std::vector<MetricSnapshot> snapshot_metrics();
+
+/// Writes one row per metric: name,kind,count,value,sum,mean,p50,p95,max.
+void write_metrics_csv(const std::string& path);
+/// Writes one JSON object per line; histograms include nonzero buckets.
+void write_metrics_jsonl(const std::string& path);
+
+/// Zeroes every metric (names stay interned).  Test/driver convenience;
+/// must not race concurrent writers.
+void reset_metrics();
+
+}  // namespace spiketune::obs

@@ -1,0 +1,234 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/logging.h"
+#include "core/table.h"
+#include "obs/trace.h"
+
+namespace spiketune::obs {
+
+namespace {
+
+struct ProfNode {
+  std::string name;
+  std::uint32_t parent = 0;
+  std::vector<std::uint32_t> children;
+  std::int64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  LogHistogram hist;
+};
+
+/// One thread's call tree; node 0 is a synthetic root.  Only the owning
+/// thread mutates it — the summary reads under the registry mutex at
+/// quiescent points (documented in profiler.h).
+struct ProfTree {
+  std::vector<ProfNode> nodes;
+  std::uint32_t current = 0;
+  ProfTree() { nodes.emplace_back(); }
+};
+
+struct ProfRegistry {
+  std::mutex mu;
+  std::vector<ProfTree*> live;
+  std::vector<std::unique_ptr<ProfTree>> retired;
+};
+
+// Leaked: see obs/metrics.cpp.
+ProfRegistry& registry() {
+  static auto* r = new ProfRegistry();
+  return *r;
+}
+
+struct TreeHandle {
+  ProfTree tree;
+  TreeHandle() {
+    ProfRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(&tree);
+  }
+  ~TreeHandle() {
+    ProfRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.erase(std::find(r.live.begin(), r.live.end(), &tree));
+    if (tree.nodes.size() > 1)
+      r.retired.push_back(std::make_unique<ProfTree>(std::move(tree)));
+  }
+};
+
+ProfTree& local_tree() {
+  thread_local TreeHandle handle;
+  return handle.tree;
+}
+
+void prof_enter(const char* name) {
+  ProfTree& t = local_tree();
+  for (std::uint32_t child : t.nodes[t.current].children) {
+    if (t.nodes[child].name == name) {
+      t.current = child;
+      return;
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(t.nodes.size());
+  ProfNode node;
+  node.name = name;
+  node.parent = t.current;
+  t.nodes.push_back(std::move(node));
+  t.nodes[t.current].children.push_back(idx);
+  t.current = idx;
+}
+
+void prof_exit(std::uint64_t dur_ns) {
+  ProfTree& t = local_tree();
+  ProfNode& node = t.nodes[t.current];
+  ++node.calls;
+  node.total_ns += dur_ns;
+  node.hist.record(static_cast<double>(dur_ns));
+  t.current = node.parent;
+}
+
+/// Path-merged view of all threads' trees.
+struct MergedNode {
+  std::int64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  LogHistogram hist;
+  std::map<std::string, MergedNode> children;
+};
+
+void merge_into(const ProfTree& tree, std::uint32_t idx, MergedNode& into) {
+  const ProfNode& node = tree.nodes[idx];
+  for (std::uint32_t child_idx : node.children) {
+    const ProfNode& child = tree.nodes[child_idx];
+    MergedNode& slot = into.children[child.name];
+    slot.calls += child.calls;
+    slot.total_ns += child.total_ns;
+    slot.hist.merge(child.hist);
+    merge_into(tree, child_idx, slot);
+  }
+}
+
+void flatten(const MergedNode& node, int depth,
+             std::vector<ProfileEntry>& out) {
+  std::vector<const std::pair<const std::string, MergedNode>*> kids;
+  for (const auto& kv : node.children) kids.push_back(&kv);
+  std::sort(kids.begin(), kids.end(), [](const auto* a, const auto* b) {
+    return a->second.total_ns > b->second.total_ns;
+  });
+  for (const auto* kv : kids) {
+    const MergedNode& child = kv->second;
+    std::uint64_t in_children = 0;
+    for (const auto& gc : child.children) in_children += gc.second.total_ns;
+    ProfileEntry e;
+    e.name = kv->first;
+    e.depth = depth;
+    e.calls = child.calls;
+    e.total_ns = child.total_ns;
+    e.self_ns =
+        child.total_ns > in_children ? child.total_ns - in_children : 0;
+    e.hist = child.hist;
+    out.push_back(std::move(e));
+    flatten(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(const char* name, MetricId duration_hist_ns) {
+  unsigned want = kProfileBit | kTraceBit;
+  if (duration_hist_ns != kNoMetric) want |= kMetricsBit;
+  const unsigned mask = telemetry_mask() & want;
+  if (!mask) return;  // disabled fast path: one relaxed load + branch
+  name_ = name;
+  mask_ = mask;
+  hist_ = duration_hist_ns;
+  t0_ = telemetry_now_ns();
+  if (mask_ & kProfileBit) prof_enter(name);
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!name_) return;
+  const std::uint64_t dur = telemetry_now_ns() - t0_;
+  if (mask_ & kProfileBit) prof_exit(dur);
+  if (mask_ & kTraceBit) detail::trace_complete(name_, t0_, dur);
+  if (mask_ & kMetricsBit) observe(hist_, static_cast<double>(dur));
+}
+
+PhaseTimer::PhaseTimer(const char* name)
+    : name_(name),
+      t0_(telemetry_now_ns()),
+      mask_(telemetry_mask() & (kProfileBit | kTraceBit)) {
+  if (mask_ & kProfileBit) prof_enter(name_);
+}
+
+double PhaseTimer::stop() {
+  if (!stopped_) {
+    elapsed_ns_ = telemetry_now_ns() - t0_;
+    stopped_ = true;
+    if (mask_ & kProfileBit) prof_exit(elapsed_ns_);
+    if (mask_ & kTraceBit) detail::trace_complete(name_, t0_, elapsed_ns_);
+  }
+  return static_cast<double>(elapsed_ns_) * 1e-9;
+}
+
+double PhaseTimer::seconds() const {
+  const std::uint64_t ns =
+      stopped_ ? elapsed_ns_ : telemetry_now_ns() - t0_;
+  return static_cast<double>(ns) * 1e-9;
+}
+
+PhaseTimer::~PhaseTimer() { stop(); }
+
+std::vector<ProfileEntry> profile_entries() {
+  ProfRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  MergedNode root;
+  for (const ProfTree* t : r.live) merge_into(*t, 0, root);
+  for (const auto& t : r.retired) merge_into(*t, 0, root);
+  std::vector<ProfileEntry> out;
+  flatten(root, 0, out);
+  return out;
+}
+
+std::string profile_report() {
+  const auto entries = profile_entries();
+  if (entries.empty()) return "";
+  std::uint64_t top_total = 0;
+  for (const ProfileEntry& e : entries)
+    if (e.depth == 0) top_total += e.total_ns;
+  AsciiTable table({"scope", "calls", "total ms", "self ms", "mean us",
+                    "p95 us", "% top"});
+  table.set_title("profile (merged over threads)");
+  for (const ProfileEntry& e : entries) {
+    std::string name;
+    for (int i = 0; i < e.depth; ++i) name += "  ";
+    name += e.name;
+    const double total_ms = static_cast<double>(e.total_ns) * 1e-6;
+    const double self_ms = static_cast<double>(e.self_ns) * 1e-6;
+    const double mean_us = e.hist.mean_or(0.0) * 1e-3;
+    const double p95_us = e.hist.quantile(0.95) * 1e-3;
+    const double pct =
+        top_total ? 100.0 * static_cast<double>(e.total_ns) /
+                        static_cast<double>(top_total)
+                  : 0.0;
+    table.add_row({name, std::to_string(e.calls), fmt_f(total_ms, 3),
+                   fmt_f(self_ms, 3), fmt_f(mean_us, 1), fmt_f(p95_us, 1),
+                   fmt_f(pct, 1)});
+  }
+  return table.render();
+}
+
+void reset_profile() {
+  ProfRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (ProfTree* t : r.live) {
+    t->nodes.clear();
+    t->nodes.emplace_back();
+    t->current = 0;
+  }
+  r.retired.clear();
+}
+
+}  // namespace spiketune::obs

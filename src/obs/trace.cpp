@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "obs/telemetry.h"
+
+namespace spiketune::obs {
+
+namespace {
+
+// Per-thread cap: a trace hitting this is ~100 MB of JSON already.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct TraceEvent {
+  const char* name;  // string literal or interned name; never owned
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;  // 'X' events only
+  char phase;            // 'X' complete, 'C' counter
+  double value;          // 'C' events only
+};
+
+struct TraceBuffer {
+  std::vector<TraceEvent> events;
+  std::size_t dropped = 0;
+  int tid = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<TraceBuffer*> live;
+  std::vector<TraceBuffer> retired;
+  std::atomic<std::uint64_t> epoch_ns{0};
+};
+
+// Leaked: see obs/metrics.cpp.
+TraceRegistry& registry() {
+  static auto* r = new TraceRegistry();
+  return *r;
+}
+
+struct BufferHandle {
+  TraceBuffer buffer;
+  BufferHandle() {
+    buffer.tid = thread_ordinal();
+    TraceRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(&buffer);
+  }
+  ~BufferHandle() {
+    TraceRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.erase(std::find(r.live.begin(), r.live.end(), &buffer));
+    if (!buffer.events.empty() || buffer.dropped)
+      r.retired.push_back(std::move(buffer));
+  }
+};
+
+TraceBuffer& local_buffer() {
+  thread_local BufferHandle handle;
+  return handle.buffer;
+}
+
+void append(const TraceEvent& ev) {
+  TraceBuffer& buf = local_buffer();
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(ev);
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += (static_cast<unsigned char>(*s) < 0x20) ? ' ' : *s;
+  }
+  return out;
+}
+
+/// Microseconds with sub-ns-safe fixed formatting (Chrome ts unit is us).
+std::string us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void start_trace() {
+  reset_trace();
+  registry().epoch_ns.store(telemetry_now_ns(), std::memory_order_relaxed);
+  enable_telemetry(kTraceBit);
+}
+
+void stop_trace() { disable_telemetry(kTraceBit); }
+
+void trace_counter(const char* name, double value) {
+  if (!trace_enabled()) return;
+  append(TraceEvent{name, telemetry_now_ns(), 0, 'C', value});
+}
+
+namespace detail {
+void trace_complete(const char* name, std::uint64_t t0_ns,
+                    std::uint64_t dur_ns) {
+  append(TraceEvent{name, t0_ns, dur_ns, 'X', 0.0});
+}
+}  // namespace detail
+
+std::size_t trace_event_count() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const TraceBuffer* b : r.live) n += b->events.size();
+  for (const TraceBuffer& b : r.retired) n += b.events.size();
+  return n;
+}
+
+std::size_t trace_dropped_count() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const TraceBuffer* b : r.live) n += b->dropped;
+  for (const TraceBuffer& b : r.retired) n += b.dropped;
+  return n;
+}
+
+void write_trace_json(const std::string& path) {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+
+  // Gather (buffer, tid) views over live + retired buffers.
+  std::vector<const TraceBuffer*> buffers;
+  for (const TraceBuffer* b : r.live) buffers.push_back(b);
+  for (const TraceBuffer& b : r.retired) buffers.push_back(&b);
+
+  const std::uint64_t epoch = r.epoch_ns.load(std::memory_order_relaxed);
+  std::ofstream out(path, std::ios::trunc);
+  ST_REQUIRE(out.good(), "cannot open trace output: " + path);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::size_t dropped = 0;
+  for (const TraceBuffer* buf : buffers) {
+    dropped += buf->dropped;
+    const std::string label = thread_label(buf->tid);
+    if (!label.empty() || !buf->events.empty()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << buf->tid << ",\"args\":{\"name\":\""
+          << json_escape(label.empty()
+                             ? ("thread-" + std::to_string(buf->tid)).c_str()
+                             : label.c_str())
+          << "\"}}";
+    }
+    for (const TraceEvent& ev : buf->events) {
+      if (!first) out << ",";
+      first = false;
+      const std::uint64_t rel = ev.ts_ns >= epoch ? ev.ts_ns - epoch : 0;
+      out << "{\"name\":\"" << json_escape(ev.name)
+          << "\",\"cat\":\"spiketune\",\"ph\":\"" << ev.phase
+          << "\",\"pid\":1,\"tid\":" << buf->tid << ",\"ts\":" << us(rel);
+      if (ev.phase == 'X') out << ",\"dur\":" << us(ev.dur_ns);
+      if (ev.phase == 'C')
+        out << ",\"args\":{\"value\":" << ev.value << "}";
+      out << "}";
+    }
+  }
+  out << "]}";
+  out.flush();
+  ST_REQUIRE(out.good(), "failed writing trace output: " + path);
+  if (dropped)
+    ST_LOG_WARN << "trace dropped " << dropped
+                << " events (per-thread buffer cap)";
+}
+
+void reset_trace() {
+  TraceRegistry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (TraceBuffer* b : r.live) {
+    b->events.clear();
+    b->dropped = 0;
+  }
+  r.retired.clear();
+}
+
+}  // namespace spiketune::obs

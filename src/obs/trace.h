@@ -1,0 +1,52 @@
+// Chrome trace-event recorder (chrome://tracing / Perfetto JSON).
+//
+// While tracing is enabled every profiler scope appends one complete ("X")
+// event — name, start, duration, thread — to a per-thread buffer, and
+// `trace_counter` appends counter ("C") samples (e.g. per-epoch loss or
+// firing rates) that Perfetto renders as tracks.  Buffers are lock-free
+// (each thread appends to its own), bounded (drops are counted, not
+// silent), and merged into one JSON document by `write_trace_json`, which
+// also emits thread-name metadata so pool workers are labeled in the UI.
+//
+// Typical driver flow (see obs/flags.h for the --trace plumbing):
+//   obs::start_trace();
+//   ... workload ...
+//   obs::stop_trace();
+//   obs::write_trace_json("trace.json");
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spiketune::obs {
+
+/// Clears old events, records the trace epoch, and enables kTraceBit.
+void start_trace();
+
+/// Disables kTraceBit; buffered events remain until reset/write.
+void stop_trace();
+
+/// Appends a counter sample visible as a Perfetto counter track.  No-op
+/// when tracing is disabled.
+void trace_counter(const char* name, double value);
+
+/// Total buffered events across all threads (dropped ones excluded).
+std::size_t trace_event_count();
+
+/// Events dropped because a thread hit its buffer cap.
+std::size_t trace_dropped_count();
+
+/// Writes all buffered events as one Chrome trace JSON document.  Safe to
+/// call after stop_trace(); throws spiketune::Error on I/O failure.
+void write_trace_json(const std::string& path);
+
+/// Drops all buffered events.  Must not race active scopes.
+void reset_trace();
+
+namespace detail {
+/// Appends a complete ("X") event; called from ScopedTimer/PhaseTimer.
+void trace_complete(const char* name, std::uint64_t t0_ns,
+                    std::uint64_t dur_ns);
+}  // namespace detail
+
+}  // namespace spiketune::obs

@@ -4,6 +4,7 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "obs/profiler.h"
 #include "tensor/gemm.h"
 
 namespace spiketune::snn {
@@ -41,6 +42,7 @@ void Conv2d::begin_window(std::int64_t, bool training) {
 }
 
 Tensor Conv2d::forward_step(const Tensor& input) {
+  ST_PROF_SCOPE("conv2d.fwd");
   const ConvGeom g = geom_for(input.shape());
   const std::int64_t n = input.shape()[0];
   const std::int64_t oh = g.out_h();
@@ -80,6 +82,7 @@ Tensor Conv2d::forward_step(const Tensor& input) {
 }
 
 Tensor Conv2d::backward_step(const Tensor& grad_output) {
+  ST_PROF_SCOPE("conv2d.bwd");
   ST_REQUIRE(!input_cache_.empty(),
              "conv backward without matching cached forward step");
   Tensor input = std::move(input_cache_.back());

@@ -4,6 +4,8 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace spiketune::snn {
 
@@ -29,6 +31,7 @@ void Lif::begin_window(std::int64_t, bool training) {
 }
 
 Tensor Lif::forward_step(const Tensor& input) {
+  ST_PROF_SCOPE("lif.fwd");
   const float beta = config_.beta;
   const float theta = config_.threshold;
 
@@ -67,8 +70,13 @@ Tensor Lif::forward_step(const Tensor& input) {
                    }
                    fired.fetch_add(local, std::memory_order_relaxed);
                  });
-    window_spikes_ += fired.load(std::memory_order_relaxed);
+    const std::int64_t n_fired = fired.load(std::memory_order_relaxed);
+    window_spikes_ += n_fired;
     window_elements_ += u_pre.numel();
+    if (obs::metrics_enabled()) {
+      static const obs::MetricId kSpikes = obs::counter("lif.spikes");
+      obs::add(kSpikes, n_fired);
+    }
   }
 
   membrane_ = std::move(u_post);
@@ -80,6 +88,7 @@ Tensor Lif::forward_step(const Tensor& input) {
 void Lif::begin_backward() { has_grad_carry_ = false; }
 
 Tensor Lif::backward_step(const Tensor& grad_output) {
+  ST_PROF_SCOPE("lif.bwd");
   ST_REQUIRE(!pre_cache_.empty(),
              "LIF backward without matching cached forward step");
   Tensor u_pre = std::move(pre_cache_.back());

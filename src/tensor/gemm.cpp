@@ -4,10 +4,22 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace spiketune {
 
 namespace {
+
+/// Counts a GEMM call and its nominal FLOPs (2mnk; the zero-skip makes the
+/// executed count lower — that gap is exactly the sparsity win).
+void count_gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  if (!obs::metrics_enabled()) return;
+  static const obs::MetricId kCalls = obs::counter("gemm.calls");
+  static const obs::MetricId kFlops = obs::counter("gemm.flops");
+  obs::add(kCalls);
+  obs::add(kFlops, 2 * m * n * k);
+}
 // Block sizes sized for a typical 32 KiB L1 / 1 MiB L2 on one core.
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 256;
@@ -42,8 +54,10 @@ void scale_c(std::int64_t mn, float beta, float* c) {
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
+  ST_PROF_SCOPE("gemm");
   require_args(m, n, k, a, b, c);
   if (m == 0 || n == 0) return;
+  count_gemm(m, n, k);
 
   parallel_for(0, m, kRowGrain, [&](std::int64_t rb, std::int64_t re) {
     scale_c((re - rb) * n, beta, c + rb * n);
@@ -72,8 +86,10 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
+  ST_PROF_SCOPE("gemm_tn");
   require_args(m, n, k, a, b, c);
   if (m == 0 || n == 0) return;
+  count_gemm(m, n, k);
 
   // A is [k, m]; k stays the inner streaming loop within each row block so
   // both A and B rows stream while the C block stays hot.
@@ -101,8 +117,10 @@ void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
              const float* a, const float* b, float beta, float* c) {
+  ST_PROF_SCOPE("gemm_nt");
   require_args(m, n, k, a, b, c);
   if (m == 0 || n == 0) return;
+  count_gemm(m, n, k);
 
   // Dot-product formulation: C[i,j] = sum_p A[i,p] * B[j,p].  Blocked over
   // rows of B so a tile of B (kBlockNtJ rows of k floats) is reused across

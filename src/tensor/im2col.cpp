@@ -2,6 +2,7 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "obs/profiler.h"
 
 namespace spiketune {
 
@@ -23,6 +24,7 @@ std::int64_t ConvGeom::out_w() const {
 }
 
 void im2col(const ConvGeom& g, const float* image, float* columns) {
+  ST_PROF_SCOPE("im2col");
   ST_REQUIRE(image != nullptr && columns != nullptr, "im2col null pointer");
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();
@@ -54,6 +56,7 @@ void im2col(const ConvGeom& g, const float* image, float* columns) {
 }
 
 void col2im(const ConvGeom& g, const float* columns, float* image) {
+  ST_PROF_SCOPE("col2im");
   ST_REQUIRE(image != nullptr && columns != nullptr, "col2im null pointer");
   const std::int64_t oh = g.out_h();
   const std::int64_t ow = g.out_w();

@@ -15,9 +15,22 @@ double RunningMean::mean() const {
   return sum_ / static_cast<double>(count_);
 }
 
+double RunningMean::mean_or(double fallback) const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : fallback;
+}
+
 void RunningMean::reset() {
   sum_ = 0.0;
   count_ = 0;
+}
+
+void LatencySummary::record_seconds(double seconds) {
+  ST_REQUIRE(seconds >= 0.0, "latency must be non-negative");
+  hist_.record(seconds * 1e6);
+}
+
+double LatencySummary::mean_seconds() const {
+  return hist_.mean_or(0.0) * 1e-6;
 }
 
 }  // namespace spiketune::train

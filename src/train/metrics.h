@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "snn/spike_stats.h"
 
 namespace spiketune::train {
@@ -13,12 +14,33 @@ class RunningMean {
  public:
   void add(double value, std::int64_t weight = 1);
   double mean() const;
+  /// Like mean(), but returns `fallback` instead of throwing when empty.
+  double mean_or(double fallback) const;
   std::int64_t count() const { return count_; }
   void reset();
 
  private:
   double sum_ = 0.0;
   std::int64_t count_ = 0;
+};
+
+/// Wall-time distribution of a repeated phase (epoch, batch, inference),
+/// backed by the observability log-scale histogram so the trainer's summary
+/// and the profiler agree on bucket math.  Samples are recorded in
+/// microseconds internally; accessors return seconds.
+class LatencySummary {
+ public:
+  void record_seconds(double seconds);
+  std::int64_t count() const { return hist_.count(); }
+  double mean_seconds() const;
+  double p50_seconds() const { return hist_.quantile(0.5) * 1e-6; }
+  double p95_seconds() const { return hist_.quantile(0.95) * 1e-6; }
+  double max_seconds() const { return hist_.max_seen() * 1e-6; }
+  const obs::LogHistogram& histogram() const { return hist_; }
+  void reset() { hist_.reset(); }
+
+ private:
+  obs::LogHistogram hist_;
 };
 
 struct EpochMetrics {

@@ -1,9 +1,14 @@
 #include "train/trainer.h"
 
+#include <string>
+
 #include "core/error.h"
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "core/table.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace spiketune::train {
 
@@ -28,13 +33,25 @@ EpochMetrics Trainer::train_epoch(data::DataLoader& loader, Optimizer& opt,
   RunningMean acc_mean;
   data::Batch batch;
   while (loader.next(batch)) {
-    const auto steps =
-        encoder_.encode(batch.images, config_.num_steps, encode_stream_++);
+    const auto steps = [&] {
+      ST_PROF_SCOPE("train.encode");
+      return encoder_.encode(batch.images, config_.num_steps,
+                             encode_stream_++);
+    }();
     net_.zero_grad();
-    auto fwd = net_.forward(steps, /*training=*/true);
+    auto fwd = [&] {
+      ST_PROF_SCOPE("train.forward");
+      return net_.forward(steps, /*training=*/true);
+    }();
     const auto lr = loss_.compute(fwd.spike_counts, batch.labels);
-    net_.backward(lr.grad_counts);
-    opt.step();
+    {
+      ST_PROF_SCOPE("train.backward");
+      net_.backward(lr.grad_counts);
+    }
+    {
+      ST_PROF_SCOPE("train.step");
+      opt.step();
+    }
 
     loss_mean.add(lr.loss, batch.batch_size());
     acc_mean.add(snn::accuracy(fwd.spike_counts, batch.labels),
@@ -53,8 +70,14 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
   Adam opt(net_.params(), config_.base_lr);
   CosineAnnealingLr schedule(config_.base_lr, config_.epochs,
                              config_.lr_eta_min);
+  LatencySummary epoch_latency;
   for (std::int64_t e = 0; e < config_.epochs; ++e) {
+    obs::PhaseTimer epoch_timer("train.epoch");
     const EpochMetrics m = train_epoch(loader, opt, schedule, e);
+    epoch_latency.record_seconds(epoch_timer.stop());
+    obs::trace_counter("train.loss", m.train_loss);
+    obs::trace_counter("train.accuracy", m.train_accuracy);
+    obs::trace_counter("train.lr", m.lr);
     if (config_.verbose) {
       ST_LOG_INFO << "epoch " << m.epoch + 1 << "/" << config_.epochs
                   << "  loss=" << fmt_f(m.train_loss, 4)
@@ -62,6 +85,12 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
                   << "  lr=" << fmt_f(m.lr, 6);
     }
     if (on_epoch) on_epoch(m);
+  }
+  if (config_.verbose && epoch_latency.count() > 1) {
+    ST_LOG_INFO << "epoch wall time: mean="
+                << fmt_f(epoch_latency.mean_seconds(), 3) << "s  p50="
+                << fmt_f(epoch_latency.p50_seconds(), 3) << "s  p95="
+                << fmt_f(epoch_latency.p95_seconds(), 3) << "s";
   }
 }
 
@@ -77,6 +106,7 @@ std::uint64_t Trainer::eval_stream(std::uint64_t call, std::uint64_t batch) {
 }
 
 EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
+  ST_PROF_SCOPE("eval");
   loader.start_epoch(0);
 
   EvalMetrics out;
@@ -101,6 +131,17 @@ EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   out.loss = loss_mean.mean();
   out.accuracy = acc_mean.mean();
   out.firing_rate = out.record.mean_firing_rate();
+  if (obs::metrics_enabled()) {
+    // Per-layer firing-rate gauges; names are stable across calls so each
+    // evaluation overwrites the previous value (last eval wins).
+    const auto& layers = out.record.layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      if (!layers[i].spiking) continue;
+      obs::set(obs::gauge("train.firing_rate." + std::to_string(i) + "." +
+                          layers[i].layer_name),
+               layers[i].output_density());
+    }
+  }
   return out;
 }
 

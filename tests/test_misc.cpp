@@ -32,6 +32,44 @@ TEST(Logging, LevelGate) {
   set_log_level(before);
 }
 
+namespace logging_probe {
+/// Counts how many times it is actually streamed into an ostream, so the
+/// test can prove below-threshold lines never construct/format anything.
+struct StreamProbe {
+  int* hits;
+};
+std::ostream& operator<<(std::ostream& os, const StreamProbe& p) {
+  ++*p.hits;
+  return os << "probe";
+}
+}  // namespace logging_probe
+
+TEST(Logging, BelowThresholdShortCircuitsFormatting) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  int hits = 0;
+  ST_LOG_DEBUG << logging_probe::StreamProbe{&hits};
+  ST_LOG_INFO << logging_probe::StreamProbe{&hits};
+  EXPECT_EQ(hits, 0);  // stream never built, operands never formatted
+  set_log_level(before);
+}
+
+TEST(Logging, PrefixCarriesElapsedTimeAndThreadOrdinal) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStdout();
+  ST_LOG_INFO << "payload-xyz";
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  set_log_level(before);
+  // "[   0.123s t00 INFO ] payload-xyz\n"
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("s t"), std::string::npos);
+  EXPECT_NE(out.find("INFO ] payload-xyz\n"), std::string::npos);
+  EXPECT_GE(thread_ordinal(), 0);
+  EXPECT_GT(process_elapsed_ns(), 0u);
+}
+
 TEST(Serialize, EmptyCheckpointRoundTrips) {
   const std::string path = ::testing::TempDir() + "/empty_ckpt.bin";
   save_checkpoint(path, {});

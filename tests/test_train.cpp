@@ -130,6 +130,50 @@ TEST(RunningMean, WeightedMean) {
   EXPECT_THROW(m.mean(), InvalidArgument);
 }
 
+TEST(RunningMean, MeanOrDoesNotThrowWhenEmpty) {
+  RunningMean m;
+  EXPECT_DOUBLE_EQ(m.mean_or(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_or(-3.5), -3.5);
+  m.add(4.0, 2);
+  EXPECT_DOUBLE_EQ(m.mean_or(0.0), 4.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.mean_or(7.0), 7.0);
+}
+
+TEST(RunningMean, WeightedMeanEdgeCases) {
+  RunningMean m;
+  EXPECT_THROW(m.add(1.0, 0), InvalidArgument);
+  EXPECT_THROW(m.add(1.0, -2), InvalidArgument);
+  // A single huge weight dominates the mean exactly.
+  m.add(2.0, 1'000'000'000);
+  m.add(100.0, 1);
+  EXPECT_NEAR(m.mean(), 2.0, 1e-6);
+  EXPECT_EQ(m.count(), 1'000'000'001);
+  // Zero-valued samples still count toward the denominator.
+  RunningMean z;
+  z.add(0.0, 5);
+  z.add(10.0, 5);
+  EXPECT_NEAR(z.mean(), 5.0, 1e-12);
+}
+
+TEST(LatencySummary, RecordsAndSummarizes) {
+  LatencySummary lat;
+  EXPECT_EQ(lat.count(), 0);
+  EXPECT_DOUBLE_EQ(lat.mean_seconds(), 0.0);  // mean_or fallback when empty
+  lat.record_seconds(0.010);
+  lat.record_seconds(0.010);
+  lat.record_seconds(0.010);
+  EXPECT_EQ(lat.count(), 3);
+  // All identical samples: quantiles clamp to the observed value.
+  EXPECT_NEAR(lat.p50_seconds(), 0.010, 1e-9);
+  EXPECT_NEAR(lat.p95_seconds(), 0.010, 1e-9);
+  EXPECT_NEAR(lat.max_seconds(), 0.010, 1e-9);
+  EXPECT_NEAR(lat.mean_seconds(), 0.010, 1e-9);
+  EXPECT_THROW(lat.record_seconds(-1.0), InvalidArgument);
+  lat.reset();
+  EXPECT_EQ(lat.count(), 0);
+}
+
 // Trivially separable spiking task: class 0 lights the left half of the
 // input, class 1 the right half.  A one-hidden-layer SNN must learn it.
 class ToyDataset final : public data::Dataset {
