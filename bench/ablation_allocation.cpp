@@ -13,6 +13,7 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
                 "experiment scale for the single training run");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -46,6 +48,13 @@ int main(int argc, char** argv) {
       exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
+  try {
+    train::apply_fit_flags(flags, base.trainer);
+    exp::validate(base);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
 
   std::cout << "== ABL-ALLOC: PE allocation policy ablation (preset="
             << flags.get("preset") << ") ==\ntraining one model...\n"

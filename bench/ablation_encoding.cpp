@@ -10,6 +10,7 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -47,10 +49,18 @@ int main(int argc, char** argv) {
   AsciiTable table({"encoder", "train acc", "test acc", "fire-rate",
                     "latency", "FPS/W"});
   table.set_title("same topology/hyperparameters, three input codings");
+  try {
+    train::apply_fit_flags(flags, base.trainer);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
   for (const char* enc : {"direct", "rate", "latency"}) {
     std::cout << "training with " << enc << " coding...\n" << std::flush;
     auto cfg = base;
     cfg.encoder = enc;
+    if (!cfg.trainer.checkpoint_dir.empty())
+      cfg.trainer.checkpoint_dir += std::string("/") + enc;
     // Rate/latency coding needs [0,1] intensities, not standardized ones;
     // boost init so binary inputs can drive the stack (see model_zoo).
     if (std::string(enc) != "direct") {

@@ -11,6 +11,7 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -48,10 +50,18 @@ int main(int argc, char** argv) {
   AsciiTable table({"loss", "train acc", "test acc", "fire-rate", "latency",
                     "FPS/W"});
   table.set_title("same topology/hyperparameters, two losses");
+  try {
+    train::apply_fit_flags(flags, base.trainer);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
   for (const char* loss : {"rate_ce", "count_mse"}) {
     std::cout << "training with " << loss << "...\n" << std::flush;
     auto cfg = base;
     cfg.loss = loss;
+    if (!cfg.trainer.checkpoint_dir.empty())
+      cfg.trainer.checkpoint_dir += std::string("/") + loss;
     const auto r = exp::run_experiment(cfg);
     table.add_row({loss, fmt_pct(r.final_train_accuracy, 1),
                    fmt_pct(r.accuracy, 1), fmt_pct(r.firing_rate, 2),

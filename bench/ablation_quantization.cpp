@@ -17,6 +17,7 @@
 #include "snn/loss.h"
 #include "snn/model_zoo.h"
 #include "snn/quantize.h"
+#include "train/fit_flags.h"
 #include "train/trainer.h"
 
 using namespace spiketune;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   flags.declare("epochs", "10", "training epochs");
   flags.declare("image-size", "16", "image side length");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -75,6 +77,12 @@ int main(int argc, char** argv) {
   tcfg.batch_size = 32;
   tcfg.base_lr = 5e-3;
   tcfg.verbose = false;
+  try {
+    train::apply_fit_flags(flags, tcfg);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
   train::Trainer trainer(*net, encoder, loss, tcfg);
 
   std::cout << "== ABL-QUANT: post-training weight quantization ==\n"

@@ -23,7 +23,10 @@ int main(int argc, char** argv) {
   flags.declare("preset", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("csv", "fig1.csv", "output CSV path (empty to skip)");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
+  flags.declare("scales", "",
+                "comma-separated derivative scales (empty = paper grid)");
   declare_threads_flag(flags);
+  exp::declare_sweep_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -47,17 +50,22 @@ int main(int argc, char** argv) {
   auto base = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
+  const auto scales = flags.get("scales").empty()
+                          ? exp::fig1_scales()
+                          : exp::parse_double_list(flags.get("scales"));
+  const auto options = exp::sweep_options_from_flags(flags);
 
   std::cout << "== FIG1: surrogate derivative-scale sweep (preset="
             << flags.get("preset") << ", device=" << base.accel.device.name
             << ") ==\n";
   const auto points = exp::run_surrogate_sweep(
-      base, {"arctan", "fast_sigmoid"}, exp::fig1_scales(),
+      base, {"arctan", "fast_sigmoid"}, scales,
       [](std::size_t i, std::size_t total, const std::string& label) {
         std::cout << "[" << (i + 1) << "/" << total << "] training " << label
                   << "...\n"
                   << std::flush;
-      });
+      },
+      options);
 
   std::cout << "\n" << exp::render_fig1(points);
   if (!flags.get("csv").empty()) {

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   flags.declare("full", "false", "use the canonical 5x5 grid");
   declare_threads_flag(flags);
+  exp::declare_sweep_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
         std::cout << "[" << (i + 1) << "/" << total << "] training " << label
                   << "...\n"
                   << std::flush;
-      });
+      },
+      exp::sweep_options_from_flags(flags));
 
   std::cout << "\n" << exp::render_fig2(points);
   if (!flags.get("csv").empty()) {

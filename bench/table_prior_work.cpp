@@ -17,15 +17,18 @@
 #include "exp/experiment.h"
 #include "hw/baseline.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
 namespace {
 exp::ExperimentResult run_point(exp::ExperimentConfig base, double beta,
-                                double theta) {
+                                double theta, const char* tag) {
   base.model.lif.beta = static_cast<float>(beta);
   base.model.lif.threshold = static_cast<float>(theta);
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
+  if (!base.trainer.checkpoint_dir.empty())
+    base.trainer.checkpoint_dir += std::string("/") + tag;
   return exp::run_experiment(base);
 }
 }  // namespace
@@ -35,6 +38,7 @@ int main(int argc, char** argv) {
   flags.declare("preset", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -58,18 +62,24 @@ int main(int argc, char** argv) {
   auto base = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
+  try {
+    train::apply_fit_flags(flags, base.trainer);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
 
   std::cout << "== TAB-PW: fine-tuned vs default vs prior work (preset="
             << flags.get("preset") << ") ==\n";
   std::cout << "[1/3] training default (beta=0.25, theta=1.0)...\n"
             << std::flush;
-  const auto def = run_point(base, 0.25, 1.0);
+  const auto def = run_point(base, 0.25, 1.0, "default");
   std::cout << "[2/3] training latency-knee (beta=0.5, theta=1.5)...\n"
             << std::flush;
-  const auto knee = run_point(base, 0.5, 1.5);
+  const auto knee = run_point(base, 0.5, 1.5, "knee");
   std::cout << "[3/3] training fine-tuned (beta=0.7, theta=1.5)...\n"
             << std::flush;
-  const auto tuned = run_point(base, 0.7, 1.5);
+  const auto tuned = run_point(base, 0.7, 1.5, "tuned");
 
   // Prior-work stand-in: the default-hyperparameter model on a
   // sparsity-oblivious platform (dense compute, dense allocation).

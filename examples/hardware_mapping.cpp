@@ -10,12 +10,14 @@
 #include "exp/experiment.h"
 #include "hw/baseline.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -33,6 +35,13 @@ int main(int argc, char** argv) {
       exp::profile_by_name(flags.get("preset")));
   cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   cfg.validate_with_sim = true;
+  try {
+    train::apply_fit_flags(flags, cfg.trainer);
+    exp::validate(cfg);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
 
   std::cout << "training the model once...\n" << std::flush;
   const auto r = exp::run_experiment(cfg);

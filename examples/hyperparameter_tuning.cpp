@@ -4,6 +4,7 @@
 // user-chosen budget of the best — exactly the trade-off the paper's
 // Figure 2 navigates.
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "core/cli.h"
@@ -11,6 +12,7 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
   flags.declare("accuracy-budget", "0.035",
                 "max allowed accuracy drop vs the best configuration");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -44,6 +47,13 @@ int main(int argc, char** argv) {
   auto base = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
+  try {
+    train::apply_fit_flags(flags, base.trainer);
+    exp::validate(base);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
 
   struct Candidate {
     double beta;
@@ -64,6 +74,13 @@ int main(int argc, char** argv) {
     auto cfg = base;
     cfg.model.lif.beta = static_cast<float>(beta);
     cfg.model.lif.threshold = static_cast<float>(theta);
+    if (!cfg.trainer.checkpoint_dir.empty()) {
+      // One subdirectory per candidate so checkpoints never cross-talk.
+      std::ostringstream dir;
+      dir << cfg.trainer.checkpoint_dir << "/beta" << beta << "_theta"
+          << theta;
+      cfg.trainer.checkpoint_dir = dir.str();
+    }
     candidates.push_back({beta, theta, exp::run_experiment(cfg)});
   }
 

@@ -4,6 +4,8 @@
 //
 //   ./quickstart                 # seconds-scale demo
 //   ./quickstart --preset=fast  # a properly trained model (~1 min)
+//   ./quickstart --checkpoint-dir=ckpts --stop-after=1   # interrupt...
+//   ./quickstart --checkpoint-dir=ckpts --resume         # ...and resume
 #include <iostream>
 
 #include "core/cli.h"
@@ -12,6 +14,7 @@
 #include "core/table.h"
 #include "exp/experiment.h"
 #include "obs/flags.h"
+#include "train/fit_flags.h"
 
 using namespace spiketune;
 
@@ -19,6 +22,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -47,6 +51,13 @@ int main(int argc, char** argv) {
   cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   cfg.trainer.verbose = true;  // log per-epoch progress
   cfg.validate_with_sim = true;
+  try {
+    train::apply_fit_flags(flags, cfg.trainer);
+    exp::validate(cfg);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
 
   std::cout << "training a spiking CNN (" << cfg.trainer.epochs
             << " epochs, T=" << cfg.trainer.num_steps << ", "

@@ -19,6 +19,7 @@
 #include "snn/checkpoint.h"
 #include "snn/model_zoo.h"
 #include "snn/quantize.h"
+#include "train/fit_flags.h"
 #include "train/trainer.h"
 
 using namespace spiketune;
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   flags.declare("checkpoint", "/tmp/spiketune_deploy.bin",
                 "checkpoint path");
   declare_threads_flag(flags);
+  train::declare_fit_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -77,6 +79,12 @@ int main(int argc, char** argv) {
   tcfg.batch_size = 32;
   tcfg.base_lr = 5e-3;
   tcfg.verbose = false;
+  try {
+    train::apply_fit_flags(flags, tcfg);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
   train::Trainer trainer(*net, encoder, loss, tcfg);
   std::cout << "training (" << tcfg.epochs << " epochs)...\n" << std::flush;
   trainer.fit(train_loader);
@@ -87,7 +95,10 @@ int main(int argc, char** argv) {
   snn::save_network(ckpt, *net);
   auto restored = snn::make_svhn_csnn(mcfg);
   snn::load_network(ckpt, *restored);
-  train::Trainer restored_trainer(*restored, encoder, loss, tcfg);
+  train::TrainerConfig eval_cfg = tcfg;
+  eval_cfg.checkpoint_dir.clear();  // the restored trainer only evaluates
+  eval_cfg.resume = false;
+  train::Trainer restored_trainer(*restored, encoder, loss, eval_cfg);
   const auto restored_eval = restored_trainer.evaluate(test_loader);
 
   // Quantize to the accelerator's 8-bit weight storage and re-evaluate.

@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+//
+// Used by the STK2 checkpoint container to detect torn writes and bit-level
+// corruption: every record and the whole file carry a CRC, so a truncated or
+// bit-flipped checkpoint is rejected with a typed error instead of being
+// silently loaded into a training run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spiketune {
+
+/// CRC-32 of `size` bytes starting at `data`.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed the previous return value back as `seed` to
+/// checksum discontiguous spans as one stream.  Start with seed = 0.
+std::uint32_t crc32_update(std::uint32_t seed, const void* data,
+                           std::size_t size);
+
+}  // namespace spiketune

@@ -31,6 +31,14 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// A numerical health check tripped (NaN/Inf loss or gradients).  Thrown by
+/// the trainer's guard rails under NanPolicy::kThrow, and as the terminal
+/// error when skip/rollback recovery is exhausted.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_invalid_argument(const char* expr, const char* file,
                                          int line, const std::string& msg);

@@ -1,11 +1,24 @@
 // Binary serialization for tensors and parameter sets (checkpoints).
 //
-// Format: a small magic/version header, then a count of named records, each
-// record being (name, shape, float32 payload) in little-endian byte order.
-// Used to persist trained models so hardware-mapping studies can reuse a
-// training run instead of repeating it.
+// Two container versions share the load path:
+//   * STK1 (legacy): magic/version header, record count, then (name, shape,
+//     float32 payload) records in little-endian byte order.  No integrity
+//     data — torn writes are only caught when a length field happens to be
+//     implausible.
+//   * STK2 (current): adds an optional metadata section (training-resume
+//     state: epoch, optimizer step, stream counters, config fingerprint), a
+//     CRC-32 per record, and a whole-file CRC-32 trailer.  Any truncation or
+//     bit flip is rejected with a typed InvalidArgument.
+//
+// All writers are crash-safe: the container is built in memory and published
+// via write-to-temp + fsync + atomic rename (atomic_write_file), so a kill
+// at any instant leaves either the previous file or the new one at the final
+// path — never a partial mix.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,12 +33,63 @@ struct NamedTensor {
   Tensor value;
 };
 
-/// Writes records to `path`; throws spiketune::Error on I/O failure.
+/// Optional resume metadata carried by STK2 checkpoints.  `present` is false
+/// for plain weight snapshots and for anything loaded from an STK1 file.
+struct CheckpointMeta {
+  bool present = false;
+  std::int64_t epoch = 0;             // next epoch to run on resume
+  std::int64_t opt_step = 0;          // optimizer step count (Adam t)
+  std::uint64_t encode_stream = 0;    // Trainer's encoder stream counter
+  std::uint64_t eval_calls = 0;       // Trainer's evaluate() counter
+  std::uint64_t loader_seed = 0;      // DataLoader shuffle seed
+  std::uint64_t config_fingerprint = 0;  // hash of the training setup
+  double lr_scale = 1.0;              // cumulative rollback LR cut
+  std::map<std::string, std::string> extra;  // forward-compatible key/values
+};
+
+/// A fully parsed checkpoint: container version, records, and metadata.
+struct Checkpoint {
+  std::uint32_t version = 0;
+  std::vector<NamedTensor> records;
+  CheckpointMeta meta;
+};
+
+/// Writes records to `path` as STK2 (no metadata) via an atomic
+/// temp+fsync+rename.  Throws spiketune::Error on I/O failure.
 void save_checkpoint(const std::string& path,
                      const std::vector<NamedTensor>& records);
 
-/// Reads a checkpoint written by save_checkpoint.  Throws InvalidArgument
-/// on malformed files (bad magic, truncation, absurd sizes).
+/// As above, with a metadata section (meta.present is forced true on disk).
+void save_checkpoint(const std::string& path,
+                     const std::vector<NamedTensor>& records,
+                     const CheckpointMeta& meta);
+
+/// Legacy STK1 writer, kept for compatibility tests and old toolchains.
+/// Routed through the same atomic temp+rename helper as the v2 writer.
+void save_checkpoint_v1(const std::string& path,
+                        const std::vector<NamedTensor>& records);
+
+/// Reads a checkpoint written by any save_checkpoint* (STK1 or STK2).
+/// Throws InvalidArgument on malformed files: bad magic, truncation, absurd
+/// sizes, or (v2) any CRC mismatch.
 std::vector<NamedTensor> load_checkpoint(const std::string& path);
+
+/// As load_checkpoint, but also returns the container version and metadata.
+Checkpoint load_checkpoint_full(const std::string& path);
+
+/// Atomically publishes `data` at `path`: writes `path + ".tmp"`, fsyncs,
+/// then rename(2)s over the destination (and best-effort fsyncs the parent
+/// directory).  On failure the temp file is removed and the previous file at
+/// `path`, if any, is left untouched.
+void atomic_write_file(const std::string& path, const std::string& data);
+
+namespace testing {
+/// Test-only fault injection: when set, invoked after the temp file is
+/// written and fsynced but *before* the rename that publishes it.  Throwing
+/// from the hook simulates a crash mid-checkpoint; atomic_write_file then
+/// cleans up the temp file and propagates, leaving the previous checkpoint
+/// intact.  Not thread-safe; tests must reset it to nullptr when done.
+extern std::function<void()> checkpoint_pre_rename_hook;
+}  // namespace testing
 
 }  // namespace spiketune

@@ -31,6 +31,11 @@ std::int64_t DataLoader::num_batches() const {
 void DataLoader::start_epoch(std::int64_t epoch) {
   cursor_ = 0;
   if (!shuffle_) return;
+  // The order must be a pure function of (seed, epoch): shuffling the
+  // previous epoch's order in place would make batch composition depend on
+  // the loader's whole history, so a freshly constructed loader in a
+  // resumed process could never replay epoch N of the original run.
+  std::iota(order_.begin(), order_.end(), 0);
   Rng rng = Rng(seed_).fork(static_cast<std::uint64_t>(epoch));
   // Fisher–Yates.
   for (std::size_t i = order_.size(); i > 1; --i) {

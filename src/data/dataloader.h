@@ -40,6 +40,10 @@ class DataLoader {
 
   std::int64_t batch_size() const { return batch_size_; }
   const Dataset& dataset() const { return *dataset_; }
+  /// Shuffle seed; folded into resume-checkpoint fingerprints so a resumed
+  /// run provably replays the same batch order.
+  std::uint64_t seed() const { return seed_; }
+  bool shuffled() const { return shuffle_; }
 
  private:
   std::shared_ptr<const Dataset> dataset_;

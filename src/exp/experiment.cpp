@@ -64,9 +64,42 @@ ExperimentConfig ExperimentConfig::for_profile(Profile profile) {
   return cfg;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+void validate(const ExperimentConfig& config) {
+  ST_REQUIRE(config.train_size > 0 && config.test_size > 0,
+             "train_size/test_size must be positive");
+  ST_REQUIRE(config.image_size > 0, "image_size must be positive");
   ST_REQUIRE(config.model.image_size == config.image_size,
              "model.image_size must match data image_size");
+  if (config.dataset == "svhn") {
+    ST_REQUIRE(config.model.in_channels == 3,
+               "svhn dataset requires model.in_channels == 3");
+  } else if (config.dataset == "digits") {
+    ST_REQUIRE(config.model.in_channels == 1,
+               "digits dataset requires model.in_channels == 1");
+  } else {
+    throw InvalidArgument("unknown dataset: " + config.dataset +
+                          " (expected svhn|digits)");
+  }
+  ST_REQUIRE(config.encoder == "direct" || config.encoder == "rate" ||
+                 config.encoder == "latency",
+             "unknown encoder: " + config.encoder +
+                 " (expected direct|rate|latency)");
+  ST_REQUIRE(config.loss == "rate_ce" || config.loss == "count_mse",
+             "unknown loss: " + config.loss +
+                 " (expected rate_ce|count_mse)");
+  const auto& t = config.trainer;
+  ST_REQUIRE(t.epochs > 0 && t.num_steps > 0 && t.batch_size > 0,
+             "trainer epochs/num_steps/batch_size must be positive");
+  ST_REQUIRE(t.base_lr > 0.0, "trainer base_lr must be positive");
+  ST_REQUIRE(t.checkpoint_every >= 1, "checkpoint_every must be >= 1");
+  ST_REQUIRE(t.keep_last >= 1, "keep_last must be >= 1");
+  ST_REQUIRE(t.stop_after_epochs >= 0, "stop_after_epochs must be >= 0");
+  // Note: trainer.resume with an empty checkpoint_dir is a no-op, not an
+  // error — sweep drivers pass --resume for the journal alone.
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  validate(config);
 
   // Data: deterministic synthetic splits, materialized once.
   std::shared_ptr<const data::Dataset> train_ds;

@@ -77,6 +77,15 @@ struct ExperimentResult {
   double train_seconds = 0.0;
 };
 
+/// Fail-fast validation: checks every by-name selection (dataset, encoder,
+/// loss), the dataset/model channel and image-size agreement, and the
+/// trainer's crash-safety settings *before* any data is materialized or
+/// training starts.  Throws InvalidArgument with a precise message, so a
+/// typo in a sweep config surfaces immediately instead of after the first
+/// point has trained for an hour.  run_experiment and the sweeps call this
+/// on entry; drivers may call it directly after parsing flags.
+void validate(const ExperimentConfig& config);
+
 /// Runs the full pipeline once.  Deterministic for a given config.
 ExperimentResult run_experiment(const ExperimentConfig& config);
 

@@ -12,6 +12,29 @@
 
 namespace spiketune::exp {
 
+namespace {
+
+template <typename Point>
+std::size_t count_failed(const std::vector<Point>& points) {
+  std::size_t n = 0;
+  for (const auto& p : points)
+    if (p.status != "done") ++n;
+  return n;
+}
+
+template <typename Point>
+void append_failure_note(std::ostream& os, const std::vector<Point>& points) {
+  const std::size_t failed = count_failed(points);
+  if (failed == 0) return;
+  os << "WARNING: " << failed << " of " << points.size()
+     << " sweep point(s) FAILED (marked 'fail' above); their metrics are "
+        "excluded from the analysis\n";
+  for (const auto& p : points)
+    if (p.status != "done") os << "  failed: " << p.error << "\n";
+}
+
+}  // namespace
+
 std::string render_fig1(const std::vector<SurrogateSweepPoint>& points) {
   ST_REQUIRE(!points.empty(), "no sweep points to render");
   // Group by scale; one column block per surrogate, in first-seen order.
@@ -44,10 +67,12 @@ std::string render_fig1(const std::vector<SurrogateSweepPoint>& points) {
     std::vector<std::string> row{fmt_f(scale, 2)};
     for (const auto& s : surrogates) {
       const auto* p = find_point(s, scale);
-      if (p) {
+      if (p && p->status == "done") {
         row.push_back(fmt_pct(p->result.accuracy, 2));
         row.push_back(fmt_pct(p->result.firing_rate, 2));
         row.push_back(fmt_f(p->result.fps_per_watt, 1));
+      } else if (p) {
+        row.insert(row.end(), {"fail", "fail", "fail"});
       } else {
         row.insert(row.end(), {"-", "-", "-"});
       }
@@ -62,16 +87,21 @@ std::string render_fig1(const std::vector<SurrogateSweepPoint>& points) {
      << "\n";
   // Paper headline: fast sigmoid reaches similar accuracy at lower firing
   // rate -> higher FPS/W.  Report the cross-surrogate efficiency ratio at
-  // each surrogate's best-accuracy point.
+  // each surrogate's best-accuracy point (failed points excluded).
   if (surrogates.size() >= 2) {
     std::map<std::string, const SurrogateSweepPoint*> best;
     for (const auto& p : points) {
+      if (p.status != "done") continue;
       auto& slot = best[p.surrogate];
       if (!slot || p.result.accuracy > slot->result.accuracy) slot = &p;
     }
     os << "best-accuracy points:\n";
     for (const auto& s : surrogates) {
       const auto* p = best[s];
+      if (!p) {
+        os << "  " << s << ": no successful points\n";
+        continue;
+      }
       os << "  " << s << ": scale=" << fmt_f(p->scale, 2)
          << " acc=" << fmt_pct(p->result.accuracy, 2)
          << " fire-rate=" << fmt_pct(p->result.firing_rate, 2)
@@ -79,18 +109,26 @@ std::string render_fig1(const std::vector<SurrogateSweepPoint>& points) {
     }
     const auto* a = best[surrogates[0]];
     const auto* b = best[surrogates[1]];
-    const double ratio = b->result.fps_per_watt / a->result.fps_per_watt;
-    os << "efficiency " << surrogates[1] << " vs " << surrogates[0] << ": "
-       << fmt_x(ratio, 2) << " (paper: fast sigmoid ~1.11x arctangent)\n";
+    if (a && b && a->result.fps_per_watt > 0.0) {
+      const double ratio = b->result.fps_per_watt / a->result.fps_per_watt;
+      os << "efficiency " << surrogates[1] << " vs " << surrogates[0] << ": "
+         << fmt_x(ratio, 2) << " (paper: fast sigmoid ~1.11x arctangent)\n";
+    }
   }
+  append_failure_note(os, points);
   return os.str();
 }
 
 std::size_t best_accuracy_index(const std::vector<BetaThetaPoint>& points) {
   ST_REQUIRE(!points.empty(), "no points");
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < points.size(); ++i)
-    if (points[i].result.accuracy > points[best].result.accuracy) best = i;
+  std::size_t best = points.size();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].status != "done") continue;
+    if (best == points.size() ||
+        points[i].result.accuracy > points[best].result.accuracy)
+      best = i;
+  }
+  ST_REQUIRE(best < points.size(), "no successful sweep points");
   return best;
 }
 
@@ -101,6 +139,7 @@ std::size_t latency_knee_index(const std::vector<BetaThetaPoint>& points,
   std::size_t knee = best;
   double best_latency = points[best].result.latency_us;
   for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].status != "done") continue;
     if (points[i].result.accuracy < floor) continue;
     if (points[i].result.latency_us < best_latency) {
       best_latency = points[i].result.latency_us;
@@ -140,6 +179,8 @@ std::string render_fig2(const std::vector<BetaThetaPoint>& points) {
         const auto* p = find_point(b, t);
         if (!p) {
           row.push_back("-");
+        } else if (p->status != "done") {
+          row.push_back("fail");
         } else if (metric == 0) {
           row.push_back(fmt_pct(p->result.accuracy, 2));
         } else {
@@ -172,6 +213,7 @@ std::string render_fig2(const std::vector<BetaThetaPoint>& points) {
      << " for accuracy -" << fmt_pct(acc_drop, 2)
      << "  (paper: -48% latency for -2.88% accuracy at beta=0.5, "
         "theta=1.5)\n";
+  append_failure_note(os, points);
   return os.str();
 }
 
@@ -179,7 +221,7 @@ void write_fig1_csv(const std::vector<SurrogateSweepPoint>& points,
                     const std::string& path) {
   CsvWriter csv(path, {"surrogate", "scale", "accuracy", "firing_rate",
                        "latency_us", "throughput_fps", "watts",
-                       "fps_per_watt"});
+                       "fps_per_watt", "status"});
   for (const auto& p : points) {
     csv.write_row({p.surrogate, CsvWriter::cell(p.scale),
                    CsvWriter::cell(p.result.accuracy),
@@ -187,7 +229,7 @@ void write_fig1_csv(const std::vector<SurrogateSweepPoint>& points,
                    CsvWriter::cell(p.result.latency_us),
                    CsvWriter::cell(p.result.throughput_fps),
                    CsvWriter::cell(p.result.watts),
-                   CsvWriter::cell(p.result.fps_per_watt)});
+                   CsvWriter::cell(p.result.fps_per_watt), p.status});
   }
 }
 
@@ -195,7 +237,7 @@ void write_fig2_csv(const std::vector<BetaThetaPoint>& points,
                     const std::string& path) {
   CsvWriter csv(path, {"beta", "theta", "accuracy", "firing_rate",
                        "latency_us", "throughput_fps", "watts",
-                       "fps_per_watt"});
+                       "fps_per_watt", "status"});
   for (const auto& p : points) {
     csv.write_row({CsvWriter::cell(p.beta), CsvWriter::cell(p.theta),
                    CsvWriter::cell(p.result.accuracy),
@@ -203,7 +245,7 @@ void write_fig2_csv(const std::vector<BetaThetaPoint>& points,
                    CsvWriter::cell(p.result.latency_us),
                    CsvWriter::cell(p.result.throughput_fps),
                    CsvWriter::cell(p.result.watts),
-                   CsvWriter::cell(p.result.fps_per_watt)});
+                   CsvWriter::cell(p.result.fps_per_watt), p.status});
   }
 }
 

@@ -24,8 +24,9 @@ void write_fig1_csv(const std::vector<SurrogateSweepPoint>& points,
 void write_fig2_csv(const std::vector<BetaThetaPoint>& points,
                     const std::string& path);
 
-/// Selection helpers (shared by reports, benches, and tests).
-/// Index of the highest-accuracy point.
+/// Selection helpers (shared by reports, benches, and tests).  Points with
+/// status != "done" (failed sweep points) are skipped.
+/// Index of the highest-accuracy point; throws if every point failed.
 std::size_t best_accuracy_index(const std::vector<BetaThetaPoint>& points);
 /// Index of the lowest-latency point whose accuracy is within
 /// `max_accuracy_drop` (absolute) of the best accuracy.

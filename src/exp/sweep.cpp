@@ -1,8 +1,11 @@
 #include "exp/sweep.h"
 
+#include <cctype>
 #include <sstream>
 
 #include "core/error.h"
+#include "core/logging.h"
+#include "exp/journal.h"
 
 namespace spiketune::exp {
 
@@ -14,31 +17,91 @@ std::vector<double> fig2_betas() { return {0.25, 0.4, 0.5, 0.7, 0.9}; }
 
 std::vector<double> fig2_thetas() { return {0.5, 1.0, 1.5, 2.0, 2.5}; }
 
+namespace {
+
+/// Point keys double as checkpoint directory names; keep them filesystem-safe.
+std::string sanitize_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key)
+    out += std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-'
+               ? c
+               : '_';
+  return out;
+}
+
+SweepJournal open_journal(const SweepOptions& options) {
+  return options.journal_path.empty() ? SweepJournal()
+                                      : SweepJournal(options.journal_path);
+}
+
+void apply_point_options(const SweepOptions& options, const std::string& key,
+                         ExperimentConfig& cfg) {
+  if (!options.checkpoint_root.empty()) {
+    cfg.trainer.checkpoint_dir =
+        options.checkpoint_root + "/" + sanitize_key(key);
+    cfg.trainer.resume = options.resume;
+  }
+}
+
+/// Restores a journaled "done" result into `point`, returning true when the
+/// point can be skipped.  Failed entries return false so the point is
+/// re-attempted (its new entry supersedes the failure on replay).
+template <typename Point>
+bool restore_from_journal(const SweepJournal& journal, bool resume,
+                          const std::string& key, Point& point) {
+  if (!journal.enabled() || !resume) return false;
+  const JournalEntry* entry = journal.find(key);
+  if (!entry || entry->status != "done") return false;
+  point.result = SweepJournal::to_result(*entry);
+  point.status = "done";
+  point.from_journal = true;
+  return true;
+}
+
+}  // namespace
+
 std::vector<SurrogateSweepPoint> run_surrogate_sweep(
     const ExperimentConfig& base, const std::vector<std::string>& surrogates,
-    const std::vector<double>& scales, const Progress& progress) {
+    const std::vector<double>& scales, const Progress& progress,
+    const SweepOptions& options) {
   ST_REQUIRE(!surrogates.empty() && !scales.empty(),
              "sweep grids must not be empty");
+  validate(base);  // fail fast before hours of training
+  SweepJournal journal = open_journal(options);
   std::vector<SurrogateSweepPoint> points;
   points.reserve(surrogates.size() * scales.size());
   const std::size_t total = surrogates.size() * scales.size();
   std::size_t index = 0;
   for (const auto& surrogate : surrogates) {
     for (double scale : scales) {
-      ExperimentConfig cfg = base;
-      cfg.model.lif.surrogate =
-          snn::Surrogate::by_name(surrogate, static_cast<float>(scale));
-      if (progress) {
-        std::ostringstream label;
-        label << surrogate << " scale=" << scale;
-        progress(index, total, label.str());
-      }
+      std::ostringstream label;
+      label << surrogate << " scale=" << scale;
+      const std::string key = label.str();
+      if (progress) progress(index, total, key);
+      ++index;
+
       SurrogateSweepPoint p;
       p.surrogate = surrogate;
       p.scale = scale;
-      p.result = run_experiment(cfg);
+      if (restore_from_journal(journal, options.resume, key, p)) {
+        points.push_back(std::move(p));
+        continue;
+      }
+      try {
+        ExperimentConfig cfg = base;
+        cfg.model.lif.surrogate =
+            snn::Surrogate::by_name(surrogate, static_cast<float>(scale));
+        apply_point_options(options, key, cfg);
+        p.result = run_experiment(cfg);
+        journal.record_done(key, p.result);
+      } catch (const std::exception& ex) {
+        p.status = "failed";
+        p.error = ex.what();
+        journal.record_failed(key, ex.what());
+        ST_LOG_WARN << "sweep point '" << key << "' failed: " << ex.what();
+      }
       points.push_back(std::move(p));
-      ++index;
     }
   }
   return points;
@@ -46,34 +109,92 @@ std::vector<SurrogateSweepPoint> run_surrogate_sweep(
 
 std::vector<BetaThetaPoint> run_beta_theta_sweep(
     const ExperimentConfig& base, const std::vector<double>& betas,
-    const std::vector<double>& thetas, const Progress& progress) {
+    const std::vector<double>& thetas, const Progress& progress,
+    const SweepOptions& options) {
   ST_REQUIRE(!betas.empty() && !thetas.empty(),
              "sweep grids must not be empty");
+  validate(base);  // fail fast before hours of training
+  SweepJournal journal = open_journal(options);
   std::vector<BetaThetaPoint> points;
   points.reserve(betas.size() * thetas.size());
   const std::size_t total = betas.size() * thetas.size();
   std::size_t index = 0;
   for (double beta : betas) {
     for (double theta : thetas) {
-      ExperimentConfig cfg = base;
-      cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(
-          static_cast<float>(kFig2FastSigmoidSlope));
-      cfg.model.lif.beta = static_cast<float>(beta);
-      cfg.model.lif.threshold = static_cast<float>(theta);
-      if (progress) {
-        std::ostringstream label;
-        label << "beta=" << beta << " theta=" << theta;
-        progress(index, total, label.str());
-      }
+      std::ostringstream label;
+      label << "beta=" << beta << " theta=" << theta;
+      const std::string key = label.str();
+      if (progress) progress(index, total, key);
+      ++index;
+
       BetaThetaPoint p;
       p.beta = beta;
       p.theta = theta;
-      p.result = run_experiment(cfg);
+      if (restore_from_journal(journal, options.resume, key, p)) {
+        points.push_back(std::move(p));
+        continue;
+      }
+      try {
+        ExperimentConfig cfg = base;
+        cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(
+            static_cast<float>(kFig2FastSigmoidSlope));
+        cfg.model.lif.beta = static_cast<float>(beta);
+        cfg.model.lif.threshold = static_cast<float>(theta);
+        apply_point_options(options, key, cfg);
+        p.result = run_experiment(cfg);
+        journal.record_done(key, p.result);
+      } catch (const std::exception& ex) {
+        p.status = "failed";
+        p.error = ex.what();
+        journal.record_failed(key, ex.what());
+        ST_LOG_WARN << "sweep point '" << key << "' failed: " << ex.what();
+      }
       points.push_back(std::move(p));
-      ++index;
     }
   }
   return points;
+}
+
+void declare_sweep_flags(CliFlags& flags) {
+  flags.declare("journal", "",
+                "JSONL sweep journal; each point is recorded as it finishes "
+                "(empty = off)");
+  flags.declare("resume", "false",
+                "skip points the journal already marks done");
+  flags.declare("checkpoint-root", "",
+                "root directory for per-point training checkpoints "
+                "(empty = off)");
+}
+
+SweepOptions sweep_options_from_flags(const CliFlags& flags) {
+  SweepOptions options;
+  options.journal_path = flags.get("journal");
+  options.resume = flags.get_bool("resume");
+  options.checkpoint_root = flags.get("checkpoint-root");
+  return options;
+}
+
+std::vector<double> parse_double_list(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(item, &used);
+    } catch (const std::exception&) {
+      throw InvalidArgument("bad number in list: '" + item + "'");
+    }
+    ST_REQUIRE(used == item.size(), "bad number in list: '" + item + "'");
+    out.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace spiketune::exp

@@ -1,7 +1,6 @@
 #include "snn/checkpoint.h"
 
 #include "core/error.h"
-#include "core/serialize.h"
 
 namespace spiketune::snn {
 
@@ -18,30 +17,48 @@ std::vector<std::pair<std::string, Param*>> named_params(
 }
 }  // namespace
 
-void save_network(const std::string& path, SpikingNetwork& net) {
+std::vector<NamedTensor> network_records(SpikingNetwork& net,
+                                         const std::string& prefix) {
   std::vector<NamedTensor> records;
   for (auto& [name, param] : named_params(net))
-    records.push_back(NamedTensor{name, param->value});
-  save_checkpoint(path, records);
+    records.push_back(NamedTensor{prefix + name, param->value});
+  return records;
 }
 
-void load_network(const std::string& path, SpikingNetwork& net) {
-  const auto records = load_checkpoint(path);
+void load_network_records(const std::vector<NamedTensor>& records,
+                          SpikingNetwork& net, const std::string& prefix) {
   auto params = named_params(net);
-  ST_REQUIRE(records.size() == params.size(),
-             "checkpoint record count does not match network: " + path);
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& rec = records[i];
-    auto& [name, param] = params[i];
-    ST_REQUIRE(rec.name == name, "checkpoint record '" + rec.name +
-                                     "' does not match parameter '" + name +
-                                     "'");
+  std::size_t pi = 0;
+  for (const auto& rec : records) {
+    if (rec.name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string name = rec.name.substr(prefix.size());
+    ST_REQUIRE(pi < params.size(),
+               "checkpoint has more parameter records than the network "
+               "(extra record '" + rec.name + "')");
+    auto& [expected, param] = params[pi];
+    ST_REQUIRE(name == expected, "checkpoint record '" + name +
+                                     "' does not match parameter '" +
+                                     expected + "'");
     ST_REQUIRE(rec.value.shape() == param->value.shape(),
                "shape mismatch for " + name + ": checkpoint " +
                    rec.value.shape().str() + " vs network " +
                    param->value.shape().str());
     param->value = rec.value;
+    ++pi;
   }
+  ST_REQUIRE(pi == params.size(),
+             "checkpoint record count does not match network");
+}
+
+void save_network(const std::string& path, SpikingNetwork& net) {
+  save_checkpoint(path, network_records(net));
+}
+
+void load_network(const std::string& path, SpikingNetwork& net) {
+  const auto records = load_checkpoint(path);
+  ST_REQUIRE(records.size() == named_params(net).size(),
+             "checkpoint record count does not match network: " + path);
+  load_network_records(records, net);
 }
 
 }  // namespace spiketune::snn

@@ -6,16 +6,32 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "core/serialize.h"
 #include "snn/network.h"
 
 namespace spiketune::snn {
 
-/// Writes all parameters of `net` to `path`.
+/// Writes all parameters of `net` to `path` (atomic STK2 container).
 void save_network(const std::string& path, SpikingNetwork& net);
 
 /// Loads parameters saved by save_network into `net`.  Throws
 /// InvalidArgument if the record names or shapes do not match the network.
 void load_network(const std::string& path, SpikingNetwork& net);
+
+/// In-memory form of save_network: one record per parameter, each name
+/// prefixed with `prefix` ("<prefix><layer-index>.<param-name>").  Lets a
+/// caller bundle network weights with other state (optimizer moments,
+/// resume metadata) into a single atomic checkpoint.
+std::vector<NamedTensor> network_records(SpikingNetwork& net,
+                                         const std::string& prefix = "");
+
+/// Loads records produced by network_records back into `net`, validating
+/// names and shapes.  Records not starting with `prefix` are ignored; the
+/// matching subset must cover every parameter exactly, in order.
+void load_network_records(const std::vector<NamedTensor>& records,
+                          SpikingNetwork& net,
+                          const std::string& prefix = "");
 
 }  // namespace spiketune::snn

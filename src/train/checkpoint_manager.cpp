@@ -1,0 +1,90 @@
+#include "train/checkpoint_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/error.h"
+
+namespace spiketune::train {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kPrefix = "ckpt-";
+constexpr const char* kSuffix = ".stk";
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, std::int64_t keep_last)
+    : dir_(std::move(dir)), keep_last_(keep_last) {
+  ST_REQUIRE(!dir_.empty(), "checkpoint directory must not be empty");
+  ST_REQUIRE(keep_last_ >= 1, "keep_last must be >= 1");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  ST_REQUIRE(!ec && fs::is_directory(dir_),
+             "cannot create checkpoint directory: " + dir_);
+}
+
+std::string CheckpointManager::path_for_epoch(std::int64_t epoch) const {
+  ST_REQUIRE(enabled(), "checkpointing is disabled");
+  ST_REQUIRE(epoch >= 0, "epoch must be non-negative");
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06lld%s", kPrefix,
+                static_cast<long long>(epoch), kSuffix);
+  return dir_ + "/" + name;
+}
+
+std::optional<std::int64_t> CheckpointManager::epoch_of(
+    const std::string& filename) {
+  const std::string prefix(kPrefix);
+  const std::string suffix(kSuffix);
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0)
+    return std::nullopt;
+  const std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::int64_t epoch = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    epoch = epoch * 10 + (c - '0');
+  }
+  return epoch;
+}
+
+std::vector<std::string> CheckpointManager::list() const {
+  ST_REQUIRE(enabled(), "checkpointing is disabled");
+  std::vector<std::pair<std::int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (const auto epoch = epoch_of(name))
+      found.emplace_back(*epoch, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [epoch, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+std::optional<std::string> CheckpointManager::latest() const {
+  auto paths = list();
+  if (paths.empty()) return std::nullopt;
+  return paths.back();
+}
+
+void CheckpointManager::prune() const {
+  auto paths = list();
+  if (static_cast<std::int64_t>(paths.size()) <= keep_last_) return;
+  const std::size_t excess = paths.size() - static_cast<std::size_t>(keep_last_);
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code ec;
+    fs::remove(paths[i], ec);  // best-effort; a stale file is harmless
+  }
+}
+
+}  // namespace spiketune::train

@@ -1,0 +1,50 @@
+// Checkpoint directory management for crash-safe training.
+//
+// A CheckpointManager owns one directory of epoch-stamped STK2 files named
+// `ckpt-NNNNNN.stk`.  The trainer writes through core/serialize's atomic
+// temp+rename path, so the directory only ever contains complete files; this
+// class adds discovery (latest checkpoint on resume) and keep-last-K
+// retention so long sweeps don't fill the disk.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace spiketune::train {
+
+class CheckpointManager {
+ public:
+  /// Disabled manager (enabled() == false); every other call is invalid.
+  CheckpointManager() = default;
+
+  /// Creates `dir` (and parents) if missing.  `keep_last` >= 1 bounds how
+  /// many checkpoint files prune() retains.
+  CheckpointManager(std::string dir, std::int64_t keep_last);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  /// `<dir>/ckpt-NNNNNN.stk` for a (0-based) completed-epoch count.
+  std::string path_for_epoch(std::int64_t epoch) const;
+
+  /// Epoch encoded in a checkpoint filename, or nullopt for other files.
+  static std::optional<std::int64_t> epoch_of(const std::string& filename);
+
+  /// Path of the highest-epoch checkpoint currently in the directory.
+  std::optional<std::string> latest() const;
+
+  /// All checkpoint paths in the directory, ascending by epoch.
+  std::vector<std::string> list() const;
+
+  /// Deletes the oldest checkpoints beyond keep_last.  Never touches the
+  /// newest file, temp files, or anything not matching the naming scheme.
+  void prune() const;
+
+ private:
+  std::string dir_;
+  std::int64_t keep_last_ = 0;
+};
+
+}  // namespace spiketune::train

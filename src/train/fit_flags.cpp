@@ -1,0 +1,29 @@
+#include "train/fit_flags.h"
+
+namespace spiketune::train {
+
+void declare_fit_flags(CliFlags& flags) {
+  flags.declare("checkpoint-dir", "",
+                "directory for crash-safe training checkpoints (empty = off)");
+  flags.declare("checkpoint-every", "1",
+                "save training state every N completed epochs");
+  flags.declare("keep-last", "3", "retain only the newest K checkpoints");
+  flags.declare("resume", "false",
+                "resume from the newest checkpoint / sweep journal");
+  flags.declare("stop-after", "0",
+                "stop after N epochs this run (0 = run to completion; "
+                "simulates an interrupt, resumable with --resume)");
+  flags.declare("nan-policy", "throw",
+                "on NaN/Inf loss or gradients: throw | skip-batch | rollback");
+}
+
+void apply_fit_flags(const CliFlags& flags, TrainerConfig& config) {
+  config.checkpoint_dir = flags.get("checkpoint-dir");
+  config.checkpoint_every = flags.get_int("checkpoint-every");
+  config.keep_last = flags.get_int("keep-last");
+  config.resume = flags.get_bool("resume");
+  config.stop_after_epochs = flags.get_int("stop-after");
+  config.nan_policy = nan_policy_by_name(flags.get("nan-policy"));
+}
+
+}  // namespace spiketune::train

@@ -1,0 +1,29 @@
+// Shared crash-safety CLI plumbing for every trainable driver.
+//
+//   CliFlags flags;
+//   train::declare_fit_flags(flags);
+//   flags.parse(...);
+//   train::apply_fit_flags(flags, cfg.trainer);
+//
+// Flags:
+//   --checkpoint-dir <dir>   persist training state here (atomic STK2)
+//   --checkpoint-every <n>   save every N completed epochs (default 1)
+//   --keep-last <k>          retain only the newest K checkpoints
+//   --resume                 resume from the newest checkpoint / journal
+//   --stop-after <n>         stop after N epochs this run (simulated kill)
+//   --nan-policy <p>         throw | skip-batch | rollback
+#pragma once
+
+#include "core/cli.h"
+#include "train/trainer.h"
+
+namespace spiketune::train {
+
+/// Declares the crash-safety flags listed above on `flags`.
+void declare_fit_flags(CliFlags& flags);
+
+/// Reads the crash-safety flags (after parse()) into `config`.  Throws
+/// InvalidArgument on a bad --nan-policy or negative counts.
+void apply_fit_flags(const CliFlags& flags, TrainerConfig& config);
+
+}  // namespace spiketune::train

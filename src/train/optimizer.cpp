@@ -22,6 +22,49 @@ void Optimizer::set_lr(double lr) {
   lr_ = lr;
 }
 
+void Optimizer::export_state(const std::string&,
+                             std::vector<NamedTensor>&) const {}
+
+void Optimizer::import_state(const std::string&,
+                             const std::vector<NamedTensor>&) {}
+
+namespace {
+// Shared export/import for one named list of per-parameter state tensors
+// ("<prefix><label>.<i>").  Import validates count and shapes so a
+// checkpoint from a different topology fails loudly.
+void export_tensor_list(const std::string& prefix, const std::string& label,
+                        const std::vector<Tensor>& tensors,
+                        std::vector<NamedTensor>& out) {
+  for (std::size_t i = 0; i < tensors.size(); ++i)
+    out.push_back(
+        NamedTensor{prefix + label + "." + std::to_string(i), tensors[i]});
+}
+
+void import_tensor_list(const std::string& prefix, const std::string& label,
+                        std::vector<Tensor>& tensors,
+                        const std::vector<NamedTensor>& records) {
+  const std::string full = prefix + label + ".";
+  std::size_t next = 0;
+  for (const auto& rec : records) {
+    if (rec.name.compare(0, full.size(), full) != 0) continue;
+    ST_REQUIRE(next < tensors.size(),
+               "optimizer state '" + rec.name + "' has no matching slot");
+    ST_REQUIRE(rec.name == full + std::to_string(next),
+               "optimizer state out of order at '" + rec.name + "'");
+    ST_REQUIRE(rec.value.shape() == tensors[next].shape(),
+               "optimizer state shape mismatch for " + rec.name + ": " +
+                   rec.value.shape().str() + " vs " +
+                   tensors[next].shape().str());
+    tensors[next] = rec.value;
+    ++next;
+  }
+  ST_REQUIRE(next == tensors.size(),
+             "optimizer state for '" + label + "' is incomplete (" +
+                 std::to_string(next) + "/" + std::to_string(tensors.size()) +
+                 " records)");
+}
+}  // namespace
+
 Sgd::Sgd(std::vector<snn::Param*> params, double lr, double momentum,
          double weight_decay)
     : Optimizer(std::move(params), lr),
@@ -57,6 +100,16 @@ void Sgd::step() {
   }
 }
 
+void Sgd::export_state(const std::string& prefix,
+                       std::vector<NamedTensor>& out) const {
+  export_tensor_list(prefix, "sgd.vel", velocity_, out);
+}
+
+void Sgd::import_state(const std::string& prefix,
+                       const std::vector<NamedTensor>& records) {
+  import_tensor_list(prefix, "sgd.vel", velocity_, records);
+}
+
 Adam::Adam(std::vector<snn::Param*> params, double lr, double beta1,
            double beta2, double eps, double weight_decay)
     : Optimizer(std::move(params), lr),
@@ -73,6 +126,23 @@ Adam::Adam(std::vector<snn::Param*> params, double lr, double beta1,
     m_.emplace_back(p->value.shape());
     v_.emplace_back(p->value.shape());
   }
+}
+
+void Adam::set_step_count(std::int64_t t) {
+  ST_REQUIRE(t >= 0, "Adam step count must be non-negative");
+  t_ = t;
+}
+
+void Adam::export_state(const std::string& prefix,
+                        std::vector<NamedTensor>& out) const {
+  export_tensor_list(prefix, "adam.m", m_, out);
+  export_tensor_list(prefix, "adam.v", v_, out);
+}
+
+void Adam::import_state(const std::string& prefix,
+                        const std::vector<NamedTensor>& records) {
+  import_tensor_list(prefix, "adam.m", m_, records);
+  import_tensor_list(prefix, "adam.v", v_, records);
 }
 
 void Adam::step() {

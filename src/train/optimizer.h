@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/serialize.h"
 #include "snn/layers.h"
 
 namespace spiketune::train {
@@ -22,6 +23,21 @@ class Optimizer {
   double lr() const { return lr_; }
   virtual std::string name() const = 0;
 
+  /// Number of step() calls so far (the resume-relevant scalar state; Adam
+  /// bias correction depends on it).
+  virtual std::int64_t step_count() const { return 0; }
+  virtual void set_step_count(std::int64_t) {}
+
+  /// Appends the optimizer's internal tensor state (momentum/moments) as
+  /// named records under `prefix`, for crash-safe training checkpoints.
+  /// The base optimizer has none.
+  virtual void export_state(const std::string& prefix,
+                            std::vector<NamedTensor>& out) const;
+  /// Restores state written by export_state (records not under `prefix` are
+  /// ignored).  Throws InvalidArgument on name/shape/count mismatch.
+  virtual void import_state(const std::string& prefix,
+                            const std::vector<NamedTensor>& records);
+
  protected:
   std::vector<snn::Param*> params_;
   double lr_;
@@ -35,6 +51,10 @@ class Sgd final : public Optimizer {
 
   void step() override;
   std::string name() const override { return "sgd"; }
+  void export_state(const std::string& prefix,
+                    std::vector<NamedTensor>& out) const override;
+  void import_state(const std::string& prefix,
+                    const std::vector<NamedTensor>& records) override;
 
  private:
   double momentum_;
@@ -50,6 +70,12 @@ class Adam final : public Optimizer {
 
   void step() override;
   std::string name() const override { return "adam"; }
+  std::int64_t step_count() const override { return t_; }
+  void set_step_count(std::int64_t t) override;
+  void export_state(const std::string& prefix,
+                    std::vector<NamedTensor>& out) const override;
+  void import_state(const std::string& prefix,
+                    const std::vector<NamedTensor>& records) override;
 
  private:
   double beta1_, beta2_, eps_, weight_decay_;

@@ -3,11 +3,26 @@
 // Mirrors the paper's setup: mini-batch BPTT with Adam and cosine-annealing
 // learning rate over a fixed epoch budget; evaluation measures accuracy and
 // the per-layer firing statistics the hardware model maps.
+//
+// Fault tolerance: fit() can periodically persist the *complete* training
+// state (weights, Adam moments and step count, LR-schedule position, encoder
+// stream counters, loader seed, config fingerprint) to an atomic STK2
+// checkpoint directory, and resume from the newest one.  Because every
+// kernel is bit-identical across thread counts (core/parallel) and all
+// randomness is counter-based, an interrupted-then-resumed run produces
+// bit-identical final weights and metrics to an uninterrupted one.  A
+// per-batch numerical health monitor guards against NaN/Inf blow-ups with a
+// configurable policy (throw / skip the batch / roll back to the last
+// checkpoint with an LR cut).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 
+#include "core/error.h"
+#include "core/serialize.h"
 #include "data/dataloader.h"
 #include "data/encoders.h"
 #include "snn/loss.h"
@@ -17,6 +32,16 @@
 #include "train/optimizer.h"
 
 namespace spiketune::train {
+
+/// What to do when a batch produces a non-finite loss or gradient.
+enum class NanPolicy {
+  kThrow,      // raise NumericalError immediately (default)
+  kSkipBatch,  // drop the batch's update and keep training
+  kRollback,   // restore the last checkpoint and cut the LR
+};
+
+NanPolicy nan_policy_by_name(const std::string& name);
+const char* nan_policy_name(NanPolicy policy);
 
 struct TrainerConfig {
   std::int64_t epochs = 25;      // paper: cosine annealing over 25 epochs
@@ -31,6 +56,39 @@ struct TrainerConfig {
   /// bit-identical for any value (see core/parallel.h), so this only
   /// changes wall-clock time, never training outcomes.
   int threads = 0;
+
+  // -- crash safety ---------------------------------------------------------
+  /// Directory for training-state checkpoints; empty disables them.
+  std::string checkpoint_dir;
+  /// Save every N completed epochs (the final epoch always saves).
+  std::int64_t checkpoint_every = 1;
+  /// Retention: keep only the newest K checkpoint files.
+  std::int64_t keep_last = 3;
+  /// Resume from the newest checkpoint in checkpoint_dir, if any.
+  bool resume = false;
+  /// Testing/CI: stop fit() after running N epochs *in this process* (0 =
+  /// run to completion).  Simulates an interrupt at a clean epoch boundary;
+  /// combine with resume to continue.
+  std::int64_t stop_after_epochs = 0;
+
+  // -- numerical guard rails ------------------------------------------------
+  /// Per-batch NaN/Inf checks on the loss and gradient norm.
+  bool health_checks = true;
+  NanPolicy nan_policy = NanPolicy::kThrow;
+  /// Multiplier applied to the LR after each rollback (kRollback only).
+  double rollback_lr_cut = 0.5;
+  /// Give up (throw NumericalError) after this many rollbacks in one fit().
+  int max_rollbacks = 3;
+};
+
+/// Thrown out of train_epoch when the health monitor trips under
+/// NanPolicy::kRollback; fit() catches it and restores the last checkpoint.
+/// Derives from NumericalError so standalone train_epoch callers still see
+/// a typed numerical failure.
+class RollbackRequested : public spiketune::NumericalError {
+ public:
+  explicit RollbackRequested(const std::string& what)
+      : spiketune::NumericalError(what) {}
 };
 
 class Trainer {
@@ -45,6 +103,7 @@ class Trainer {
 
   /// Full training run: epochs x train_epoch with a fresh Adam + cosine
   /// schedule per TrainerConfig.  Optional per-epoch callback (may be null).
+  /// Honors checkpoint_dir / resume / nan_policy (see TrainerConfig).
   using EpochCallback = std::function<void(const EpochMetrics&)>;
   void fit(data::DataLoader& loader, const EpochCallback& on_epoch = {});
 
@@ -61,15 +120,51 @@ class Trainer {
   /// rate-coding noise.
   static std::uint64_t eval_stream(std::uint64_t call, std::uint64_t batch);
 
+  /// Persists the complete training state (weights, optimizer, counters) to
+  /// `path` as one atomic STK2 checkpoint.  `next_epoch` is the epoch a
+  /// resumed run should execute next.
+  void save_training_state(const std::string& path, const Optimizer& opt,
+                           std::int64_t next_epoch,
+                           const data::DataLoader& loader);
+
+  /// Restores state written by save_training_state; returns the epoch to
+  /// run next.  Throws InvalidArgument on a fingerprint mismatch (the
+  /// checkpoint came from a different training setup) or missing metadata.
+  std::int64_t restore_training_state(const std::string& path, Optimizer& opt,
+                                      const data::DataLoader& loader);
+
+  /// Hash of everything that determines the training trajectory: trainer
+  /// hyperparameters, loader seed/batching, encoder/loss identity, and the
+  /// network's parameter names and shapes.  Stored in checkpoints so resume
+  /// refuses state from a different setup instead of silently diverging.
+  std::uint64_t config_fingerprint(const data::DataLoader& loader) const;
+
   const TrainerConfig& config() const { return config_; }
 
  private:
+  /// Checks loss/gradients for NaN/Inf after a batch's backward pass.
+  /// Returns true if the batch is healthy (or checks are off); on an
+  /// unhealthy batch applies the configured policy (throw / skip).
+  bool batch_is_healthy(double loss, std::int64_t epoch, std::int64_t batch);
+
   snn::SpikingNetwork& net_;
   const data::SpikeEncoder& encoder_;
   const snn::Loss& loss_;
   TrainerConfig config_;
   std::uint64_t encode_stream_ = 0;  // decorrelates encoder draws per batch
   std::uint64_t eval_calls_ = 0;     // evaluate() invocations so far
+  double lr_scale_ = 1.0;            // cumulative rollback LR cut
 };
+
+namespace testing {
+/// Test-only fault injection for the numerical health monitor.  When set,
+/// called once per training batch with (epoch, batch index); returning true
+/// replaces that batch's loss with NaN (force_nan_loss) or poisons the first
+/// parameter's gradient with Inf (force_nan_grad) *after* the backward pass,
+/// so every recovery path can be exercised deterministically.  Not
+/// thread-safe; tests must reset to nullptr when done.
+extern std::function<bool(std::int64_t, std::int64_t)> force_nan_loss;
+extern std::function<bool(std::int64_t, std::int64_t)> force_nan_grad;
+}  // namespace testing
 
 }  // namespace spiketune::train
