@@ -12,6 +12,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
 
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -50,6 +52,8 @@ int main(int argc, char** argv) {
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   try {
     train::apply_fit_flags(flags, base.trainer);
+    exp::apply_ledger_flags(base, flags, argc, argv);
+    base.ledger.run_id = "ablation_allocation";
     exp::validate(base);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);

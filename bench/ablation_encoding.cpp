@@ -9,6 +9,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   table.set_title("same topology/hyperparameters, three input codings");
   try {
     train::apply_fit_flags(flags, base.trainer);
+    exp::apply_ledger_flags(base, flags, argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -61,6 +64,10 @@ int main(int argc, char** argv) {
     cfg.encoder = enc;
     if (!cfg.trainer.checkpoint_dir.empty())
       cfg.trainer.checkpoint_dir += std::string("/") + enc;
+    if (!cfg.ledger.dir.empty()) {
+      cfg.ledger.run_id = enc;    // one JSONL stream per encoder
+      cfg.trainer.run_tag = enc;  // namespaces the firing-rate gauges
+    }
     // Rate/latency coding needs [0,1] intensities, not standardized ones;
     // boost init so binary inputs can drive the stack (see model_zoo).
     if (std::string(enc) != "direct") {

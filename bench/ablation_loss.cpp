@@ -10,6 +10,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   table.set_title("same topology/hyperparameters, two losses");
   try {
     train::apply_fit_flags(flags, base.trainer);
+    exp::apply_ledger_flags(base, flags, argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -62,6 +65,10 @@ int main(int argc, char** argv) {
     cfg.loss = loss;
     if (!cfg.trainer.checkpoint_dir.empty())
       cfg.trainer.checkpoint_dir += std::string("/") + loss;
+    if (!cfg.ledger.dir.empty()) {
+      cfg.ledger.run_id = loss;    // one JSONL stream per loss
+      cfg.trainer.run_tag = loss;  // namespaces the firing-rate gauges
+    }
     const auto r = exp::run_experiment(cfg);
     table.add_row({loss, fmt_pct(r.final_train_accuracy, 1),
                    fmt_pct(r.accuracy, 1), fmt_pct(r.firing_rate, 2),

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const auto scales = flags.get("scales").empty()
                           ? exp::fig1_scales()
                           : exp::parse_double_list(flags.get("scales"));
-  const auto options = exp::sweep_options_from_flags(flags);
+  const auto options = exp::sweep_options_from_flags(flags, argc, argv);
 
   std::cout << "== FIG1: surrogate derivative-scale sweep (preset="
             << flags.get("preset") << ", device=" << base.accel.device.name

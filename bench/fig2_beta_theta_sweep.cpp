@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
                   << "...\n"
                   << std::flush;
       },
-      exp::sweep_options_from_flags(flags));
+      exp::sweep_options_from_flags(flags, argc, argv));
 
   std::cout << "\n" << exp::render_fig2(points);
   if (!flags.get("csv").empty()) {

@@ -15,6 +15,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "hw/baseline.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
@@ -29,6 +30,10 @@ exp::ExperimentResult run_point(exp::ExperimentConfig base, double beta,
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   if (!base.trainer.checkpoint_dir.empty())
     base.trainer.checkpoint_dir += std::string("/") + tag;
+  if (!base.ledger.dir.empty()) {
+    base.ledger.run_id = tag;      // one JSONL stream per configuration
+    base.trainer.run_tag = tag;    // namespaces the firing-rate gauges
+  }
   return exp::run_experiment(base);
 }
 }  // namespace
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   declare_threads_flag(flags);
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -64,6 +70,7 @@ int main(int argc, char** argv) {
   base.accel.device = hw::device_by_name(flags.get("device"));
   try {
     train::apply_fit_flags(flags, base.trainer);
+    exp::apply_ledger_flags(base, flags, argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;

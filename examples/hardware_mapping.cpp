@@ -8,6 +8,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "hw/baseline.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -37,6 +39,8 @@ int main(int argc, char** argv) {
   cfg.validate_with_sim = true;
   try {
     train::apply_fit_flags(flags, cfg.trainer);
+    exp::apply_ledger_flags(cfg, flags, argc, argv);
+    cfg.ledger.run_id = "hardware_mapping";
     exp::validate(cfg);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);

@@ -11,6 +11,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
                 "max allowed accuracy drop vs the best configuration");
   declare_threads_flag(flags);
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   try {
     train::apply_fit_flags(flags, base.trainer);
+    exp::apply_ledger_flags(base, flags, argc, argv);
     exp::validate(base);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
@@ -80,6 +83,12 @@ int main(int argc, char** argv) {
       dir << cfg.trainer.checkpoint_dir << "/beta" << beta << "_theta"
           << theta;
       cfg.trainer.checkpoint_dir = dir.str();
+    }
+    if (!cfg.ledger.dir.empty()) {
+      std::ostringstream id;
+      id << "beta" << beta << "_theta" << theta;
+      cfg.ledger.run_id = id.str();   // one JSONL stream per candidate
+      cfg.trainer.run_tag = id.str();  // namespaces the firing-rate gauges
     }
     candidates.push_back({beta, theta, exp::run_experiment(cfg)});
   }

@@ -13,6 +13,7 @@
 #include "core/logging.h"
 #include "core/table.h"
 #include "exp/experiment.h"
+#include "exp/ledger_flags.h"
 #include "obs/flags.h"
 #include "train/fit_flags.h"
 
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   declare_threads_flag(flags);
   train::declare_fit_flags(flags);
+  exp::declare_ledger_flags(flags);
   obs::declare_telemetry_flags(flags);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -53,6 +55,8 @@ int main(int argc, char** argv) {
   cfg.validate_with_sim = true;
   try {
     train::apply_fit_flags(flags, cfg.trainer);
+    exp::apply_ledger_flags(cfg, flags, argc, argv);
+    cfg.ledger.run_id = "quickstart";
     exp::validate(cfg);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "hw/accelerator.h"
+#include "obs/spike_health.h"
 #include "snn/model_zoo.h"
 #include "train/trainer.h"
 
@@ -21,6 +22,27 @@ enum class Profile { kFast, kPaper, kSmoke };
 
 Profile profile_by_name(const std::string& name);
 const char* profile_name(Profile profile);
+
+/// Run-ledger settings for one experiment (see obs/ledger.h).  When `dir`
+/// is set, run_experiment writes `<dir>/<sanitized run_id>.jsonl`: a
+/// manifest, one epoch record per epoch (training metrics + per-layer spike
+/// densities from a probe pass + live hardware projections), spike-health
+/// warnings, and a final record.  The probe pass draws from its own stream
+/// namespace (Trainer::probe_stream), so enabling the ledger never changes
+/// training or evaluation numbers.
+struct LedgerConfig {
+  /// Directory receiving one JSONL stream per run; empty disables.
+  std::string dir;
+  /// Stream name inside `dir` (sanitized for the filesystem); sweeps set
+  /// this to the point key.
+  std::string run_id = "run";
+  /// The driver's command line, recorded verbatim in the manifest.
+  std::string argv;
+  /// Test-loader batches probed per epoch for spike densities.
+  std::int64_t probe_batches = 2;
+  /// Spike-health detector thresholds.
+  obs::SpikeHealthConfig health;
+};
 
 struct ExperimentConfig {
   // Data.
@@ -55,6 +77,9 @@ struct ExperimentConfig {
   // Hardware mapping.
   hw::AcceleratorConfig accel;
   bool validate_with_sim = false;
+
+  // Observability: the per-run JSONL ledger (off by default).
+  LedgerConfig ledger;
 
   /// Profile presets (model.lif left at paper defaults).
   static ExperimentConfig for_profile(Profile profile);

@@ -1,0 +1,39 @@
+#include "exp/ledger_flags.h"
+
+#include <cctype>
+
+namespace spiketune::exp {
+
+void declare_ledger_flags(CliFlags& flags) {
+  flags.declare("ledger", "",
+                "directory for per-run JSONL ledgers (manifest + per-epoch "
+                "sparsity/hardware trajectories; empty = off; render with "
+                "render_dashboard)");
+}
+
+void apply_ledger_flags(ExperimentConfig& config, const CliFlags& flags,
+                        int argc, char** argv) {
+  config.ledger.dir = flags.get("ledger");
+  config.ledger.argv = join_argv(argc, argv);
+}
+
+std::string sanitize_run_id(const std::string& run_id) {
+  std::string out;
+  out.reserve(run_id.size());
+  for (char c : run_id)
+    out += std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-'
+               ? c
+               : '_';
+  return out;
+}
+
+std::string join_argv(int argc, char** argv) {
+  std::string out;
+  for (int i = 0; i < argc; ++i) {
+    if (i) out += ' ';
+    out += argv[i];
+  }
+  return out;
+}
+
+}  // namespace spiketune::exp

@@ -1,0 +1,36 @@
+// Run-ledger CLI plumbing shared by the trainable drivers.
+//
+//   CliFlags flags;
+//   exp::declare_ledger_flags(flags);
+//   flags.parse(argc, argv);
+//   exp::apply_ledger_flags(cfg, flags, argc, argv);  // sets cfg.ledger
+//
+// Flags:
+//   --ledger <dir>   write one <run_id>.jsonl run ledger per run into <dir>
+//                    (see obs/ledger.h; render with bench/render_dashboard)
+#pragma once
+
+#include <string>
+
+#include "core/cli.h"
+#include "exp/experiment.h"
+
+namespace spiketune::exp {
+
+/// Declares --ledger on `flags`.
+void declare_ledger_flags(CliFlags& flags);
+
+/// Reads --ledger (after parse()) into `config.ledger.dir` and records the
+/// driver's command line in `config.ledger.argv` for the manifest.
+void apply_ledger_flags(ExperimentConfig& config, const CliFlags& flags,
+                        int argc, char** argv);
+
+/// Filesystem-safe run id: non-[alnum . -] characters become '_'.  Shared
+/// with the sweeps, whose point keys ("beta=0.25 theta=1") name both
+/// checkpoint directories and ledger streams.
+std::string sanitize_run_id(const std::string& run_id);
+
+/// Joins argv into one space-separated command line.
+std::string join_argv(int argc, char** argv);
+
+}  // namespace spiketune::exp

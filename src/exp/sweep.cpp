@@ -1,11 +1,11 @@
 #include "exp/sweep.h"
 
-#include <cctype>
 #include <sstream>
 
 #include "core/error.h"
 #include "core/logging.h"
 #include "exp/journal.h"
+#include "exp/ledger_flags.h"
 
 namespace spiketune::exp {
 
@@ -19,17 +19,6 @@ std::vector<double> fig2_thetas() { return {0.5, 1.0, 1.5, 2.0, 2.5}; }
 
 namespace {
 
-/// Point keys double as checkpoint directory names; keep them filesystem-safe.
-std::string sanitize_key(const std::string& key) {
-  std::string out;
-  out.reserve(key.size());
-  for (char c : key)
-    out += std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-'
-               ? c
-               : '_';
-  return out;
-}
-
 SweepJournal open_journal(const SweepOptions& options) {
   return options.journal_path.empty() ? SweepJournal()
                                       : SweepJournal(options.journal_path);
@@ -37,10 +26,19 @@ SweepJournal open_journal(const SweepOptions& options) {
 
 void apply_point_options(const SweepOptions& options, const std::string& key,
                          ExperimentConfig& cfg) {
+  // Point keys double as checkpoint/ledger names; sanitize_run_id keeps
+  // them filesystem-safe.
   if (!options.checkpoint_root.empty()) {
     cfg.trainer.checkpoint_dir =
-        options.checkpoint_root + "/" + sanitize_key(key);
+        options.checkpoint_root + "/" + sanitize_run_id(key);
     cfg.trainer.resume = options.resume;
+  }
+  if (!options.ledger_root.empty()) {
+    cfg.ledger.dir = options.ledger_root;
+    cfg.ledger.run_id = key;  // sanitized again when the stream opens
+    cfg.ledger.argv = options.argv;
+    // Namespace this point's per-layer firing-rate gauges.
+    cfg.trainer.run_tag = sanitize_run_id(key);
   }
 }
 
@@ -164,13 +162,19 @@ void declare_sweep_flags(CliFlags& flags) {
   flags.declare("checkpoint-root", "",
                 "root directory for per-point training checkpoints "
                 "(empty = off)");
+  flags.declare("ledger", "",
+                "directory for per-point run ledgers (one JSONL stream per "
+                "sweep point; empty = off; render with render_dashboard)");
 }
 
-SweepOptions sweep_options_from_flags(const CliFlags& flags) {
+SweepOptions sweep_options_from_flags(const CliFlags& flags, int argc,
+                                      char** argv) {
   SweepOptions options;
   options.journal_path = flags.get("journal");
   options.resume = flags.get_bool("resume");
   options.checkpoint_root = flags.get("checkpoint-root");
+  options.ledger_root = flags.get("ledger");
+  if (argc > 0 && argv) options.argv = join_argv(argc, argv);
   return options;
 }
 

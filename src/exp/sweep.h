@@ -61,6 +61,13 @@ struct SweepOptions {
   /// `<checkpoint_root>/<sanitized point key>`, so an interrupted point
   /// resumes mid-training rather than restarting its epochs.
   std::string checkpoint_root;
+  /// When set, each point writes a run ledger to
+  /// `<ledger_root>/<sanitized point key>.jsonl` (see obs/ledger.h);
+  /// render the directory with bench/render_dashboard.
+  std::string ledger_root;
+  /// Command line recorded in each ledger's manifest (drivers pass their
+  /// argv via exp::join_argv).
+  std::string argv;
 };
 
 /// Fig. 1: trains one model per (surrogate, scale) with beta/theta at the
@@ -84,8 +91,12 @@ inline constexpr double kFig2FastSigmoidSlope = 0.25;
 ///   --journal <path>          JSONL sweep journal (empty = off)
 ///   --resume                  skip journal-completed points on restart
 ///   --checkpoint-root <dir>   per-point training checkpoint directories
+///   --ledger <dir>            per-point run ledgers (one JSONL per point)
 void declare_sweep_flags(CliFlags& flags);
-SweepOptions sweep_options_from_flags(const CliFlags& flags);
+/// Reads the sweep flags; pass argc/argv so per-point ledgers record the
+/// driver's command line in their manifests.
+SweepOptions sweep_options_from_flags(const CliFlags& flags, int argc = 0,
+                                      char** argv = nullptr);
 
 /// Parses a comma-separated list of doubles ("0.5,1,2").  Throws
 /// InvalidArgument on empty elements or trailing garbage.

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/table.h"
+#include "hw/project.h"
 
 namespace spiketune::hw {
 
@@ -14,11 +15,13 @@ MappingReport Accelerator::map(const snn::SpikingNetwork& net,
                                std::int64_t timesteps,
                                bool validate_with_sim) const {
   MappingReport report;
-  report.workloads = extract_workloads(net, record, timesteps);
-  report.allocation =
-      allocate(report.workloads, config_.device, config_.policy);
-  report.perf = analyze(report.workloads, report.allocation, config_.device,
-                        timesteps, config_.mode);
+  // Same analytic pipeline the per-epoch ledger projection uses, so the
+  // end-of-run report and the trajectory's last point always agree.
+  HwProjection projection = project_from_record(net, record, timesteps,
+                                                config_);
+  report.workloads = std::move(projection.workloads);
+  report.allocation = std::move(projection.allocation);
+  report.perf = std::move(projection.perf);
   if (validate_with_sim) {
     Rng rng(0x51badc0deULL);
     const SpikeTrace trace = random_trace(report.workloads, timesteps, rng);

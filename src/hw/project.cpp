@@ -1,0 +1,30 @@
+#include "hw/project.h"
+
+namespace spiketune::hw {
+
+HwProjection project_from_record(const snn::SpikingNetwork& net,
+                                 const snn::SpikeRecord& record,
+                                 std::int64_t timesteps,
+                                 const AcceleratorConfig& config) {
+  HwProjection p;
+  p.workloads = extract_workloads(net, record, timesteps);
+  p.allocation = allocate(p.workloads, config.device, config.policy);
+  p.perf =
+      analyze(p.workloads, p.allocation, config.device, timesteps, config.mode);
+  return p;
+}
+
+std::vector<std::pair<std::string, double>> projection_values(
+    const HwProjection& projection) {
+  const PerfReport& perf = projection.perf;
+  return {
+      {"stage_cycles", perf.stage_cycles},
+      {"latency_us", perf.latency_s * 1e6},
+      {"throughput_fps", perf.throughput_fps},
+      {"watts", perf.power.total()},
+      {"fps_per_watt", perf.fps_per_watt},
+      {"total_pes", static_cast<double>(projection.allocation.total_pes)},
+  };
+}
+
+}  // namespace spiketune::hw

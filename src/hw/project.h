@@ -1,0 +1,40 @@
+// Lightweight per-epoch hardware projection for the run ledger.
+//
+// The full Accelerator::map facade is the end-of-run path (it can also run
+// the cycle-level event simulator).  During training the ledger wants a
+// cheap analytic-only projection every epoch — the paper's causal chain
+// (firing rate -> stage cycles -> latency / FPS / FPS/W) rendered as a
+// trajectory rather than a single end point.  project_from_record runs
+// workload extraction + PE allocation + the analytic model, nothing else,
+// and projection_values flattens the result into the (name, value) pairs
+// the ledger's `hw` field carries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/accelerator.h"
+
+namespace spiketune::hw {
+
+struct HwProjection {
+  std::vector<LayerWorkload> workloads;
+  Allocation allocation;
+  PerfReport perf;
+};
+
+/// Analytic-only mapping of `net` with measured activity `record` over T =
+/// `timesteps`.  Same model as Accelerator::map minus the event simulator.
+HwProjection project_from_record(const snn::SpikingNetwork& net,
+                                 const snn::SpikeRecord& record,
+                                 std::int64_t timesteps,
+                                 const AcceleratorConfig& config = {});
+
+/// Flattens a projection into the run ledger's `hw` pairs:
+/// stage_cycles, latency_us, throughput_fps, watts, fps_per_watt, total_pes.
+std::vector<std::pair<std::string, double>> projection_values(
+    const HwProjection& projection);
+
+}  // namespace spiketune::hw

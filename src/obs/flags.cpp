@@ -6,6 +6,7 @@
 #include "core/logging.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/signal_flush.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 
@@ -35,15 +36,17 @@ TelemetrySession::TelemetrySession(std::string trace_path,
   set_thread_label("main");
   if (bits & kTraceBit) start_trace();  // also clears stale events
   enable_telemetry(bits);
-  active_ = true;
+  active_.store(true);
+  set_signal_flush_session(this);
 }
 
 TelemetrySession::TelemetrySession(TelemetrySession&& other) noexcept
     : trace_path_(std::move(other.trace_path_)),
       metrics_path_(std::move(other.metrics_path_)),
       profile_(other.profile_),
-      active_(other.active_) {
-  other.active_ = false;
+      active_(other.active_.exchange(false)) {
+  clear_signal_flush_session(&other);
+  if (active_.load()) set_signal_flush_session(this);
 }
 
 TelemetrySession& TelemetrySession::operator=(
@@ -53,15 +56,18 @@ TelemetrySession& TelemetrySession::operator=(
     trace_path_ = std::move(other.trace_path_);
     metrics_path_ = std::move(other.metrics_path_);
     profile_ = other.profile_;
-    active_ = other.active_;
-    other.active_ = false;
+    active_.store(other.active_.exchange(false));
+    clear_signal_flush_session(&other);
+    if (active_.load()) set_signal_flush_session(this);
   }
   return *this;
 }
 
 void TelemetrySession::flush() {
-  if (!active_) return;
-  active_ = false;
+  // exchange makes flush single-winner: the signal flusher thread and the
+  // destructor can race here and exactly one performs the writes.
+  if (!active_.exchange(false)) return;
+  clear_signal_flush_session(this);
   disable_telemetry(kMetricsBit | kProfileBit | kTraceBit);
   if (!trace_path_.empty()) {
     write_trace_json(trace_path_);
@@ -85,8 +91,11 @@ void TelemetrySession::flush() {
 TelemetrySession::~TelemetrySession() { flush(); }
 
 TelemetrySession apply_telemetry_flags(const CliFlags& flags) {
-  return TelemetrySession(flags.get("trace"), flags.get("metrics-out"),
-                          flags.get_bool("profile"));
+  TelemetrySession session(flags.get("trace"), flags.get("metrics-out"),
+                           flags.get_bool("profile"));
+  // Arm SIGINT/SIGTERM so an interrupted run still writes its artifacts.
+  if (session.active()) install_signal_flush();
+  return session;
 }
 
 }  // namespace spiketune::obs

@@ -15,6 +15,7 @@
 //   --profile             print the hierarchical profiler table at exit
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "core/cli.h"
@@ -38,17 +39,18 @@ class TelemetrySession {
   TelemetrySession& operator=(const TelemetrySession&) = delete;
 
   /// Stops the trace, writes the requested outputs, prints the profiler
-  /// report, and disables telemetry.  Idempotent; runs at destruction if
-  /// not called explicitly.
+  /// report, and disables telemetry.  Idempotent and thread-safe (the
+  /// signal flusher thread may race the destructor; exactly one wins).
+  /// Runs at destruction if not called explicitly.
   void flush();
 
-  bool active() const { return active_; }
+  bool active() const { return active_.load(); }
 
  private:
   std::string trace_path_;
   std::string metrics_path_;
   bool profile_ = false;
-  bool active_ = false;
+  std::atomic<bool> active_{false};
 };
 
 /// Reads the telemetry flags (after parse()) and enables the requested

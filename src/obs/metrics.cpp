@@ -61,6 +61,11 @@ struct Registry {
   std::uint32_t num_gauges = 0;
   std::uint32_t num_hists = 0;
   std::vector<double> gauges;  // slot-indexed, guarded by mu
+  // Slot-indexed liveness: a gauge retired by reset_gauges_with_prefix is
+  // hidden from snapshots until the next set() — this is how per-run gauge
+  // families (e.g. train.firing_rate.<run>.*) avoid leaking stale entries
+  // when a second model trains in the same process.
+  std::vector<char> gauge_live;
   std::vector<ThreadShard*> shards;
   // Totals folded in when a thread (e.g. a pool worker) exits.
   std::vector<std::int64_t> retired_counters;
@@ -130,6 +135,7 @@ MetricId intern(const std::string& name, MetricKind kind) {
     case MetricKind::kGauge:
       slot = r.num_gauges++;
       r.gauges.resize(r.num_gauges, 0.0);
+      r.gauge_live.resize(r.num_gauges, 1);
       break;
     case MetricKind::kHistogram:
       slot = r.num_hists++;
@@ -200,6 +206,18 @@ void set(MetricId id, double value) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   r.gauges[slot_of(id)] = value;
+  r.gauge_live[slot_of(id)] = 1;
+}
+
+void reset_gauges_with_prefix(const std::string& prefix) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const MetricInfo& info : r.infos) {
+    if (info.kind != MetricKind::kGauge) continue;
+    if (info.name.compare(0, prefix.size(), prefix) != 0) continue;
+    r.gauges[info.slot] = 0.0;
+    r.gauge_live[info.slot] = 0;
+  }
 }
 
 void observe(MetricId id, double value) {
@@ -320,6 +338,7 @@ std::vector<MetricSnapshot> snapshot_metrics() {
         break;
       }
       case MetricKind::kGauge:
+        if (!r.gauge_live[info.slot]) continue;  // retired until next set()
         s.value = r.gauges[info.slot];
         break;
       case MetricKind::kHistogram: {

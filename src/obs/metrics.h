@@ -111,4 +111,10 @@ void write_metrics_jsonl(const std::string& path);
 /// must not race concurrent writers.
 void reset_metrics();
 
+/// Retires every gauge whose name starts with `prefix`: its value is
+/// zeroed and it disappears from snapshots/exports until the next set().
+/// Used to clear per-run gauge families (train.firing_rate.<run>.*) so a
+/// process training several models never exports stale entries.
+void reset_gauges_with_prefix(const std::string& prefix);
+
 }  // namespace spiketune::obs

@@ -1,0 +1,64 @@
+#include "obs/signal_flush.h"
+
+#include <semaphore.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <thread>
+
+#include "obs/flags.h"
+
+namespace spiketune::obs {
+
+namespace {
+
+std::atomic<TelemetrySession*> g_session{nullptr};
+std::atomic<int> g_signum{0};
+sem_t g_flush_sem;
+
+// Async-signal-safe: one relaxed store + sem_post (both on the POSIX
+// safe-function list).  All real work happens on the flusher thread.
+void on_signal(int sig) {
+  g_signum.store(sig, std::memory_order_relaxed);
+  sem_post(&g_flush_sem);
+}
+
+void flusher_main() {
+  while (sem_wait(&g_flush_sem) != 0) {
+    if (errno != EINTR) return;
+  }
+  if (TelemetrySession* session = g_session.load()) session->flush();
+  ::_exit(128 + g_signum.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void install_signal_flush() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sem_init(&g_flush_sem, 0, 0);
+    std::thread(flusher_main).detach();
+    struct sigaction sa = {};
+    sa.sa_handler = on_signal;
+    sigemptyset(&sa.sa_mask);
+    // One shot: a second signal during a stuck flush gets the default
+    // disposition and kills the process.
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  });
+}
+
+void set_signal_flush_session(TelemetrySession* session) {
+  g_session.store(session);
+}
+
+void clear_signal_flush_session(TelemetrySession* session) {
+  TelemetrySession* expected = session;
+  g_session.compare_exchange_strong(expected, nullptr);
+}
+
+}  // namespace spiketune::obs

@@ -1,0 +1,35 @@
+// Flush-on-signal: make Ctrl-C / SIGTERM leave telemetry behind.
+//
+// A long sweep killed mid-run used to lose its --trace and --metrics-out
+// files entirely (they are written at TelemetrySession::flush, which a
+// signal never reaches).  install_signal_flush() arms SIGINT/SIGTERM so an
+// interrupted run still writes every requested artifact: the handler is
+// strictly async-signal-safe (it records the signal number and posts a
+// semaphore), and a dedicated flusher thread — woken by that post — runs
+// the registered TelemetrySession's flush on a normal stack, then exits
+// the process with the conventional 128+signal status.  The run ledger
+// needs no handler of its own: every record is already fsynced on write,
+// so a kill leaves a partial but parseable stream.
+//
+// A second signal while the flush is running falls through to the default
+// disposition (the handlers install with SA_RESETHAND), so a stuck flush
+// can always be interrupted again.
+#pragma once
+
+namespace spiketune::obs {
+
+class TelemetrySession;
+
+/// Installs the SIGINT/SIGTERM flush handlers and starts the flusher
+/// thread.  Idempotent; called automatically by apply_telemetry_flags when
+/// a session is active.
+void install_signal_flush();
+
+/// Registers `session` as the sink flushed on signal (nullptr to clear).
+/// TelemetrySession registers itself; at most one session is flushed.
+void set_signal_flush_session(TelemetrySession* session);
+
+/// Clears the registration only if it still points at `session`.
+void clear_signal_flush_session(TelemetrySession* session);
+
+}  // namespace spiketune::obs

@@ -4,6 +4,21 @@
 
 namespace spiketune::snn {
 
+namespace {
+
+/// a += b with an explicit overflow check: activity counters accumulate
+/// element counts across every step of every batch of every merge, and a
+/// silently wrapped count would poison the densities the hardware model
+/// (and the run ledger) is built on.
+void checked_add(std::int64_t& a, std::int64_t b, const char* what) {
+  std::int64_t out = 0;
+  ST_REQUIRE(!__builtin_add_overflow(a, b, &out),
+             std::string("SpikeRecord counter overflow accumulating ") + what);
+  a = out;
+}
+
+}  // namespace
+
 SpikeRecord::SpikeRecord(std::vector<std::string> layer_names,
                          std::vector<bool> spiking) {
   ST_REQUIRE(layer_names.size() == spiking.size(),
@@ -18,30 +33,51 @@ SpikeRecord::SpikeRecord(std::vector<std::string> layer_names,
 void SpikeRecord::add_step(std::size_t layer, std::int64_t in_nz,
                            std::int64_t in_total, std::int64_t out_nz,
                            std::int64_t out_total) {
-  ST_REQUIRE(layer < layers_.size(), "layer index out of range");
+  ST_REQUIRE(layer < layers_.size(),
+             "SpikeRecord::add_step: layer index " + std::to_string(layer) +
+                 " out of range (record has " +
+                 std::to_string(layers_.size()) + " layers)");
+  ST_REQUIRE(in_total >= 0 && out_total >= 0,
+             "SpikeRecord::add_step: element counts must be non-negative");
   ST_REQUIRE(in_nz >= 0 && in_nz <= in_total && out_nz >= 0 &&
                  out_nz <= out_total,
-             "nonzero counts must lie within element counts");
+             "SpikeRecord::add_step: nonzero counts must lie within element "
+             "counts");
   LayerActivity& a = layers_[layer];
-  a.input_nonzeros += in_nz;
-  a.input_elements += in_total;
-  a.output_nonzeros += out_nz;
-  a.output_elements += out_total;
+  checked_add(a.input_nonzeros, in_nz, "input nonzeros");
+  checked_add(a.input_elements, in_total, "input elements");
+  checked_add(a.output_nonzeros, out_nz, "output nonzeros");
+  checked_add(a.output_elements, out_total, "output elements");
 }
 
 void SpikeRecord::merge(const SpikeRecord& other) {
   ST_REQUIRE(layers_.size() == other.layers_.size(),
-             "cannot merge records with different layer structure");
+             "SpikeRecord::merge: layer count mismatch (" +
+                 std::to_string(layers_.size()) + " vs " +
+                 std::to_string(other.layers_.size()) + ")");
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     ST_REQUIRE(layers_[i].layer_name == other.layers_[i].layer_name,
-               "cannot merge records with different layer names");
-    layers_[i].input_nonzeros += other.layers_[i].input_nonzeros;
-    layers_[i].input_elements += other.layers_[i].input_elements;
-    layers_[i].output_nonzeros += other.layers_[i].output_nonzeros;
-    layers_[i].output_elements += other.layers_[i].output_elements;
+               "SpikeRecord::merge: layer " + std::to_string(i) +
+                   " name mismatch ('" + layers_[i].layer_name + "' vs '" +
+                   other.layers_[i].layer_name + "')");
+    ST_REQUIRE(layers_[i].spiking == other.layers_[i].spiking,
+               "SpikeRecord::merge: layer '" + layers_[i].layer_name +
+                   "' spiking flag mismatch");
   }
-  total_timesteps_ += other.total_timesteps_;
-  total_samples_ += other.total_samples_;
+  // Validate the whole structure before mutating anything, so a failed
+  // merge never leaves this record half-updated.
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    checked_add(layers_[i].input_nonzeros, other.layers_[i].input_nonzeros,
+                "input nonzeros");
+    checked_add(layers_[i].input_elements, other.layers_[i].input_elements,
+                "input elements");
+    checked_add(layers_[i].output_nonzeros, other.layers_[i].output_nonzeros,
+                "output nonzeros");
+    checked_add(layers_[i].output_elements, other.layers_[i].output_elements,
+                "output elements");
+  }
+  checked_add(total_timesteps_, other.total_timesteps_, "timesteps");
+  checked_add(total_samples_, other.total_samples_, "samples");
 }
 
 double SpikeRecord::mean_firing_rate() const {

@@ -41,11 +41,16 @@ class SpikeRecord {
   explicit SpikeRecord(std::vector<std::string> layer_names,
                        std::vector<bool> spiking);
 
-  /// Adds counts for layer `i` for one step.
+  /// Adds counts for layer `i` for one step.  Throws InvalidArgument on a
+  /// bad layer index, counts outside [0, total], or int64 overflow of the
+  /// accumulated totals.
   void add_step(std::size_t layer, std::int64_t in_nz, std::int64_t in_total,
                 std::int64_t out_nz, std::int64_t out_total);
 
-  /// Element-wise merge of another record with the same layer structure.
+  /// Element-wise merge of another record.  Throws InvalidArgument unless
+  /// the layer structures match exactly (count, names, spiking flags) and
+  /// the summed counters fit in int64; validation happens before any
+  /// mutation, so a failed merge leaves this record untouched.
   void merge(const SpikeRecord& other);
 
   void note_window(std::int64_t timesteps, std::int64_t batch) {

@@ -1,5 +1,7 @@
 #include "train/trainer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -43,6 +45,11 @@ const char* nan_policy_name(NanPolicy policy) {
   return "?";
 }
 
+namespace {
+// Process-wide ordinal for auto-assigned run tags ("net0", "net1", ...).
+std::atomic<int> g_next_run_ordinal{0};
+}  // namespace
+
 Trainer::Trainer(snn::SpikingNetwork& net, const data::SpikeEncoder& encoder,
                  const snn::Loss& loss, TrainerConfig config)
     : net_(net), encoder_(encoder), loss_(loss), config_(config) {
@@ -58,6 +65,8 @@ Trainer::Trainer(snn::SpikingNetwork& net, const data::SpikeEncoder& encoder,
   ST_REQUIRE(config_.rollback_lr_cut > 0.0 && config_.rollback_lr_cut <= 1.0,
              "rollback_lr_cut must be in (0, 1]");
   ST_REQUIRE(config_.max_rollbacks >= 0, "max_rollbacks must be non-negative");
+  if (config_.run_tag.empty())
+    config_.run_tag = "net" + std::to_string(g_next_run_ordinal++);
   if (config_.threads > 0) set_num_threads(config_.threads);
 }
 
@@ -75,8 +84,13 @@ bool Trainer::batch_is_healthy(double loss, std::int64_t epoch,
         grad_sq += static_cast<double>(g[i]) * static_cast<double>(g[i]);
     }
     if (!std::isfinite(grad_sq)) what = "non-finite gradient norm";
-    if (obs::metrics_enabled() && what.empty())
-      obs::observe(obs::histogram("train.grad_norm"), std::sqrt(grad_sq));
+    if (what.empty()) {
+      const double grad_norm = std::sqrt(grad_sq);
+      grad_norm_mean_.add(grad_norm);
+      grad_norm_max_ = std::max(grad_norm_max_, grad_norm);
+      if (obs::metrics_enabled())
+        obs::observe(obs::histogram("train.grad_norm"), grad_norm);
+    }
   }
   if (what.empty()) return true;
 
@@ -106,6 +120,8 @@ EpochMetrics Trainer::train_epoch(data::DataLoader& loader, Optimizer& opt,
   // 1.0 keeps the default path bit-identical to the unscaled schedule.
   opt.set_lr(schedule.lr_at(epoch) * lr_scale_);
   loader.start_epoch(epoch);
+  grad_norm_mean_.reset();
+  grad_norm_max_ = 0.0;
 
   RunningMean loss_mean;
   RunningMean acc_mean;
@@ -163,6 +179,8 @@ EpochMetrics Trainer::train_epoch(data::DataLoader& loader, Optimizer& opt,
       loss_mean.mean_or(std::numeric_limits<double>::quiet_NaN());
   m.train_accuracy =
       acc_mean.mean_or(std::numeric_limits<double>::quiet_NaN());
+  m.grad_norm_mean = grad_norm_mean_.mean_or(0.0);
+  m.grad_norm_max = grad_norm_max_;
   return m;
 }
 
@@ -346,6 +364,38 @@ std::uint64_t Trainer::eval_stream(std::uint64_t call, std::uint64_t batch) {
          (batch & ((1ULL << kBatchBits) - 1));
 }
 
+std::uint64_t Trainer::probe_stream(std::uint64_t epoch, std::uint64_t batch) {
+  // Bit 62 tags the ledger's activity probe.  Training streams are plain
+  // ordinals and evaluation streams carry bit 63, so probe draws can never
+  // alias either: enabling the run ledger never changes training or eval
+  // numbers.  Keyed by epoch so each epoch's probe sees fresh noise.
+  constexpr std::uint64_t kProbeTag = 1ULL << 62;
+  constexpr int kBatchBits = 40;
+  return kProbeTag | (epoch << kBatchBits) |
+         (batch & ((1ULL << kBatchBits) - 1));
+}
+
+snn::SpikeRecord Trainer::record_activity(data::DataLoader& loader,
+                                          std::int64_t epoch,
+                                          std::int64_t max_batches) {
+  ST_PROF_SCOPE("train.activity_probe");
+  ST_REQUIRE(max_batches > 0, "record_activity needs max_batches > 0");
+  loader.start_epoch(0);
+  snn::SpikeRecord record = net_.make_record();
+  data::Batch batch;
+  std::uint64_t batch_idx = 0;
+  while (batch_idx < static_cast<std::uint64_t>(max_batches) &&
+         loader.next(batch)) {
+    const auto steps =
+        encoder_.encode(batch.images, config_.num_steps,
+                        probe_stream(static_cast<std::uint64_t>(epoch),
+                                     batch_idx++));
+    auto fwd = net_.forward(steps, /*training=*/false, /*record_stats=*/true);
+    record.merge(fwd.stats);
+  }
+  return record;
+}
+
 EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   ST_PROF_SCOPE("eval");
   loader.start_epoch(0);
@@ -373,12 +423,15 @@ EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   out.accuracy = acc_mean.mean();
   out.firing_rate = out.record.mean_firing_rate();
   if (obs::metrics_enabled()) {
-    // Per-layer firing-rate gauges; names are stable across calls so each
-    // evaluation overwrites the previous value (last eval wins).
+    // Per-layer firing-rate gauges, namespaced by run_tag so two models
+    // training in one process never collide; retiring the prefix first
+    // drops stale entries (e.g. after a topology change) from exports.
+    const std::string prefix = "train.firing_rate." + config_.run_tag + ".";
+    obs::reset_gauges_with_prefix(prefix);
     const auto& layers = out.record.layers();
     for (std::size_t i = 0; i < layers.size(); ++i) {
       if (!layers[i].spiking) continue;
-      obs::set(obs::gauge("train.firing_rate." + std::to_string(i) + "." +
+      obs::set(obs::gauge(prefix + std::to_string(i) + "." +
                           layers[i].layer_name),
                layers[i].output_density());
     }

@@ -56,6 +56,12 @@ struct TrainerConfig {
   /// bit-identical for any value (see core/parallel.h), so this only
   /// changes wall-clock time, never training outcomes.
   int threads = 0;
+  /// Short id namespacing this run's per-layer gauges
+  /// (train.firing_rate.<run_tag>.<i>.<layer>) so two models training in
+  /// one process never collide.  Empty (the default) auto-assigns "net0",
+  /// "net1", ... per Trainer constructed in this process; sweeps set it to
+  /// the sanitized point key.  Never affects training numbers.
+  std::string run_tag;
 
   // -- crash safety ---------------------------------------------------------
   /// Directory for training-state checkpoints; empty disables them.
@@ -120,6 +126,21 @@ class Trainer {
   /// rate-coding noise.
   static std::uint64_t eval_stream(std::uint64_t call, std::uint64_t batch);
 
+  /// Encoder stream id for the run-ledger activity probe at `epoch`,
+  /// batch `batch`.  Bit 62 tags the probe namespace — disjoint from both
+  /// training streams (plain ordinals) and evaluation streams (bit 63) —
+  /// so per-epoch observability never perturbs training or eval numbers.
+  static std::uint64_t probe_stream(std::uint64_t epoch, std::uint64_t batch);
+
+  /// Measures per-layer spike activity on up to `max_batches` batches of
+  /// `loader` without touching weights, optimizer state, or the trainer's
+  /// stream counters (streams come from probe_stream, keyed by `epoch`).
+  /// This is the cheap per-epoch pass behind the ledger's firing-rate and
+  /// hardware trajectories.
+  snn::SpikeRecord record_activity(data::DataLoader& loader,
+                                   std::int64_t epoch,
+                                   std::int64_t max_batches = 2);
+
   /// Persists the complete training state (weights, optimizer, counters) to
   /// `path` as one atomic STK2 checkpoint.  `next_epoch` is the epoch a
   /// resumed run should execute next.
@@ -144,7 +165,8 @@ class Trainer {
  private:
   /// Checks loss/gradients for NaN/Inf after a batch's backward pass.
   /// Returns true if the batch is healthy (or checks are off); on an
-  /// unhealthy batch applies the configured policy (throw / skip).
+  /// unhealthy batch applies the configured policy (throw / skip).  Healthy
+  /// batches also feed the per-epoch gradient-norm stats.
   bool batch_is_healthy(double loss, std::int64_t epoch, std::int64_t batch);
 
   snn::SpikingNetwork& net_;
@@ -154,6 +176,8 @@ class Trainer {
   std::uint64_t encode_stream_ = 0;  // decorrelates encoder draws per batch
   std::uint64_t eval_calls_ = 0;     // evaluate() invocations so far
   double lr_scale_ = 1.0;            // cumulative rollback LR cut
+  RunningMean grad_norm_mean_;       // per-epoch, reset by train_epoch
+  double grad_norm_max_ = 0.0;       // per-epoch, reset by train_epoch
 };
 
 namespace testing {
