@@ -10,19 +10,14 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
-#include "exp/ledger_flags.h"
-#include "obs/flags.h"
-#include "train/fit_flags.h"
+#include "exp/standard_flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
-  declare_threads_flag(flags);
-  train::declare_fit_flags(flags);
-  exp::declare_ledger_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kTrain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -33,14 +28,7 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry;
-  try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
-  } catch (const Error& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 2;
-  }
+  exp::StandardFlags std_flags;
 
   auto base = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
@@ -53,8 +41,7 @@ int main(int argc, char** argv) {
                     "FPS/W"});
   table.set_title("same topology/hyperparameters, two losses");
   try {
-    train::apply_fit_flags(flags, base.trainer);
-    exp::apply_ledger_flags(base, flags, argc, argv);
+    std_flags = exp::apply_standard_flags(flags, base, argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;

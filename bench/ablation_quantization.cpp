@@ -12,12 +12,11 @@
 #include "data/dataloader.h"
 #include "data/encoders.h"
 #include "data/synth_svhn.h"
-#include "obs/flags.h"
+#include "exp/standard_flags.h"
 #include "snn/checkpoint.h"
 #include "snn/loss.h"
 #include "snn/model_zoo.h"
 #include "snn/quantize.h"
-#include "train/fit_flags.h"
 #include "train/trainer.h"
 
 using namespace spiketune;
@@ -27,9 +26,7 @@ int main(int argc, char** argv) {
   flags.declare("train-size", "256", "training images");
   flags.declare("epochs", "10", "training epochs");
   flags.declare("image-size", "16", "image side length");
-  declare_threads_flag(flags);
-  train::declare_fit_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kFit);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -39,14 +36,6 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.usage(argv[0]);
     return 0;
-  }
-  obs::TelemetrySession telemetry;
-  try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
-  } catch (const Error& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 2;
   }
 
   const std::int64_t img = flags.get_int("image-size");
@@ -77,8 +66,9 @@ int main(int argc, char** argv) {
   tcfg.batch_size = 32;
   tcfg.base_lr = 5e-3;
   tcfg.verbose = false;
+  exp::StandardFlags std_flags;
   try {
-    train::apply_fit_flags(flags, tcfg);
+    std_flags = exp::apply_standard_flags(flags, tcfg);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;

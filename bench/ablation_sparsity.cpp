@@ -9,8 +9,8 @@
 #include "core/cli.h"
 #include "core/error.h"
 #include "core/table.h"
+#include "exp/standard_flags.h"
 #include "hw/perf_model.h"
-#include "obs/flags.h"
 
 using namespace spiketune;
 
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   flags.declare("timesteps", "25", "inference window length T");
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -52,7 +52,8 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
+  const auto std_flags =
+      exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
   const auto device = hw::device_by_name(flags.get("device"));
   const std::int64_t T = flags.get_int("timesteps");
 

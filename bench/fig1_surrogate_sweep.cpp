@@ -13,8 +13,8 @@
 #include "core/error.h"
 #include "core/logging.h"
 #include "exp/report.h"
+#include "exp/standard_flags.h"
 #include "exp/sweep.h"
-#include "obs/flags.h"
 
 using namespace spiketune;
 
@@ -25,9 +25,7 @@ int main(int argc, char** argv) {
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   flags.declare("scales", "",
                 "comma-separated derivative scales (empty = paper grid)");
-  declare_threads_flag(flags);
-  exp::declare_sweep_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kSweep);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -38,10 +36,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry;
+  exp::StandardFlags std_flags;
   try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
+    std_flags = exp::apply_standard_flags(flags, exp::DriverKind::kSweep,
+                                          argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -53,7 +51,7 @@ int main(int argc, char** argv) {
   const auto scales = flags.get("scales").empty()
                           ? exp::fig1_scales()
                           : exp::parse_double_list(flags.get("scales"));
-  const auto options = exp::sweep_options_from_flags(flags, argc, argv);
+  const auto& options = std_flags.sweep;
 
   std::cout << "== FIG1: surrogate derivative-scale sweep (preset="
             << flags.get("preset") << ", device=" << base.accel.device.name

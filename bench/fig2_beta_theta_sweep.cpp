@@ -13,8 +13,8 @@
 #include "core/cli.h"
 #include "core/error.h"
 #include "exp/report.h"
+#include "exp/standard_flags.h"
 #include "exp/sweep.h"
-#include "obs/flags.h"
 
 using namespace spiketune;
 
@@ -24,9 +24,7 @@ int main(int argc, char** argv) {
   flags.declare("csv", "fig2.csv", "output CSV path (empty to skip)");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
   flags.declare("full", "false", "use the canonical 5x5 grid");
-  declare_threads_flag(flags);
-  exp::declare_sweep_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kSweep);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -37,10 +35,10 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry;
+  exp::StandardFlags std_flags;
   try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
+    std_flags = exp::apply_standard_flags(flags, exp::DriverKind::kSweep,
+                                          argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -67,7 +65,7 @@ int main(int argc, char** argv) {
                   << "...\n"
                   << std::flush;
       },
-      exp::sweep_options_from_flags(flags, argc, argv));
+      std_flags.sweep);
 
   std::cout << "\n" << exp::render_fig2(points);
   if (!flags.get("csv").empty()) {

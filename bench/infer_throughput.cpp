@@ -1,0 +1,297 @@
+// INFER — serving-throughput benchmark for the sparsity-aware inference
+// engine.  Compiles a model-zoo network into a CompiledModel, then times
+// identical InferenceSession windows with the crossover forced to each
+// side:
+//
+//   * sparse  — the event-driven gather-accumulate kernels,
+//   * dense   — the training-stack im2col+GEMM kernels,
+//
+// reporting FPS, latency percentiles, and the achieved input density the
+// dispatch heuristic saw.  Because both paths are bit-identical to
+// SpikingNetwork::forward, the bench first asserts spike-count parity
+// against the dense training path and aborts on any mismatch — a
+// performance number for a wrong result is worthless.
+//
+// Writes BENCH_infer.json (machine-readable summary, consumed by CI) and,
+// with --ledger <dir>, a run-ledger stream with the measured numbers.
+//
+//   ./infer_throughput                        # quickstart CSNN, beta=0.5
+//   ./infer_throughput --model mlp --reps 50
+//   ./infer_throughput --threads 4 --ledger runs
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/table.h"
+#include "exp/ledger_flags.h"
+#include "exp/standard_flags.h"
+#include "infer/session.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "snn/model_zoo.h"
+
+using namespace spiketune;
+
+namespace {
+
+struct PathResult {
+  double fps = 0.0;          // batch / mean latency
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double input_density = 0.0;  // what the dispatch heuristic measured
+  std::int64_t sparse_dispatches = 0;
+  std::int64_t dense_dispatches = 0;
+};
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+// Times `reps` runs of one window through a session with the crossover
+// forced to `crossover` (< 0 dense, >= 1 sparse).
+PathResult time_path(const infer::CompiledModel& model,
+                     const std::vector<Tensor>& window, double crossover,
+                     int warmup, int reps) {
+  infer::InferenceSession session(
+      model, {.max_batch = window.front().shape()[0],
+              .sparse_crossover = crossover,
+              .record_stats = false});
+  for (int i = 0; i < warmup; ++i) session.run(window);
+
+  PathResult r;
+  std::vector<double> lat_ms;
+  lat_ms.reserve(static_cast<std::size_t>(reps));
+  const double batch = static_cast<double>(window.front().shape()[0]);
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = session.run(window);
+    const auto t1 = std::chrono::steady_clock::now();
+    lat_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    if (i == 0) {
+      r.input_density = out.mean_input_density;
+      r.sparse_dispatches = out.sparse_dispatches;
+      r.dense_dispatches = out.dense_dispatches;
+    }
+  }
+  std::sort(lat_ms.begin(), lat_ms.end());
+  double sum = 0.0;
+  for (double v : lat_ms) sum += v;
+  r.mean_ms = sum / static_cast<double>(lat_ms.size());
+  r.p50_ms = percentile(lat_ms, 0.50);
+  r.p90_ms = percentile(lat_ms, 0.90);
+  r.p99_ms = percentile(lat_ms, 0.99);
+  r.fps = r.mean_ms > 0.0 ? batch / (r.mean_ms / 1e3) : 0.0;
+  return r;
+}
+
+// Binary spike window: each input element fires with probability `density`
+// each step — the serving-side traffic an event-driven accelerator sees.
+std::vector<Tensor> spike_window(std::int64_t steps, Shape shape,
+                                 double density, Rng& rng) {
+  std::vector<Tensor> window;
+  window.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t t = 0; t < steps; ++t) {
+    Tensor x = Tensor::full(shape, 0.0f);
+    float* p = x.data();
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      if (rng.uniform() < density) p[i] = 1.0f;
+    }
+    window.push_back(std::move(x));
+  }
+  return window;
+}
+
+std::string json_path(const PathResult& r) {
+  std::ostringstream os;
+  os << "{\"fps\": " << r.fps << ", \"mean_ms\": " << r.mean_ms
+     << ", \"p50_ms\": " << r.p50_ms << ", \"p90_ms\": " << r.p90_ms
+     << ", \"p99_ms\": " << r.p99_ms
+     << ", \"input_density\": " << r.input_density
+     << ", \"sparse_dispatches\": " << r.sparse_dispatches
+     << ", \"dense_dispatches\": " << r.dense_dispatches << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("model", "csnn", "topology: csnn (quickstart) | mlp");
+  flags.declare("batch", "32", "samples per window");
+  flags.declare("num-steps", "8", "timesteps per window");
+  flags.declare("density", "0.15", "input spike probability per step");
+  flags.declare("beta", "0.5", "LIF membrane leak");
+  flags.declare("theta", "1.5", "LIF firing threshold");
+  flags.declare("warmup", "3", "untimed warm-up runs per path");
+  flags.declare("reps", "20", "timed runs per path");
+  flags.declare("json", "BENCH_infer.json", "JSON summary path (empty: skip)");
+  flags.declare("ledger", "", "write a run ledger into this directory");
+  exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+  const auto std_flags =
+      exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
+  (void)std_flags;
+
+  const std::string model_name = flags.get("model");
+  const std::int64_t batch = flags.get_int("batch");
+  const std::int64_t num_steps = flags.get_int("num-steps");
+  const double density = flags.get_double("density");
+  const int warmup = static_cast<int>(flags.get_int("warmup"));
+  const int reps = static_cast<int>(flags.get_int("reps"));
+
+  snn::LifConfig lif;
+  lif.beta = static_cast<float>(flags.get_double("beta"));
+  lif.threshold = static_cast<float>(flags.get_double("theta"));
+
+  std::unique_ptr<snn::SpikingNetwork> net;
+  Shape per_sample;
+  if (model_name == "csnn") {
+    snn::CsnnConfig cfg;
+    cfg.lif = lif;
+    net = snn::make_svhn_csnn(cfg);
+    per_sample = Shape{cfg.in_channels, cfg.image_size, cfg.image_size};
+  } else if (model_name == "mlp") {
+    snn::MlpConfig cfg;
+    cfg.lif = lif;
+    net = snn::make_snn_mlp(cfg);
+    per_sample = Shape{cfg.in_features};
+  } else {
+    std::cerr << "unknown --model '" << model_name << "'\n";
+    return 2;
+  }
+
+  std::vector<std::int64_t> dims{batch};
+  for (std::int64_t d : per_sample.dims()) dims.push_back(d);
+  Rng rng(0xbe7c);
+  const auto window = spike_window(num_steps, Shape(dims), density, rng);
+
+  std::cout << "== INFER: serving throughput (" << model_name << ", batch "
+            << batch << ", T " << num_steps << ", beta "
+            << fmt_f(lif.beta, 2) << ", theta " << fmt_f(lif.threshold, 2)
+            << ", threads " << num_threads() << ") ==\n";
+
+  // Parity gate: both session paths must reproduce the training-stack
+  // forward bit for bit before any timing is believed.
+  const auto model = infer::CompiledModel::compile(*net, per_sample);
+  const auto reference = net->forward(window);
+  for (double crossover : {2.0, -1.0}) {
+    infer::InferenceSession session(
+        model, {.max_batch = batch, .sparse_crossover = crossover});
+    const auto got = session.run(window);
+    const auto* want = reference.spike_counts.data();
+    const auto* have = got.spike_counts.data();
+    for (std::int64_t i = 0; i < reference.spike_counts.numel(); ++i) {
+      ST_REQUIRE(want[i] == have[i],
+                 "parity failure on the " +
+                     std::string(crossover >= 1.0 ? "sparse" : "dense") +
+                     " path at element " + std::to_string(i) +
+                     ": dense forward " + std::to_string(want[i]) +
+                     " vs session " + std::to_string(have[i]));
+    }
+  }
+  std::cout << "parity: sparse and dense session paths match "
+               "SpikingNetwork::forward bitwise\n\n";
+
+  const auto sparse = time_path(model, window, 2.0, warmup, reps);
+  const auto dense = time_path(model, window, -1.0, warmup, reps);
+  const double speedup = dense.fps > 0.0 ? sparse.fps / dense.fps : 0.0;
+
+  AsciiTable table({"path", "FPS", "mean", "p50", "p90", "p99", "density"});
+  table.set_title("serving throughput (" + std::to_string(reps) + " reps)");
+  auto row = [](const char* name, const PathResult& r) {
+    return std::vector<std::string>{
+        name,
+        fmt_f(r.fps, 0),
+        fmt_f(r.mean_ms, 2) + "ms",
+        fmt_f(r.p50_ms, 2) + "ms",
+        fmt_f(r.p90_ms, 2) + "ms",
+        fmt_f(r.p99_ms, 2) + "ms",
+        fmt_pct(r.input_density, 1)};
+  };
+  table.add_row(row("sparse", sparse));
+  table.add_row(row("dense", dense));
+  table.print(std::cout);
+  std::cout << "sparse vs dense: " << fmt_x(speedup, 2)
+            << " FPS at achieved input density "
+            << fmt_pct(sparse.input_density, 1) << "\n";
+
+  if (obs::metrics_enabled()) {
+    obs::set(obs::gauge("infer.bench.fps_sparse"), sparse.fps);
+    obs::set(obs::gauge("infer.bench.fps_dense"), dense.fps);
+    obs::set(obs::gauge("infer.bench.speedup"), speedup);
+    obs::set(obs::gauge("infer.bench.input_density"), sparse.input_density);
+  }
+
+  const std::string json = flags.get("json");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    ST_REQUIRE(out.good(), "cannot open " + json + " for writing");
+    out << "{\n"
+        << "  \"model\": \"" << model_name << "\",\n"
+        << "  \"batch\": " << batch << ",\n"
+        << "  \"num_steps\": " << num_steps << ",\n"
+        << "  \"beta\": " << lif.beta << ",\n"
+        << "  \"theta\": " << lif.threshold << ",\n"
+        << "  \"threads\": " << num_threads() << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"parity\": true,\n"
+        << "  \"sparse\": " << json_path(sparse) << ",\n"
+        << "  \"dense\": " << json_path(dense) << ",\n"
+        << "  \"speedup\": " << speedup << "\n"
+        << "}\n";
+    std::cout << "wrote " << json << "\n";
+  }
+
+  const std::string ledger_dir = flags.get("ledger");
+  if (!ledger_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(ledger_dir, ec);
+    obs::RunLedger ledger(ledger_dir + "/infer_throughput.jsonl");
+    obs::LedgerManifest m;
+    m.run_id = "infer_throughput";
+    m.threads = num_threads();
+    m.argv = exp::join_argv(argc, argv);
+    m.build = std::string("cxx ") + __VERSION__;
+    m.info.emplace_back("model", model_name);
+    m.params.emplace_back("batch", static_cast<double>(batch));
+    m.params.emplace_back("num_steps", static_cast<double>(num_steps));
+    m.params.emplace_back("beta", lif.beta);
+    m.params.emplace_back("theta", lif.threshold);
+    m.params.emplace_back("density", density);
+    ledger.write_manifest(m);
+    obs::LedgerFinal fin;
+    fin.values.emplace_back("measured_fps", sparse.fps);
+    fin.values.emplace_back("dense_fps", dense.fps);
+    fin.values.emplace_back("speedup", speedup);
+    fin.values.emplace_back("p99_ms", sparse.p99_ms);
+    fin.values.emplace_back("input_density", sparse.input_density);
+    ledger.write_final(fin);
+    std::cout << "wrote " << ledger.path() << "\n";
+  }
+  return 0;
+}

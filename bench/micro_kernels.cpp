@@ -180,7 +180,7 @@ void BM_CsnnTimestep(benchmark::State& state) {
   const std::vector<Tensor> window{
       Tensor::uniform(Shape{32, 3, 16, 16}, rng, -1.0f, 1.0f)};
   for (auto _ : state) {
-    auto out = net->forward(window, false);
+    auto out = net->forward(window);
     benchmark::DoNotOptimize(out.spike_counts.data());
   }
 }

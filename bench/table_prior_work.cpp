@@ -15,10 +15,8 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
-#include "exp/ledger_flags.h"
+#include "exp/standard_flags.h"
 #include "hw/baseline.h"
-#include "obs/flags.h"
-#include "train/fit_flags.h"
 
 using namespace spiketune;
 
@@ -42,10 +40,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "fast", "experiment scale: smoke | fast | paper");
   flags.declare("device", "ku5p", "FPGA device: ku3p | ku5p | ku15p");
-  declare_threads_flag(flags);
-  train::declare_fit_flags(flags);
-  exp::declare_ledger_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kTrain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -56,21 +51,13 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry;
-  try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
-  } catch (const Error& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 2;
-  }
+  exp::StandardFlags std_flags;
 
   auto base = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
   base.accel.device = hw::device_by_name(flags.get("device"));
   try {
-    train::apply_fit_flags(flags, base.trainer);
-    exp::apply_ledger_flags(base, flags, argc, argv);
+    std_flags = exp::apply_standard_flags(flags, base, argc, argv);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;

@@ -11,9 +11,9 @@
 #include "core/error.h"
 #include "core/rng.h"
 #include "core/table.h"
+#include "exp/standard_flags.h"
 #include "hw/event_sim.h"
 #include "hw/perf_model.h"
-#include "obs/flags.h"
 
 using namespace spiketune;
 
@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   flags.declare("trials", "200", "number of random configurations");
   flags.declare("timesteps", "32", "steps per simulated inference");
   flags.declare("seed", "20240310", "RNG seed");
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
+  const auto std_flags =
+      exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
 
   const auto trials = flags.get_int("trials");
   const auto T = flags.get_int("timesteps");

@@ -8,19 +8,15 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
-#include "exp/ledger_flags.h"
+#include "exp/standard_flags.h"
 #include "hw/baseline.h"
-#include "obs/flags.h"
-#include "train/fit_flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
-  train::declare_fit_flags(flags);
-  exp::declare_ledger_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kTrain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -31,15 +27,14 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
 
   auto cfg = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
   cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   cfg.validate_with_sim = true;
+  exp::StandardFlags std_flags;
   try {
-    train::apply_fit_flags(flags, cfg.trainer);
-    exp::apply_ledger_flags(cfg, flags, argc, argv);
+    std_flags = exp::apply_standard_flags(flags, cfg, argc, argv);
     cfg.ledger.run_id = "hardware_mapping";
     exp::validate(cfg);
   } catch (const Error& e) {

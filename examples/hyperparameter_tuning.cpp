@@ -11,9 +11,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "exp/experiment.h"
-#include "exp/ledger_flags.h"
-#include "obs/flags.h"
-#include "train/fit_flags.h"
+#include "exp/standard_flags.h"
 
 using namespace spiketune;
 
@@ -22,10 +20,7 @@ int main(int argc, char** argv) {
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
   flags.declare("accuracy-budget", "0.035",
                 "max allowed accuracy drop vs the best configuration");
-  declare_threads_flag(flags);
-  train::declare_fit_flags(flags);
-  exp::declare_ledger_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kTrain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -36,22 +31,14 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry;
-  try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
-  } catch (const Error& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 2;
-  }
   const double budget = flags.get_double("accuracy-budget");
 
   auto base = exp::ExperimentConfig::for_profile(
       exp::profile_by_name(flags.get("preset")));
   base.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
+  exp::StandardFlags std_flags;
   try {
-    train::apply_fit_flags(flags, base.trainer);
-    exp::apply_ledger_flags(base, flags, argc, argv);
+    std_flags = exp::apply_standard_flags(flags, base, argc, argv);
     exp::validate(base);
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);

@@ -13,19 +13,14 @@
 #include "core/logging.h"
 #include "core/table.h"
 #include "exp/experiment.h"
-#include "exp/ledger_flags.h"
-#include "obs/flags.h"
-#include "train/fit_flags.h"
+#include "exp/standard_flags.h"
 
 using namespace spiketune;
 
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("preset", "smoke", "experiment scale: smoke | fast | paper");
-  declare_threads_flag(flags);
-  train::declare_fit_flags(flags);
-  exp::declare_ledger_flags(flags);
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kTrain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -36,14 +31,6 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry;
-  try {
-    apply_threads_flag(flags);
-    telemetry = obs::apply_telemetry_flags(flags);
-  } catch (const Error& e) {
-    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
-    return 2;
-  }
 
   // 1. Configure the experiment: the paper's 32C3-P2-32C3-MP2-256-10
   //    topology, LIF neurons (beta = 0.25, theta = 1.0), fast sigmoid
@@ -53,9 +40,9 @@ int main(int argc, char** argv) {
   cfg.model.lif.surrogate = snn::Surrogate::fast_sigmoid(0.25f);
   cfg.trainer.verbose = true;  // log per-epoch progress
   cfg.validate_with_sim = true;
+  exp::StandardFlags std_flags;
   try {
-    train::apply_fit_flags(flags, cfg.trainer);
-    exp::apply_ledger_flags(cfg, flags, argc, argv);
+    std_flags = exp::apply_standard_flags(flags, cfg, argc, argv);
     cfg.ledger.run_id = "quickstart";
     exp::validate(cfg);
   } catch (const Error& e) {

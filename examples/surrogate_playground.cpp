@@ -7,7 +7,7 @@
 #include "core/cli.h"
 #include "core/error.h"
 #include "core/table.h"
-#include "obs/flags.h"
+#include "exp/standard_flags.h"
 #include "snn/surrogate.h"
 
 using namespace spiketune;
@@ -15,7 +15,7 @@ using namespace spiketune;
 int main(int argc, char** argv) {
   CliFlags flags;
   flags.declare("scale", "2.0", "derivative scaling factor (alpha / k)");
-  obs::declare_telemetry_flags(flags);
+  exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     std::cout << flags.usage(argv[0]);
     return 0;
   }
-  obs::TelemetrySession telemetry = obs::apply_telemetry_flags(flags);
+  const auto std_flags =
+      exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
   const float scale = static_cast<float>(flags.get_double("scale"));
 
   const char* kinds[] = {"arctan",     "fast_sigmoid", "sigmoid",

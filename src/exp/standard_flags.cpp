@@ -1,0 +1,53 @@
+#include "exp/standard_flags.h"
+
+#include "exp/ledger_flags.h"
+#include "train/fit_flags.h"
+
+namespace spiketune::exp {
+
+void declare_standard_flags(CliFlags& flags, DriverKind kind) {
+  declare_threads_flag(flags);
+  obs::declare_telemetry_flags(flags);
+  switch (kind) {
+    case DriverKind::kPlain:
+      break;
+    case DriverKind::kTrain:
+      train::declare_fit_flags(flags);
+      declare_ledger_flags(flags);
+      break;
+    case DriverKind::kFit:
+      train::declare_fit_flags(flags);
+      break;
+    case DriverKind::kSweep:
+      declare_sweep_flags(flags);
+      break;
+  }
+}
+
+StandardFlags apply_standard_flags(const CliFlags& flags, DriverKind kind,
+                                   int argc, char** argv) {
+  StandardFlags out;
+  out.threads = apply_threads_flag(flags);
+  out.telemetry = obs::apply_telemetry_flags(flags);
+  if (kind == DriverKind::kSweep)
+    out.sweep = sweep_options_from_flags(flags, argc, argv);
+  return out;
+}
+
+StandardFlags apply_standard_flags(const CliFlags& flags,
+                                   ExperimentConfig& config, int argc,
+                                   char** argv) {
+  StandardFlags out = apply_standard_flags(flags, DriverKind::kTrain);
+  train::apply_fit_flags(flags, config.trainer);
+  apply_ledger_flags(config, flags, argc, argv);
+  return out;
+}
+
+StandardFlags apply_standard_flags(const CliFlags& flags,
+                                   train::TrainerConfig& config) {
+  StandardFlags out = apply_standard_flags(flags, DriverKind::kFit);
+  train::apply_fit_flags(flags, config);
+  return out;
+}
+
+}  // namespace spiketune::exp

@@ -1,0 +1,70 @@
+// One entry point for the CLI plumbing every driver shares.
+//
+// Historically each driver declared the threads/telemetry/crash-safety/
+// ledger flag sets by hand, in four separate calls whose composition
+// drifted between binaries.  declare_standard_flags() / apply_standard_flags()
+// collapse them behind a single DriverKind so all drivers register flags
+// identically:
+//
+//   CliFlags flags;
+//   flags.declare("--epochs", "2", "...");               // driver-specific
+//   exp::declare_standard_flags(flags, exp::DriverKind::kTrain);
+//   flags.parse(argc - 1, argv + 1);
+//   ...
+//   auto std_flags = exp::apply_standard_flags(flags, cfg, argc, argv);
+//   ... workload ...   // std_flags.telemetry flushes at scope exit
+//
+// Flag sets per kind (all include --threads, --trace, --metrics-out,
+// --profile):
+//   kPlain   nothing further — inference/analysis drivers
+//   kTrain   crash-safety fit flags + --ledger — ExperimentConfig drivers
+//   kFit     crash-safety fit flags only — bare-TrainerConfig drivers
+//   kSweep   sweep journal/checkpoint/ledger flags (--journal, --resume,
+//            --checkpoint-root, --ledger) — the --resume/--ledger names
+//            overlap the kTrain set, which is why a kind never declares both
+#pragma once
+
+#include "core/cli.h"
+#include "exp/experiment.h"
+#include "exp/sweep.h"
+#include "obs/flags.h"
+#include "train/trainer.h"
+
+namespace spiketune::exp {
+
+enum class DriverKind {
+  kPlain,  // threads + telemetry only
+  kTrain,  // + fit flags + run ledger (drivers configured by ExperimentConfig)
+  kFit,    // + fit flags (drivers driving a bare TrainerConfig)
+  kSweep,  // + sweep journal / per-point checkpoint and ledger roots
+};
+
+/// What apply_standard_flags() produced.  Move-only: the telemetry session
+/// flushes trace/metrics/profiler output when it leaves scope, so keep the
+/// returned object alive for the duration of the workload.
+struct StandardFlags {
+  int threads = 0;                  // resolved --threads value
+  obs::TelemetrySession telemetry;  // flushes on destruction
+  SweepOptions sweep;               // populated for kSweep only
+};
+
+/// Declares the shared flag set for `kind` (see table above).  Call after
+/// the driver's own flags so --help lists driver-specific flags first.
+void declare_standard_flags(CliFlags& flags, DriverKind kind);
+
+/// Applies the shared flags (after parse()) for kPlain and kSweep drivers;
+/// kSweep needs argc/argv so per-point ledgers can record the command line.
+StandardFlags apply_standard_flags(const CliFlags& flags, DriverKind kind,
+                                   int argc = 0, char** argv = nullptr);
+
+/// kTrain: also reads the crash-safety flags into `config.trainer` and the
+/// ledger flags into `config.ledger`.
+StandardFlags apply_standard_flags(const CliFlags& flags,
+                                   ExperimentConfig& config, int argc,
+                                   char** argv);
+
+/// kFit: also reads the crash-safety flags into `config`.
+StandardFlags apply_standard_flags(const CliFlags& flags,
+                                   train::TrainerConfig& config);
+
+}  // namespace spiketune::exp

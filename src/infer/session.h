@@ -1,0 +1,90 @@
+// InferenceSession: sparsity-aware serving path for a CompiledModel.
+//
+// The session owns every buffer the hot loop needs — per-layer activation
+// planes, per-LIF membrane state (updated in place, no gradient caches),
+// spike index lists, and the scatter / im2col scratch — sized once for
+// `max_batch` samples, so steady-state inference performs no allocation.
+//
+// Per step, each conv/linear layer inspects the exact nonzero count of its
+// input (the spike index lists are rebuilt every step) and dispatches either
+//
+//   * the sparse gather-accumulate kernel, which touches only the nonzero
+//     input columns via the model's [K, out] transposed weights, or
+//   * the dense im2col+GEMM / GEMM kernel — the same kernels the training
+//     stack runs — once batch-wide input density exceeds
+//     SessionConfig::sparse_crossover.
+//
+// Both paths, at any thread count, produce bit-identical activations to
+// SpikingNetwork::forward (see DESIGN.md §10 for the determinism argument),
+// so spike counts, accuracies, and recorded densities match the training
+// path exactly.
+#pragma once
+
+#include <vector>
+
+#include "infer/compiled_model.h"
+
+namespace spiketune::infer {
+
+struct SessionConfig {
+  /// Initial buffer capacity in samples.  Running a larger batch grows the
+  /// buffers (a one-off reallocation); steady state never allocates.
+  std::int64_t max_batch = 32;
+  /// Batch-wide input density at or below which a conv/linear layer takes
+  /// the sparse kernel.  Set < 0 to force the dense path, >= 1 to force the
+  /// sparse path (both paths stay bit-identical; only speed changes).
+  double sparse_crossover = 0.35;
+  /// Populate InferenceResult::stats (one counting pass per layer boundary,
+  /// identical to ForwardOptions::record_stats).
+  bool record_stats = false;
+};
+
+struct InferenceResult {
+  Tensor spike_counts;     // [N, out_features] — spikes summed over steps
+  snn::SpikeRecord stats;  // populated when SessionConfig::record_stats
+  std::int64_t timesteps = 0;
+
+  /// Achieved input density over all conv/linear dispatch decisions this
+  /// window (exact integer counts; what the crossover heuristic saw).
+  double mean_input_density = 0.0;
+  std::int64_t sparse_dispatches = 0;  // layer-steps on the sparse kernel
+  std::int64_t dense_dispatches = 0;   // layer-steps on the dense kernel
+};
+
+class InferenceSession {
+ public:
+  /// The model must outlive the session (the session keeps a pointer; the
+  /// weights are read in place, never copied again).
+  explicit InferenceSession(const CompiledModel& model,
+                            SessionConfig config = {});
+
+  /// Runs one window of T per-step batches shaped [N, <input_shape>...].
+  /// All steps must share one batch size.
+  InferenceResult run(const std::vector<Tensor>& step_inputs);
+
+  const CompiledModel& model() const { return *model_; }
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  void ensure_capacity(std::int64_t batch);
+  /// Fills per-sample nonzero index lists for `layer`'s input and returns
+  /// the batch-wide nonzero total.
+  std::int64_t build_index_lists(const float* in, std::int64_t batch,
+                                 std::int64_t in_elems);
+
+  const CompiledModel* model_;
+  SessionConfig config_;
+  std::int64_t capacity_ = 0;  // samples the buffers are sized for
+
+  std::vector<std::vector<float>> acts_;      // per layer: capacity*out_elems
+  std::vector<std::vector<float>> membrane_;  // per layer, LIF only
+  std::vector<std::int32_t> nz_idx_;          // capacity * idx_stride_
+  std::vector<std::int64_t> nz_count_;        // per-sample nonzero counts
+  std::vector<float> scratch_;                // conv scatter: [spatial, OC]
+  std::vector<float> cols_;                   // dense-fallback im2col
+  std::int64_t idx_stride_ = 0;      // max conv/linear in_elems
+  std::int64_t scratch_stride_ = 0;  // max conv spatial*OC
+  std::int64_t cols_stride_ = 0;     // max conv col_rows*spatial
+};
+
+}  // namespace spiketune::infer

@@ -38,6 +38,8 @@ class Conv2d final : public Layer {
   const Conv2dConfig& config() const { return config_; }
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
   /// Synaptic fan-out of one input spike: the number of MACs it triggers
   /// (= OC * KH * KW for interior pixels); used by the hardware workload

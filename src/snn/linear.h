@@ -30,6 +30,8 @@ class Linear final : public Layer {
   const LinearConfig& config() const { return config_; }
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
   /// MACs triggered by one input spike (= out_features).
   std::int64_t fanout_per_spike() const { return config_.out_features; }

@@ -16,12 +16,15 @@ const Layer& SpikingNetwork::layer(std::size_t i) const {
 }
 
 ForwardResult SpikingNetwork::forward(const std::vector<Tensor>& step_inputs,
-                                      bool training, bool record_stats) {
+                                      const ForwardOptions& options) {
   ST_REQUIRE(!layers_.empty(), "network has no layers");
   ST_REQUIRE(!step_inputs.empty(), "window must contain at least one step");
   const std::int64_t batch = step_inputs.front().shape()[0];
+  // The per-step tally needs the same input-side counting pass as the
+  // aggregate stats, so either flag pays for it exactly once.
+  const bool count_inputs = options.record_stats || options.record_step_nonzeros;
 
-  for (auto& l : layers_) l->begin_window(batch, training);
+  for (auto& l : layers_) l->begin_window(batch, options.training);
 
   ForwardResult result;
   result.stats = make_record();
@@ -33,23 +36,24 @@ ForwardResult SpikingNetwork::forward(const std::vector<Tensor>& step_inputs,
                "all steps must share one batch size");
     Tensor x = input;
     std::vector<std::int64_t> step_nz;
-    if (record_stats) step_nz.reserve(layers_.size());
+    if (options.record_step_nonzeros) step_nz.reserve(layers_.size());
     for (std::size_t li = 0; li < layers_.size(); ++li) {
       std::int64_t in_nz = 0;
       std::int64_t in_total = 0;
-      if (record_stats) {
+      if (count_inputs) {
         in_nz = ops::count_nonzero(x);
         in_total = x.numel();
-        step_nz.push_back(in_nz);
       }
+      if (options.record_step_nonzeros) step_nz.push_back(in_nz);
       Tensor y = layers_[li]->forward_step(x);
-      if (record_stats) {
+      if (options.record_stats) {
         result.stats.add_step(li, in_nz, in_total, ops::count_nonzero(y),
                               y.numel());
       }
       x = std::move(y);
     }
-    if (record_stats) result.step_input_nonzeros.push_back(std::move(step_nz));
+    if (options.record_step_nonzeros)
+      result.step_input_nonzeros.push_back(std::move(step_nz));
     ST_REQUIRE(x.shape().rank() == 2, "network output must be [N, features]");
     if (result.spike_counts.numel() == 0)
       result.spike_counts = Tensor(x.shape());

@@ -15,11 +15,25 @@
 
 namespace spiketune::snn {
 
+/// What a forward window should compute beyond the spike counts.  The
+/// defaults describe pure inference: no gradient caches, no stat passes,
+/// no per-step tallies.
+struct ForwardOptions {
+  bool training = false;      // cache activations for a later backward()
+  bool record_stats = false;  // count nonzeros at every layer boundary
+  /// Additionally keep the per-step, per-layer nonzero tally
+  /// (ForwardResult::step_input_nonzeros).  Only the cycle-level hardware
+  /// simulator consumes it, so it is opt-in rather than a side effect of
+  /// record_stats; enabling it implies the same counting pass.
+  bool record_step_nonzeros = false;
+};
+
 struct ForwardResult {
   Tensor spike_counts;  // [N, out_features] — spikes summed over steps
   SpikeRecord stats;    // populated when record_stats was requested
   /// step_input_nonzeros[t][l]: nonzero inputs entering layer l at step t
-  /// (whole batch); drives the cycle-level hardware simulator.
+  /// (whole batch); drives the cycle-level hardware simulator.  Shaped
+  /// exactly like hw::SpikeTrace.  Empty unless record_step_nonzeros.
   std::vector<std::vector<std::int64_t>> step_input_nonzeros;
   std::int64_t timesteps = 0;
 };
@@ -41,11 +55,11 @@ class SpikingNetwork {
   Layer& layer(std::size_t i);
   const Layer& layer(std::size_t i) const;
 
-  /// Runs the window.  `training` enables backward caches; `record_stats`
-  /// counts nonzeros at every layer boundary (costs one pass over the
-  /// activations, so sweeps enable it only for evaluation windows).
-  ForwardResult forward(const std::vector<Tensor>& step_inputs, bool training,
-                        bool record_stats = false);
+  /// Runs the window.  The options select training caches and stat passes
+  /// (stats cost one pass over the activations, so sweeps enable them only
+  /// for evaluation windows); the default is pure inference.
+  ForwardResult forward(const std::vector<Tensor>& step_inputs,
+                        const ForwardOptions& options = {});
 
   /// BPTT: `grad_counts` is dL/d(spike_counts), shape [N, out_features].
   /// Must follow a forward() with training == true.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <string>
 #include <typeinfo>
 
@@ -12,6 +13,7 @@
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "core/table.h"
+#include "infer/session.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -136,7 +138,7 @@ EpochMetrics Trainer::train_epoch(data::DataLoader& loader, Optimizer& opt,
     net_.zero_grad();
     auto fwd = [&] {
       ST_PROF_SCOPE("train.forward");
-      return net_.forward(steps, /*training=*/true);
+      return net_.forward(steps, {.training = true});
     }();
     auto lr = loss_.compute(fwd.spike_counts, batch.labels);
     if (testing::force_nan_loss && testing::force_nan_loss(epoch, batch_idx))
@@ -375,6 +377,56 @@ std::uint64_t Trainer::probe_stream(std::uint64_t epoch, std::uint64_t batch) {
          (batch & ((1ULL << kBatchBits) - 1));
 }
 
+namespace {
+
+// Runs evaluation windows through the sparsity-aware serving path: freeze
+// the current weights once per evaluation pass (they may change between
+// passes, e.g. after a quantization ablation), then reuse one session's
+// buffers for every batch.  Networks the inference engine cannot compile
+// (e.g. recurrent layers) stay on the dense training-path forward.  Both
+// paths produce bit-identical spike counts and activity stats (DESIGN.md
+// §10), so every downstream number is unchanged.
+class EvalEngine {
+ public:
+  explicit EvalEngine(snn::SpikingNetwork& net) : net_(net) {}
+
+  struct Output {
+    Tensor spike_counts;
+    snn::SpikeRecord stats;
+  };
+
+  Output run(const std::vector<Tensor>& steps) {
+    if (!tried_compile_) {
+      tried_compile_ = true;
+      const Shape& s = steps.front().shape();
+      const std::vector<std::int64_t> per_sample(s.dims().begin() + 1,
+                                                 s.dims().end());
+      try {
+        model_ = infer::CompiledModel::compile(net_, Shape(per_sample));
+        session_.emplace(*model_,
+                         infer::SessionConfig{.max_batch = s[0],
+                                              .record_stats = true});
+      } catch (const InvalidArgument&) {
+        // Unsupported layer type; the dense fallback below handles it.
+      }
+    }
+    if (session_.has_value()) {
+      auto r = session_->run(steps);
+      return {std::move(r.spike_counts), std::move(r.stats)};
+    }
+    auto r = net_.forward(steps, {.record_stats = true});
+    return {std::move(r.spike_counts), std::move(r.stats)};
+  }
+
+ private:
+  snn::SpikingNetwork& net_;
+  bool tried_compile_ = false;
+  std::optional<infer::CompiledModel> model_;
+  std::optional<infer::InferenceSession> session_;  // points into model_
+};
+
+}  // namespace
+
 snn::SpikeRecord Trainer::record_activity(data::DataLoader& loader,
                                           std::int64_t epoch,
                                           std::int64_t max_batches) {
@@ -382,6 +434,7 @@ snn::SpikeRecord Trainer::record_activity(data::DataLoader& loader,
   ST_REQUIRE(max_batches > 0, "record_activity needs max_batches > 0");
   loader.start_epoch(0);
   snn::SpikeRecord record = net_.make_record();
+  EvalEngine engine(net_);
   data::Batch batch;
   std::uint64_t batch_idx = 0;
   while (batch_idx < static_cast<std::uint64_t>(max_batches) &&
@@ -390,8 +443,7 @@ snn::SpikeRecord Trainer::record_activity(data::DataLoader& loader,
         encoder_.encode(batch.images, config_.num_steps,
                         probe_stream(static_cast<std::uint64_t>(epoch),
                                      batch_idx++));
-    auto fwd = net_.forward(steps, /*training=*/false, /*record_stats=*/true);
-    record.merge(fwd.stats);
+    record.merge(engine.run(steps).stats);
   }
   return record;
 }
@@ -404,13 +456,14 @@ EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   out.record = net_.make_record();
   RunningMean loss_mean;
   RunningMean acc_mean;
+  EvalEngine engine(net_);
   data::Batch batch;
   const std::uint64_t call = eval_calls_++;
   std::uint64_t batch_idx = 0;
   while (loader.next(batch)) {
     const auto steps = encoder_.encode(batch.images, config_.num_steps,
                                        eval_stream(call, batch_idx++));
-    auto fwd = net_.forward(steps, /*training=*/false, /*record_stats=*/true);
+    auto fwd = engine.run(steps);
     const auto lr = loss_.compute(fwd.spike_counts, batch.labels);
     loss_mean.add(lr.loss, batch.batch_size());
     acc_mean.add(snn::accuracy(fwd.spike_counts, batch.labels),

@@ -33,7 +33,7 @@ TEST(Network, MlpForwardShapes) {
   EXPECT_EQ(net->num_layers(), 4u);
   EXPECT_EQ(net->output_shape(Shape{8}), Shape({4}));
 
-  auto out = net->forward(constant_window(5, Shape{3, 8}, 0.5f), false);
+  auto out = net->forward(constant_window(5, Shape{3, 8}, 0.5f));
   EXPECT_EQ(out.spike_counts.shape(), Shape({3, 4}));
   EXPECT_EQ(out.timesteps, 5);
 }
@@ -45,7 +45,7 @@ TEST(Network, SpikeCountsBounded) {
   cfg.num_classes = 4;
   auto net = make_snn_mlp(cfg);
   const std::int64_t T = 7;
-  auto out = net->forward(constant_window(T, Shape{2, 8}, 1.0f), false);
+  auto out = net->forward(constant_window(T, Shape{2, 8}, 1.0f));
   for (std::int64_t i = 0; i < out.spike_counts.numel(); ++i) {
     EXPECT_GE(out.spike_counts[i], 0.0f);
     EXPECT_LE(out.spike_counts[i], static_cast<float>(T));
@@ -57,8 +57,8 @@ TEST(Network, DeterministicForward) {
   auto a = make_snn_mlp(cfg);
   auto b = make_snn_mlp(cfg);
   auto window = constant_window(4, Shape{2, 64}, 0.8f);
-  auto oa = a->forward(window, false);
-  auto ob = b->forward(window, false);
+  auto oa = a->forward(window);
+  auto ob = b->forward(window);
   for (std::int64_t i = 0; i < oa.spike_counts.numel(); ++i)
     EXPECT_EQ(oa.spike_counts[i], ob.spike_counts[i]);
 }
@@ -85,8 +85,8 @@ TEST(Network, StatsRecordInputAndOutputDensities) {
   cfg.hidden = 8;
   cfg.num_classes = 4;
   auto net = make_snn_mlp(cfg);
-  auto out = net->forward(constant_window(6, Shape{3, 16}, 1.0f), false,
-                          /*record_stats=*/true);
+  auto out = net->forward(constant_window(6, Shape{3, 16}, 1.0f),
+                          {.record_stats = true});
   const auto& layers = out.stats.layers();
   ASSERT_EQ(layers.size(), 4u);
   // First linear sees the raw (all-ones) input: density 1.
@@ -104,13 +104,33 @@ TEST(Network, StepTraceMatchesAggregate) {
   cfg.in_features = 16;
   cfg.hidden = 8;
   auto net = make_snn_mlp(cfg);
-  auto out = net->forward(constant_window(5, Shape{2, 16}, 0.9f), false, true);
+  auto out = net->forward(constant_window(5, Shape{2, 16}, 0.9f),
+                          {.record_stats = true, .record_step_nonzeros = true});
   ASSERT_EQ(out.step_input_nonzeros.size(), 5u);
   for (std::size_t l = 0; l < net->num_layers(); ++l) {
     std::int64_t total = 0;
     for (const auto& step : out.step_input_nonzeros) total += step[l];
     EXPECT_EQ(total, out.stats.layers()[l].input_nonzeros) << "layer " << l;
   }
+}
+
+TEST(Network, StepTraceIsOptIn) {
+  // record_stats alone must not grow the TxL per-step tally; only the
+  // hardware simulator's explicit opt-in pays for it.
+  MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = 8;
+  auto net = make_snn_mlp(cfg);
+  auto window = constant_window(4, Shape{2, 16}, 0.9f);
+  auto stats_only = net->forward(window, {.record_stats = true});
+  EXPECT_TRUE(stats_only.step_input_nonzeros.empty());
+  EXPECT_GT(stats_only.stats.layers()[0].input_nonzeros, 0);
+
+  // The tally alone works too (no aggregate stats requested).
+  auto trace_only = net->forward(window, {.record_step_nonzeros = true});
+  ASSERT_EQ(trace_only.step_input_nonzeros.size(), 4u);
+  EXPECT_EQ(trace_only.stats.layers()[0].input_nonzeros, 0);
+  EXPECT_EQ(trace_only.step_input_nonzeros[0][0], 2 * 16);
 }
 
 TEST(Network, BackwardProducesFiniteNonzeroGrads) {
@@ -126,7 +146,7 @@ TEST(Network, BackwardProducesFiniteNonzeroGrads) {
     window.push_back(Tensor::uniform(Shape{4, 16}, rng, 0.0f, 1.0f));
 
   net->zero_grad();
-  auto out = net->forward(window, /*training=*/true);
+  auto out = net->forward(window, {.training = true});
   Tensor g(out.spike_counts.shape());
   g.fill(1.0f);
   net->backward(g);
@@ -148,7 +168,8 @@ TEST(Network, BackwardWithoutForwardThrows) {
 
 TEST(Network, ZeroGradClears) {
   auto net = make_snn_mlp(MlpConfig{});
-  auto out = net->forward(constant_window(3, Shape{2, 64}, 1.0f), true);
+  auto out = net->forward(constant_window(3, Shape{2, 64}, 1.0f),
+                          {.training = true});
   Tensor g(out.spike_counts.shape());
   g.fill(1.0f);
   net->backward(g);
@@ -171,7 +192,7 @@ TEST(Network, CsnnSmallImageShapes) {
   cfg.image_size = 16;
   auto net = make_svhn_csnn(cfg);
   EXPECT_EQ(net->output_shape(Shape{3, 16, 16}), Shape({10}));
-  auto out = net->forward(constant_window(2, Shape{1, 3, 16, 16}, 0.7f), false);
+  auto out = net->forward(constant_window(2, Shape{1, 3, 16, 16}, 0.7f));
   EXPECT_EQ(out.spike_counts.shape(), Shape({1, 10}));
 }
 
@@ -197,8 +218,8 @@ TEST(Network, HigherThresholdFiresLess) {
     cfg.lif.threshold = theta;
     auto net = make_snn_mlp(cfg);
     auto out = net->forward(
-        std::vector<Tensor>(8, Tensor::full(Shape{4, 64}, 0.9f)), false,
-        true);
+        std::vector<Tensor>(8, Tensor::full(Shape{4, 64}, 0.9f)),
+        {.record_stats = true});
     return out.stats.mean_firing_rate();
   };
   EXPECT_GT(rate_for_theta(0.5f), rate_for_theta(2.0f));
