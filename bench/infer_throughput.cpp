@@ -31,6 +31,7 @@
 #include "core/error.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/stats.h"
 #include "core/table.h"
 #include "exp/ledger_flags.h"
 #include "exp/standard_flags.h"
@@ -54,13 +55,6 @@ struct PathResult {
   std::int64_t sparse_dispatches = 0;
   std::int64_t dense_dispatches = 0;
 };
-
-double percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
-}
 
 // Times `reps` runs of one window through a session with the crossover
 // forced to `crossover` (< 0 dense, >= 1 sparse).
@@ -89,13 +83,11 @@ PathResult time_path(const infer::CompiledModel& model,
       r.dense_dispatches = out.dense_dispatches;
     }
   }
-  std::sort(lat_ms.begin(), lat_ms.end());
-  double sum = 0.0;
-  for (double v : lat_ms) sum += v;
-  r.mean_ms = sum / static_cast<double>(lat_ms.size());
-  r.p50_ms = percentile(lat_ms, 0.50);
-  r.p90_ms = percentile(lat_ms, 0.90);
-  r.p99_ms = percentile(lat_ms, 0.99);
+  const LatencyStats stats = summarize_latencies(lat_ms);
+  r.mean_ms = stats.mean;
+  r.p50_ms = stats.p50;
+  r.p90_ms = stats.p90;
+  r.p99_ms = stats.p99;
   r.fps = r.mean_ms > 0.0 ? batch / (r.mean_ms / 1e3) : 0.0;
   return r;
 }

@@ -1,0 +1,373 @@
+// SERVE — closed/open-loop load generator for the serving daemon.
+//
+// Drives a running `serve` daemon over TCP with per-connection client
+// threads, measures per-request latency, and reports p50/p99/p999 plus the
+// sustained QPS into BENCH_serve.json.  Two loops:
+//
+//   * closed (--qps 0, default): every connection keeps exactly one
+//     request in flight; the aggregate completion rate IS the max
+//     sustainable QPS for that concurrency.
+//   * open (--qps R): arrivals are paced to the target rate across the
+//     connections, and latency is measured from the *scheduled* send time,
+//     so queueing delay from a daemon that cannot keep up counts against
+//     it (no coordinated omission).
+//
+// Parity gate: the first --parity requests per connection are also run
+// through a direct, local InferenceSession on an identically-constructed
+// model, and the served spike counts must match BITWISE — dynamic batching
+// must be invisible in the results, whatever batch each request rode in.
+// Any mismatch fails the run (exit 1); a performance number for a wrong
+// result is worthless.
+//
+// A daemon SIGTERMed mid-burst is tolerated and reported: completed
+// requests keep their latencies and parity checks, requests refused with
+// `shutting-down` (or cut by the closing connection) are tallied as
+// shutdown drops, and the JSON records shutdown_observed = true.
+//
+//   ./serve_loadgen --port 7421 --model mlp --requests 2000 --conns 8
+//   ./serve_loadgen --port 7421 --qps 500 --json BENCH_serve.json
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "exp/standard_flags.h"
+#include "infer/session.h"
+#include "serve/transport.h"
+#include "snn/model_zoo.h"
+
+using namespace spiketune;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ConnResult {
+  std::vector<double> latencies_ms;
+  std::int64_t completed = 0;
+  std::int64_t rejected_overload = 0;
+  std::int64_t shutdown_drops = 0;
+  std::int64_t parity_checked = 0;
+  std::int64_t parity_failures = 0;
+  std::int64_t max_batch_seen = 0;
+};
+
+/// One sample's spike window, firing with probability `density` per
+/// element per step.  Deterministic per (seed, conn, request).
+std::vector<float> make_window(std::uint32_t num_steps, std::int64_t elems,
+                               double density, Rng& rng) {
+  std::vector<float> data(static_cast<std::size_t>(num_steps) *
+                          static_cast<std::size_t>(elems));
+  for (float& v : data) v = rng.uniform() < density ? 1.0f : 0.0f;
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("host", "127.0.0.1", "daemon address");
+  flags.declare("port", "7421", "daemon port");
+  flags.declare("connect-retry-ms", "4000",
+                "keep retrying the initial connect this long (daemon "
+                "startup race)");
+  flags.declare("model", "mlp",
+                "reference topology for the parity gate: must match the "
+                "daemon's --model");
+  flags.declare("beta", "0.5", "LIF leak (must match the daemon)");
+  flags.declare("theta", "1.5", "LIF threshold (must match the daemon)");
+  flags.declare("conns", "4", "concurrent client connections");
+  flags.declare("requests", "400", "total requests across all connections");
+  flags.declare("num-steps", "8", "timesteps per request window");
+  flags.declare("density", "0.15", "input spike probability per step");
+  flags.declare("qps", "0",
+                "open-loop target rate (0 = closed loop at --conns "
+                "concurrency)");
+  flags.declare("parity", "8",
+                "verify this many responses per connection bitwise against "
+                "a direct InferenceSession (-1 = all)");
+  flags.declare("json", "BENCH_serve.json", "JSON summary path (empty: skip)");
+  exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+  const auto std_flags =
+      exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
+  (void)std_flags;
+
+  // Read every flag value up front so a malformed value (e.g. --port=x)
+  // prints usage and exits 2 like an unknown flag, instead of aborting.
+  std::string host;
+  int port = 0, retry_ms = 0, conns = 0;
+  std::int64_t total_requests = 0, parity_per_conn = 0;
+  std::uint32_t num_steps = 0;
+  double density = 0.0, qps = 0.0;
+  float beta = 0.0f, theta = 0.0f;
+  try {
+    host = flags.get("host");
+    port = static_cast<int>(flags.get_int("port"));
+    retry_ms = static_cast<int>(flags.get_int("connect-retry-ms"));
+    conns = static_cast<int>(flags.get_int("conns"));
+    total_requests = flags.get_int("requests");
+    num_steps = static_cast<std::uint32_t>(flags.get_int("num-steps"));
+    density = flags.get_double("density");
+    qps = flags.get_double("qps");
+    parity_per_conn = flags.get_int("parity");
+    beta = static_cast<float>(flags.get_double("beta"));
+    theta = static_cast<float>(flags.get_double("theta"));
+    ST_REQUIRE(conns > 0 && total_requests > 0,
+               "--conns and --requests must be positive");
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+
+  // Reference model for the parity gate: identical construction to the
+  // daemon (same zoo topology, same weight seed), so weights are bitwise
+  // the same.
+  snn::LifConfig lif;
+  lif.beta = beta;
+  lif.threshold = theta;
+  const std::string model_name = flags.get("model");
+  std::unique_ptr<snn::SpikingNetwork> net;
+  Shape per_sample;
+  if (model_name == "csnn") {
+    snn::CsnnConfig cfg;
+    cfg.lif = lif;
+    net = snn::make_svhn_csnn(cfg);
+    per_sample = Shape{cfg.in_channels, cfg.image_size, cfg.image_size};
+  } else if (model_name == "mlp") {
+    snn::MlpConfig cfg;
+    cfg.lif = lif;
+    net = snn::make_snn_mlp(cfg);
+    per_sample = Shape{cfg.in_features};
+  } else {
+    std::cerr << "unknown --model '" << model_name << "'\n";
+    return 2;
+  }
+  const auto model = infer::CompiledModel::compile(*net, per_sample);
+  net.reset();
+  const std::int64_t in_elems = per_sample.numel();
+  const std::int64_t out_features = model.output_shape()[0];
+
+  const std::int64_t per_conn =
+      (total_requests + conns - 1) / conns;  // last conn may send fewer
+  std::cout << "== SERVE loadgen: " << host << ":" << port << ", "
+            << total_requests << " requests over " << conns
+            << " conns, T " << num_steps << ", "
+            << (qps > 0 ? "open loop @ " + fmt_f(qps, 0) + " QPS"
+                        : std::string("closed loop"))
+            << " ==\n";
+
+  std::vector<ConnResult> results(static_cast<std::size_t>(conns));
+  std::atomic<bool> connect_failed{false};
+  std::string connect_error;
+  std::mutex connect_error_mu;
+  const auto t_start = Clock::now();
+  const double interval_s = qps > 0 ? 1.0 / qps : 0.0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      ConnResult& r = results[static_cast<std::size_t>(c)];
+      const std::int64_t first = c * per_conn;
+      const std::int64_t count =
+          std::max<std::int64_t>(0,
+                                 std::min(per_conn, total_requests - first));
+      if (count == 0) return;
+      std::unique_ptr<serve::TcpClient> client;
+      try {
+        client = std::make_unique<serve::TcpClient>(host, port, retry_ms);
+      } catch (const Error& e) {
+        std::lock_guard<std::mutex> lock(connect_error_mu);
+        connect_failed.store(true);
+        connect_error = e.what();
+        return;
+      }
+      // Parity checks run on a private single-sample session (sessions are
+      // not thread-safe).
+      std::unique_ptr<infer::InferenceSession> ref;
+      Rng rng(0x10adc4feULL ^ (0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(c + 1)));
+      r.latencies_ms.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) {
+        serve::InferRequest req;
+        req.request_id =
+            (static_cast<std::uint64_t>(c) << 32) |
+            static_cast<std::uint64_t>(i);
+        req.num_steps = num_steps;
+        req.elems_per_step = static_cast<std::uint32_t>(in_elems);
+        req.data = make_window(num_steps, in_elems, density, rng);
+
+        // Open loop: launch at the scheduled slot (global slot index
+        // interleaves connections); measure from the schedule, not the
+        // actual send, so a backed-up daemon pays its queueing delay.
+        auto scheduled = Clock::now();
+        if (qps > 0) {
+          scheduled =
+              t_start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                (static_cast<double>(i) *
+                                     static_cast<double>(conns) +
+                                 static_cast<double>(c)) *
+                                interval_s));
+          std::this_thread::sleep_until(scheduled);
+        }
+        const serve::TcpClient::Reply reply = client->roundtrip(req);
+        const auto t_done = Clock::now();
+        if (reply.disconnected) {
+          ++r.shutdown_drops;
+          break;  // daemon drained away; stop this connection
+        }
+        if (!reply.ok) {
+          if (reply.error.code == serve::ErrorCode::kShuttingDown) {
+            ++r.shutdown_drops;
+            break;
+          }
+          if (reply.error.code == serve::ErrorCode::kOverloaded) {
+            ++r.rejected_overload;
+            continue;
+          }
+          throw Error("daemon rejected request: " + reply.error.message);
+        }
+        ++r.completed;
+        r.max_batch_seen = std::max(
+            r.max_batch_seen,
+            static_cast<std::int64_t>(reply.response.batch));
+        r.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t_done - scheduled)
+                .count());
+
+        if (parity_per_conn < 0 || r.parity_checked < parity_per_conn) {
+          if (ref == nullptr)
+            ref = std::make_unique<infer::InferenceSession>(
+                model, infer::SessionConfig{.max_batch = 1});
+          std::vector<std::int64_t> dims{1};
+          for (std::int64_t d : per_sample.dims()) dims.push_back(d);
+          std::vector<Tensor> window;
+          window.reserve(num_steps);
+          for (std::uint32_t t = 0; t < num_steps; ++t) {
+            Tensor x{Shape(dims)};
+            std::memcpy(x.data(), req.data.data() + t * in_elems,
+                        static_cast<std::size_t>(in_elems) * sizeof(float));
+            window.push_back(std::move(x));
+          }
+          const infer::InferenceResult want = ref->run(window);
+          ++r.parity_checked;
+          if (std::memcmp(want.spike_counts.data(),
+                          reply.response.spike_counts.data(),
+                          static_cast<std::size_t>(out_features) *
+                              sizeof(float)) != 0)
+            ++r.parity_failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+
+  if (connect_failed.load()) {
+    std::cerr << "cannot reach the daemon: " << connect_error << "\n";
+    return 1;
+  }
+
+  std::vector<double> latencies;
+  ConnResult total;
+  for (const ConnResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    total.completed += r.completed;
+    total.rejected_overload += r.rejected_overload;
+    total.shutdown_drops += r.shutdown_drops;
+    total.parity_checked += r.parity_checked;
+    total.parity_failures += r.parity_failures;
+    total.max_batch_seen = std::max(total.max_batch_seen, r.max_batch_seen);
+  }
+  const LatencyStats lat = summarize_latencies(latencies);
+  const double achieved_qps =
+      elapsed_s > 0 ? static_cast<double>(total.completed) / elapsed_s : 0.0;
+  const bool shutdown_observed = total.shutdown_drops > 0;
+  const bool parity_ok = total.parity_failures == 0;
+
+  AsciiTable table({"metric", "value"});
+  table.set_title("serve loadgen (" + std::to_string(total.completed) +
+                  " completed, " + fmt_f(elapsed_s, 2) + "s)");
+  table.add_row({"QPS", fmt_f(achieved_qps, 0)});
+  table.add_row({"p50", fmt_f(lat.p50, 2) + "ms"});
+  table.add_row({"p90", fmt_f(lat.p90, 2) + "ms"});
+  table.add_row({"p99", fmt_f(lat.p99, 2) + "ms"});
+  table.add_row({"p999", fmt_f(lat.p999, 2) + "ms"});
+  table.add_row({"mean", fmt_f(lat.mean, 2) + "ms"});
+  table.add_row({"max batch seen", std::to_string(total.max_batch_seen)});
+  table.add_row({"overload rejections",
+                 std::to_string(total.rejected_overload)});
+  table.add_row({"shutdown drops", std::to_string(total.shutdown_drops)});
+  table.add_row({"parity",
+                 (parity_ok ? "ok" : "FAILED") + std::string(" (") +
+                     std::to_string(total.parity_checked) + " checked)"});
+  table.print(std::cout);
+
+  const std::string json = flags.get("json");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    ST_REQUIRE(out.good(), "cannot open " + json + " for writing");
+    out << "{\n"
+        << "  \"model\": \"" << model_name << "\",\n"
+        << "  \"mode\": \"" << (qps > 0 ? "open" : "closed") << "\",\n"
+        << "  \"target_qps\": " << qps << ",\n"
+        << "  \"conns\": " << conns << ",\n"
+        << "  \"num_steps\": " << num_steps << ",\n"
+        << "  \"requests\": " << total_requests << ",\n"
+        << "  \"completed\": " << total.completed << ",\n"
+        << "  \"rejected_overload\": " << total.rejected_overload << ",\n"
+        << "  \"shutdown_drops\": " << total.shutdown_drops << ",\n"
+        << "  \"shutdown_observed\": "
+        << (shutdown_observed ? "true" : "false") << ",\n"
+        << "  \"elapsed_s\": " << elapsed_s << ",\n"
+        << "  \"max_sustainable_qps\": " << achieved_qps << ",\n"
+        << "  \"mean_ms\": " << lat.mean << ",\n"
+        << "  \"p50_ms\": " << lat.p50 << ",\n"
+        << "  \"p90_ms\": " << lat.p90 << ",\n"
+        << "  \"p99_ms\": " << lat.p99 << ",\n"
+        << "  \"p999_ms\": " << lat.p999 << ",\n"
+        << "  \"max_batch_seen\": " << total.max_batch_seen << ",\n"
+        << "  \"parity_checked\": " << total.parity_checked << ",\n"
+        << "  \"parity\": " << (parity_ok ? "true" : "false") << "\n"
+        << "}\n";
+    std::cout << "wrote " << json << "\n";
+  }
+
+  if (!parity_ok) {
+    std::cerr << "PARITY FAILURE: " << total.parity_failures << " of "
+              << total.parity_checked
+              << " checked responses differ from a direct "
+                 "InferenceSession run\n";
+    return 1;
+  }
+  if (total.completed == 0) {
+    std::cerr << "no requests completed\n";
+    return 1;
+  }
+  return 0;
+}

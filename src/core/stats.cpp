@@ -1,0 +1,32 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spiketune {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+LatencyStats summarize_latencies(std::vector<double>& samples) {
+  LatencyStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.count = static_cast<std::int64_t>(samples.size());
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p90 = percentile_sorted(samples, 0.90);
+  s.p99 = percentile_sorted(samples, 0.99);
+  s.p999 = percentile_sorted(samples, 0.999);
+  s.min = samples.front();
+  s.max = samples.back();
+  return s;
+}
+
+}  // namespace spiketune

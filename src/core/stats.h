@@ -1,0 +1,38 @@
+// Latency statistics shared by the bench drivers and the serving stack.
+//
+// Every percentile consumer used to carry its own helper; the worst of them
+// (bench/infer_throughput) took the sorted sample vector *by value*, copying
+// the whole latency array once per percentile.  At serve_loadgen scale —
+// millions of samples, five percentiles — those copies dominate the
+// reporting phase.  This is the one shared implementation: sort once at the
+// call site, then ask for any number of percentiles through a const
+// reference, or let summarize_latencies() do both in one pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spiketune {
+
+/// Nearest-rank percentile of `sorted` (ascending; q in [0, 1]).  Takes the
+/// samples by const reference — no copy per call — and returns 0.0 when the
+/// vector is empty.  q = 0 yields the smallest sample, q = 1 the largest.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// One latency sample set boiled down to the serving-report numbers.
+struct LatencyStats {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Sorts `samples` ascending in place (the single sort) and computes the
+/// summary with percentile_sorted.  Returns a zero summary when empty.
+LatencyStats summarize_latencies(std::vector<double>& samples);
+
+}  // namespace spiketune

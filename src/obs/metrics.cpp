@@ -303,14 +303,25 @@ double LogHistogram::quantile(double q) const {
   for (int b = 0; b < kNumBuckets; ++b) {
     seen += buckets_[static_cast<std::size_t>(b)];
     if (static_cast<double>(seen) >= rank) {
-      double mid;
+      // The representative value must stay inside the bucket that holds the
+      // q-th sample: clamping the midpoint only to the *global* [min_, max_]
+      // can pull it past the bucket's own edges when outliers in distant
+      // buckets stretch that range, misordering tight quantiles.  Intersect
+      // the bucket's [lower, upper] with [min_, max_] — the intersection is
+      // never empty, because a populated bucket contains a real sample.
+      double lower, upper, mid;
       if (b == 0) {
+        lower = min_;  // bucket 0 is (-inf, 1]; negatives land here too
+        upper = 1.0;
         mid = 0.5;
       } else {
-        const double lo = std::ldexp(1.0, b - 1);
-        mid = (b == kNumBuckets - 1) ? max_ : lo * std::sqrt(2.0);
+        lower = std::ldexp(1.0, b - 1);
+        upper = bucket_upper(b);  // +inf for the last bucket
+        mid = (b == kNumBuckets - 1) ? max_ : lower * std::sqrt(2.0);
       }
-      return std::clamp(mid, min_, max_);
+      const double lo_eff = std::max(lower, min_);
+      const double hi_eff = std::min(upper, max_);
+      return std::clamp(mid, lo_eff, std::max(lo_eff, hi_eff));
     }
   }
   return max_;

@@ -64,7 +64,9 @@ class LogHistogram {
   /// Mean of recorded values, or `fallback` when empty.
   double mean_or(double fallback) const;
   /// Approximate q-quantile (q in [0, 1]): the geometric midpoint of the
-  /// bucket holding the q-th value, clamped to the observed min/max.
+  /// bucket holding the q-th value, clamped to the intersection of that
+  /// bucket's own [lower, upper] edges and the observed min/max — so the
+  /// estimate never leaves its bucket and quantiles stay monotone in q.
   /// Returns 0 when empty.
   double quantile(double q) const;
 

@@ -1,5 +1,6 @@
 #include "obs/signal_flush.h"
 
+#include <fcntl.h>
 #include <semaphore.h>
 #include <signal.h>
 #include <unistd.h>
@@ -19,11 +20,28 @@ std::atomic<TelemetrySession*> g_session{nullptr};
 std::atomic<int> g_signum{0};
 sem_t g_flush_sem;
 
+// Cooperative-shutdown state (install_shutdown_request).
+std::atomic<bool> g_cooperative{false};  // armed: flush-and-exit stands down
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_shutdown_signum{0};
+int g_shutdown_pipe[2] = {-1, -1};
+
 // Async-signal-safe: one relaxed store + sem_post (both on the POSIX
 // safe-function list).  All real work happens on the flusher thread.
 void on_signal(int sig) {
   g_signum.store(sig, std::memory_order_relaxed);
   sem_post(&g_flush_sem);
+}
+
+// Async-signal-safe: two relaxed stores + one write() to the self-pipe (on
+// the safe-function list; the pipe is non-blocking, so a full pipe — which
+// cannot happen with one-byte tokens — would not wedge the handler).  The
+// daemon's main loop does the draining on a normal stack.
+void on_shutdown_signal(int sig) {
+  g_shutdown_signum.store(sig, std::memory_order_relaxed);
+  g_shutdown.store(true, std::memory_order_release);
+  const char token = 's';
+  [[maybe_unused]] ssize_t n = write(g_shutdown_pipe[1], &token, 1);
 }
 
 void flusher_main() {
@@ -37,10 +55,14 @@ void flusher_main() {
 }  // namespace
 
 void install_signal_flush() {
+  // A daemon that armed the cooperative path owns these signals: the
+  // flush-and-exit flusher must never _exit() under a drain in progress.
+  if (g_cooperative.load(std::memory_order_acquire)) return;
   static std::once_flag once;
   std::call_once(once, [] {
     sem_init(&g_flush_sem, 0, 0);
     std::thread(flusher_main).detach();
+    if (g_cooperative.load(std::memory_order_acquire)) return;
     struct sigaction sa = {};
     sa.sa_handler = on_signal;
     sigemptyset(&sa.sa_mask);
@@ -59,6 +81,59 @@ void set_signal_flush_session(TelemetrySession* session) {
 void clear_signal_flush_session(TelemetrySession* session) {
   TelemetrySession* expected = session;
   g_session.compare_exchange_strong(expected, nullptr);
+}
+
+void install_shutdown_request() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (pipe(g_shutdown_pipe) != 0) return;
+    // Non-blocking on both ends: the handler must never block, and a
+    // poll()-woken reader that drains the pipe must not wedge either.
+    for (int fd : g_shutdown_pipe) {
+      const int fl = fcntl(fd, F_GETFL);
+      if (fl >= 0) fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+      const int fdfl = fcntl(fd, F_GETFD);
+      if (fdfl >= 0) fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
+    }
+    // Stand the flush-and-exit path down *before* taking the signals so
+    // there is no window where the flusher could win a race.
+    g_cooperative.store(true, std::memory_order_release);
+    struct sigaction sa = {};
+    sa.sa_handler = on_shutdown_signal;
+    sigemptyset(&sa.sa_mask);
+    // One shot: re-entry (a second SIGINT/SIGTERM while draining) falls
+    // through to the default disposition and kills a stuck drain.
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  });
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_acquire);
+}
+
+int shutdown_signum() {
+  return g_shutdown_signum.load(std::memory_order_relaxed);
+}
+
+int shutdown_fd() { return g_shutdown_pipe[0]; }
+
+void reset_shutdown_request_for_test() {
+  g_shutdown.store(false, std::memory_order_release);
+  g_shutdown_signum.store(0, std::memory_order_relaxed);
+  if (g_shutdown_pipe[0] >= 0) {
+    char buf[16];
+    while (read(g_shutdown_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+  // Re-arm the one-shot handlers for the next cycle.
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 }
 
 }  // namespace spiketune::obs

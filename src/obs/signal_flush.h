@@ -1,19 +1,35 @@
-// Flush-on-signal: make Ctrl-C / SIGTERM leave telemetry behind.
+// Flush-on-signal and cooperative shutdown: make Ctrl-C / SIGTERM leave
+// telemetry behind — and let long-lived daemons drain before exiting.
 //
-// A long sweep killed mid-run used to lose its --trace and --metrics-out
-// files entirely (they are written at TelemetrySession::flush, which a
-// signal never reaches).  install_signal_flush() arms SIGINT/SIGTERM so an
-// interrupted run still writes every requested artifact: the handler is
-// strictly async-signal-safe (it records the signal number and posts a
-// semaphore), and a dedicated flusher thread — woken by that post — runs
-// the registered TelemetrySession's flush on a normal stack, then exits
-// the process with the conventional 128+signal status.  The run ledger
-// needs no handler of its own: every record is already fsynced on write,
-// so a kill leaves a partial but parseable stream.
+// Two patterns share this file, both built on strictly async-signal-safe
+// handlers (the audit: each handler performs only relaxed atomic stores plus
+// one syscall from the POSIX async-signal-safe list — sem_post() or write()
+// — no allocation, no locks, no C++ runtime):
 //
-// A second signal while the flush is running falls through to the default
-// disposition (the handlers install with SA_RESETHAND), so a stuck flush
-// can always be interrupted again.
+// 1. Flush-and-exit (batch drivers).  A long sweep killed mid-run used to
+//    lose its --trace and --metrics-out files entirely (they are written at
+//    TelemetrySession::flush, which a signal never reaches).
+//    install_signal_flush() arms SIGINT/SIGTERM so an interrupted run still
+//    writes every requested artifact: the handler records the signal number
+//    and posts a semaphore, and a dedicated flusher thread — woken by that
+//    post — runs the registered TelemetrySession's flush on a normal stack,
+//    then exits the process with the conventional 128+signal status.  The
+//    run ledger needs no handler of its own: every record is already
+//    fsynced on write, so a kill leaves a partial but parseable stream.
+//
+// 2. Drain-and-exit-0 (the serve daemon).  A server must NOT _exit from a
+//    helper thread mid-batch: in-flight requests deserve responses and the
+//    listener should stop taking new work first.  install_shutdown_request()
+//    arms the same signals with a self-pipe + atomic-flag handler instead:
+//    the handler writes one byte to a pipe and sets a flag, and the daemon's
+//    main loop — poll()ing shutdown_fd() — observes it, drains, flushes
+//    telemetry itself, and exits 0.  Once the cooperative handler is armed,
+//    a later install_signal_flush() (e.g. from apply_telemetry_flags) is a
+//    no-op, so the flusher thread can never race the drain with an _exit.
+//
+// Both handlers install with SA_RESETHAND: a second signal while the flush
+// or the drain is running gets the default disposition and kills the
+// process — a stuck shutdown can always be interrupted again.
 #pragma once
 
 namespace spiketune::obs {
@@ -22,7 +38,8 @@ class TelemetrySession;
 
 /// Installs the SIGINT/SIGTERM flush handlers and starts the flusher
 /// thread.  Idempotent; called automatically by apply_telemetry_flags when
-/// a session is active.
+/// a session is active.  No-op after install_shutdown_request(): a daemon's
+/// cooperative drain takes precedence over flush-and-exit.
 void install_signal_flush();
 
 /// Registers `session` as the sink flushed on signal (nullptr to clear).
@@ -31,5 +48,28 @@ void set_signal_flush_session(TelemetrySession* session);
 
 /// Clears the registration only if it still points at `session`.
 void clear_signal_flush_session(TelemetrySession* session);
+
+/// Arms SIGINT/SIGTERM for cooperative daemon shutdown (self-pipe +
+/// atomic flag; the process keeps running).  Idempotent.  Call BEFORE
+/// apply_telemetry_flags / install_signal_flush so the flush-and-exit
+/// handler never takes the signals over.  After the first signal the
+/// handlers reset to the default disposition (SA_RESETHAND), so a second
+/// SIGTERM force-kills a stuck drain.
+void install_shutdown_request();
+
+/// True once a SIGINT/SIGTERM arrived after install_shutdown_request().
+bool shutdown_requested();
+
+/// The signal that requested shutdown (0 if none yet).
+int shutdown_signum();
+
+/// Read end of the shutdown self-pipe: poll()/select() it (POLLIN fires on
+/// the first signal) to block until shutdown without busy-waiting.  Returns
+/// -1 before install_shutdown_request().  Do not read from or close it.
+int shutdown_fd();
+
+/// Test hook: clears the shutdown flag and drains the self-pipe so one
+/// process can exercise several request/observe cycles.  Not for daemons.
+void reset_shutdown_request_for_test();
 
 }  // namespace spiketune::obs

@@ -1,0 +1,97 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+
+#include "core/error.h"
+
+namespace spiketune::serve {
+
+Batcher::Batcher(BatcherConfig config) : config_(config) {
+  ST_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
+  ST_REQUIRE(config_.batch_timeout_us >= 0,
+             "batch_timeout_us must be non-negative");
+  ST_REQUIRE(config_.max_queue_depth > 0,
+             "max_queue_depth must be positive");
+}
+
+AdmitResult Batcher::submit(PendingRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return AdmitResult::kDraining;
+    if (static_cast<std::int64_t>(queue_.size()) >= config_.max_queue_depth)
+      return AdmitResult::kQueueFull;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return AdmitResult::kAdmitted;
+}
+
+std::vector<PendingRequest> Batcher::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
+  if (queue_.empty()) return {};  // draining and dry: worker exits
+
+  std::vector<PendingRequest> batch;
+  batch.reserve(static_cast<std::size_t>(config_.max_batch));
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const std::uint32_t steps = batch.front().request.num_steps;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(config_.batch_timeout_us);
+
+  for (;;) {
+    // Sweep the queue for batchmates sharing this window length.
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<std::int64_t>(batch.size()) < config_.max_batch;) {
+      if (it->request.num_steps == steps) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (static_cast<std::int64_t>(batch.size()) >= config_.max_batch ||
+        draining_)
+      break;
+    // Hold the batch open until the latency budget expires, picking up
+    // arrivals as they come.
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           static_cast<std::int64_t>(batch.size()) < config_.max_batch;) {
+        if (it->request.num_steps == steps) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+  }
+  // A sweep may have taken requests another blocked worker was woken for;
+  // hand leftover work (or the drain signal) on before returning.
+  if (!queue_.empty() || draining_) cv_.notify_one();
+  return batch;
+}
+
+void Batcher::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Batcher::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+std::size_t Batcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace spiketune::serve

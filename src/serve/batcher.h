@@ -1,0 +1,75 @@
+// Dynamic batching queue with admission control.
+//
+// Readers admit single-sample requests; workers pull coalesced batches.
+// The batching rule is the classic latency-budget window: a worker takes
+// the oldest queued request, then keeps collecting requests with the SAME
+// num_steps (a session window must share one T across the batch) until
+// either the batch is full or the budget since the batch opened expires.
+// Requests with a different T stay queued in arrival order for the next
+// batch, so mixed-T traffic degrades to smaller batches, never to
+// starvation.
+//
+// Admission control is a hard queue-depth bound: when the queue is at
+// max_queue_depth the submit fails immediately with kQueueFull and the
+// reader bounces an `overloaded` error back to the client — queueing delay
+// is bounded by design instead of growing without limit under overload.
+// Draining flips admissions to kDraining (clients get `shutting-down`)
+// while workers keep pulling until the queue is empty; the latency budget
+// is skipped while draining so shutdown is prompt.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace spiketune::serve {
+
+/// One admitted request waiting for a batch slot.
+struct PendingRequest {
+  std::shared_ptr<Connection> conn;  // where the response goes
+  InferRequest request;
+  std::uint64_t enqueue_ns = 0;  // telemetry epoch, for queue-time stats
+};
+
+enum class AdmitResult { kAdmitted, kQueueFull, kDraining };
+
+struct BatcherConfig {
+  std::int64_t max_batch = 16;        // samples coalesced per session run
+  std::int64_t batch_timeout_us = 2000;  // latency budget for coalescing
+  std::int64_t max_queue_depth = 256;    // admission-control bound
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherConfig config);
+
+  /// Reader side.  O(1); never blocks.
+  AdmitResult submit(PendingRequest request);
+
+  /// Worker side.  Blocks until a batch is ready; returns an empty vector
+  /// only when draining and the queue is empty (worker should exit).
+  /// Every returned request has the same request.num_steps.
+  std::vector<PendingRequest> next_batch();
+
+  /// Stops admissions and wakes every blocked worker; idempotent.
+  void drain();
+
+  bool draining() const;
+  std::size_t depth() const;
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  BatcherConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool draining_ = false;
+};
+
+}  // namespace spiketune::serve

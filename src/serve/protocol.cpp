@@ -1,0 +1,160 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "core/error.h"
+
+namespace spiketune::serve {
+
+namespace {
+
+// Little-endian scalar append/read.  The build targets little-endian hosts
+// (x86-64 / AArch64); the magic check rejects a byte-swapped peer.
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& in, std::size_t& off,
+      const char* what) {
+  ST_REQUIRE(off + sizeof(T) <= in.size(),
+             std::string("truncated payload reading ") + what);
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kBadRequest:
+      return "bad-request";
+    case ErrorCode::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
+void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]) {
+  std::uint8_t* p = out;
+  std::memcpy(p, &h.magic, 4);
+  p += 4;
+  const auto kind = static_cast<std::uint32_t>(h.kind);
+  std::memcpy(p, &kind, 4);
+  p += 4;
+  std::memcpy(p, &h.request_id, 8);
+  p += 8;
+  std::memcpy(p, &h.payload_bytes, 4);
+}
+
+FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
+  FrameHeader h;
+  const std::uint8_t* p = in;
+  std::memcpy(&h.magic, p, 4);
+  p += 4;
+  ST_REQUIRE(h.magic == kMagic,
+             "bad frame magic (not a spiketune-serve peer, or wrong "
+             "endianness)");
+  std::uint32_t kind = 0;
+  std::memcpy(&kind, p, 4);
+  p += 4;
+  ST_REQUIRE(kind >= 1 && kind <= 3, "unknown frame kind " +
+                                         std::to_string(kind));
+  h.kind = static_cast<FrameKind>(kind);
+  std::memcpy(&h.request_id, p, 8);
+  p += 8;
+  std::memcpy(&h.payload_bytes, p, 4);
+  return h;
+}
+
+std::vector<std::uint8_t> encode_request(const InferRequest& r) {
+  ST_REQUIRE(r.data.size() == static_cast<std::size_t>(r.num_steps) *
+                                  r.elems_per_step,
+             "request data does not match num_steps * elems_per_step");
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + r.data.size() * sizeof(float));
+  put(out, r.num_steps);
+  put(out, r.elems_per_step);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(r.data.data());
+  out.insert(out.end(), p, p + r.data.size() * sizeof(float));
+  return out;
+}
+
+InferRequest decode_request(std::uint64_t request_id,
+                            const std::vector<std::uint8_t>& payload) {
+  InferRequest r;
+  r.request_id = request_id;
+  std::size_t off = 0;
+  r.num_steps = get<std::uint32_t>(payload, off, "num_steps");
+  r.elems_per_step = get<std::uint32_t>(payload, off, "elems_per_step");
+  const std::size_t n =
+      static_cast<std::size_t>(r.num_steps) * r.elems_per_step;
+  ST_REQUIRE(payload.size() == off + n * sizeof(float),
+             "request payload size does not match num_steps * elems");
+  r.data.resize(n);
+  std::memcpy(r.data.data(), payload.data() + off, n * sizeof(float));
+  return r;
+}
+
+std::vector<std::uint8_t> encode_response(const InferResponse& r) {
+  ST_REQUIRE(r.spike_counts.size() == r.out_features,
+             "response spike_counts does not match out_features");
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + r.spike_counts.size() * sizeof(float));
+  put(out, r.out_features);
+  put(out, r.batch);
+  put(out, r.queue_ns);
+  put(out, r.infer_ns);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(r.spike_counts.data());
+  out.insert(out.end(), p, p + r.spike_counts.size() * sizeof(float));
+  return out;
+}
+
+InferResponse decode_response(std::uint64_t request_id,
+                              const std::vector<std::uint8_t>& payload) {
+  InferResponse r;
+  r.request_id = request_id;
+  std::size_t off = 0;
+  r.out_features = get<std::uint32_t>(payload, off, "out_features");
+  r.batch = get<std::uint32_t>(payload, off, "batch");
+  r.queue_ns = get<std::uint64_t>(payload, off, "queue_ns");
+  r.infer_ns = get<std::uint64_t>(payload, off, "infer_ns");
+  ST_REQUIRE(payload.size() == off + r.out_features * sizeof(float),
+             "response payload size does not match out_features");
+  r.spike_counts.resize(r.out_features);
+  std::memcpy(r.spike_counts.data(), payload.data() + off,
+              r.out_features * sizeof(float));
+  return r;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorResponse& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + r.message.size());
+  put(out, static_cast<std::uint32_t>(r.code));
+  put(out, static_cast<std::uint32_t>(r.message.size()));
+  out.insert(out.end(), r.message.begin(), r.message.end());
+  return out;
+}
+
+ErrorResponse decode_error(std::uint64_t request_id,
+                           const std::vector<std::uint8_t>& payload) {
+  ErrorResponse r;
+  r.request_id = request_id;
+  std::size_t off = 0;
+  const auto code = get<std::uint32_t>(payload, off, "error code");
+  ST_REQUIRE(code >= 1 && code <= 3, "unknown error code");
+  r.code = static_cast<ErrorCode>(code);
+  const auto len = get<std::uint32_t>(payload, off, "message length");
+  ST_REQUIRE(payload.size() == off + len, "error message truncated");
+  r.message.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                   payload.end());
+  return r;
+}
+
+}  // namespace spiketune::serve

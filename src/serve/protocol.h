@@ -1,0 +1,100 @@
+// Wire protocol for the spiketune serving daemon.
+//
+// Framed binary messages over a reliable byte stream (TCP today, a
+// shared-memory ring tomorrow — the framing is transport-agnostic).  Every
+// frame is a fixed 20-byte header followed by `payload_bytes` of payload:
+//
+//   u32 magic        'STSV' (0x53545356) — rejects stray connections early
+//   u32 kind         FrameKind
+//   u64 request_id   client-chosen, echoed verbatim on the response
+//   u32 payload_bytes
+//
+// One inference request carries ONE sample's spike window, shaped
+// [num_steps, elems_per_step]; the daemon coalesces concurrent requests
+// into a batch along N under its latency budget, which is invisible to the
+// client except in the response's `batch` diagnostic.  Integers and floats
+// are host-order little-endian (serving is same-machine / same-arch; the
+// magic doubles as an endianness check since its byte-swapped form is
+// rejected).
+//
+// Responses carry the [out_features] spike-count vector for the sample —
+// bitwise identical to what a direct InferenceSession::run on the same
+// window returns (the serve parity gate in bench/serve_loadgen holds the
+// daemon to that), plus queue/inference timing diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spiketune::serve {
+
+inline constexpr std::uint32_t kMagic = 0x53545356u;  // "STSV"
+
+enum class FrameKind : std::uint32_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+  kError = 3,
+};
+
+/// Why the daemon refused a request.
+enum class ErrorCode : std::uint32_t {
+  kOverloaded = 1,    // admission control: queue at max depth — back off
+  kBadRequest = 2,    // malformed frame or shape mismatch with the model
+  kShuttingDown = 3,  // daemon is draining; no new work accepted
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  FrameKind kind = FrameKind::kInferRequest;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_bytes = 0;
+};
+inline constexpr std::size_t kHeaderBytes = 20;
+
+/// One sample's spike window: [num_steps, elems_per_step] floats.
+struct InferRequest {
+  std::uint64_t request_id = 0;
+  std::uint32_t num_steps = 0;
+  std::uint32_t elems_per_step = 0;
+  std::vector<float> data;  // num_steps * elems_per_step
+};
+
+struct InferResponse {
+  std::uint64_t request_id = 0;
+  std::uint32_t out_features = 0;
+  std::uint32_t batch = 0;         // requests coalesced into this run
+  std::uint64_t queue_ns = 0;      // admission -> batch assembly
+  std::uint64_t infer_ns = 0;      // the session run this request rode in
+  std::vector<float> spike_counts;  // out_features
+};
+
+struct ErrorResponse {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+/// Header <-> raw bytes.  decode_header throws InvalidArgument on a bad
+/// magic (including byte-swapped: wrong-endian peer) or unknown kind.
+void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]);
+FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]);
+
+/// Payload encoders: the returned buffer pairs with a header of the
+/// matching kind and the struct's request_id.
+std::vector<std::uint8_t> encode_request(const InferRequest& r);
+std::vector<std::uint8_t> encode_response(const InferResponse& r);
+std::vector<std::uint8_t> encode_error(const ErrorResponse& r);
+
+/// Payload decoders; throw InvalidArgument on truncated or inconsistent
+/// payloads (e.g. num_steps * elems disagreeing with the payload size).
+InferRequest decode_request(std::uint64_t request_id,
+                            const std::vector<std::uint8_t>& payload);
+InferResponse decode_response(std::uint64_t request_id,
+                              const std::vector<std::uint8_t>& payload);
+ErrorResponse decode_error(std::uint64_t request_id,
+                           const std::vector<std::uint8_t>& payload);
+
+}  // namespace spiketune::serve

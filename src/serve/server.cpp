@@ -1,0 +1,286 @@
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/telemetry.h"
+
+namespace spiketune::serve {
+
+namespace {
+
+std::uint64_t now_ns() { return obs::telemetry_now_ns(); }
+
+}  // namespace
+
+Server::Server(const infer::CompiledModel& model, ServerConfig config)
+    : model_(&model),
+      config_(config),
+      batcher_({.max_batch = config.max_batch,
+                .batch_timeout_us = config.batch_timeout_us,
+                .max_queue_depth = config.max_queue_depth}) {
+  ST_REQUIRE(config_.num_workers > 0, "num_workers must be positive");
+  ST_REQUIRE(config_.max_steps > 0, "max_steps must be positive");
+}
+
+Server::~Server() { drain_and_stop(); }
+
+void Server::start() {
+  ST_REQUIRE(!running_.load(), "server already started");
+  ST_REQUIRE(pipe(stop_pipe_) == 0, "cannot create stop pipe");
+  listener_ = std::make_unique<TcpListener>(config_.host, config_.port);
+  running_.store(true);
+  acceptor_ = std::thread([this] { acceptor_main(); });
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+  ST_LOG_INFO << "serve: listening on " << config_.host << ":" << port()
+              << " (" << config_.num_workers << " workers, max batch "
+              << config_.max_batch << ", budget " << config_.batch_timeout_us
+              << "us, queue depth " << config_.max_queue_depth << ")";
+}
+
+int Server::port() const {
+  ST_REQUIRE(listener_ != nullptr, "server not started");
+  return listener_->port();
+}
+
+void Server::acceptor_main() {
+  obs::set_thread_label("serve-accept");
+  for (;;) {
+    std::shared_ptr<Connection> conn = listener_->accept(stop_pipe_[0]);
+    if (conn == nullptr) return;  // woken for shutdown or listener closed
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    reap_finished_readers();
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    readers_.emplace_back();
+    ReaderSlot* slot = &readers_.back();
+    slot->conn = std::move(conn);
+    slot->thread = std::thread([this, slot] { reader_main(slot); });
+  }
+}
+
+void Server::reap_finished_readers() {
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  for (auto it = readers_.begin(); it != readers_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = readers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::respond_error(const std::shared_ptr<Connection>& conn,
+                           std::uint64_t request_id, ErrorCode code,
+                           const std::string& message) {
+  ErrorResponse err;
+  err.request_id = request_id;
+  err.code = code;
+  err.message = message;
+  conn->write_frame(FrameKind::kError, request_id, encode_error(err));
+}
+
+void Server::reader_main(ReaderSlot* slot) {
+  obs::set_thread_label("serve-reader");
+  const std::shared_ptr<Connection> conn = slot->conn;
+  const std::int64_t in_elems = model_->input_shape().numel();
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  while (conn->read_frame(header, payload, stop_pipe_[0])) {
+    if (header.kind != FrameKind::kInferRequest) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                    "expected an infer-request frame");
+      continue;
+    }
+    PendingRequest pending;
+    try {
+      pending.request = decode_request(header.request_id, payload);
+      ST_REQUIRE(pending.request.num_steps >= 1 &&
+                     pending.request.num_steps <=
+                         static_cast<std::uint32_t>(config_.max_steps),
+                 "num_steps outside [1, " +
+                     std::to_string(config_.max_steps) + "]");
+      ST_REQUIRE(static_cast<std::int64_t>(pending.request.elems_per_step) ==
+                     in_elems,
+                 "elems_per_step " +
+                     std::to_string(pending.request.elems_per_step) +
+                     " does not match model input " +
+                     std::to_string(in_elems));
+    } catch (const Error& e) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                    e.what());
+      continue;
+    }
+    pending.conn = conn;
+    pending.enqueue_ns = now_ns();
+    switch (batcher_.submit(std::move(pending))) {
+      case AdmitResult::kAdmitted:
+        if (obs::metrics_enabled()) {
+          static const obs::MetricId kDepth =
+              obs::gauge("serve.queue_depth");
+          obs::set(kDepth, static_cast<double>(batcher_.depth()));
+        }
+        break;
+      case AdmitResult::kQueueFull:
+        rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) {
+          static const obs::MetricId kRej =
+              obs::counter("serve.rejected_overload");
+          obs::add(kRej);
+        }
+        respond_error(conn, header.request_id, ErrorCode::kOverloaded,
+                      "queue at max depth; back off");
+        break;
+      case AdmitResult::kDraining:
+        rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+        respond_error(conn, header.request_id, ErrorCode::kShuttingDown,
+                      "daemon is draining");
+        break;
+    }
+  }
+  slot->done.store(true, std::memory_order_release);
+}
+
+void Server::worker_main(int index) {
+  obs::set_thread_label("serve-worker-" + std::to_string(index));
+  infer::InferenceSession session(
+      *model_, {.max_batch = config_.max_batch,
+                .sparse_crossover = config_.sparse_crossover,
+                .record_stats = false});
+  const Shape& per_sample = model_->input_shape();
+  const std::int64_t in_elems = per_sample.numel();
+  const std::int64_t out_features = model_->output_shape()[0];
+
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // draining and dry
+    ST_PROF_SCOPE("serve.batch");
+    const std::int64_t n = static_cast<std::int64_t>(batch.size());
+    const auto steps =
+        static_cast<std::int64_t>(batch.front().request.num_steps);
+    const std::uint64_t assembled_ns = now_ns();
+
+    // Assemble the [N, ...] step tensors from the per-request windows.
+    std::vector<std::int64_t> dims{n};
+    for (std::int64_t d : per_sample.dims()) dims.push_back(d);
+    std::vector<Tensor> window;
+    window.reserve(static_cast<std::size_t>(steps));
+    for (std::int64_t t = 0; t < steps; ++t) {
+      Tensor x{Shape(dims)};
+      for (std::int64_t i = 0; i < n; ++i)
+        std::memcpy(
+            x.data() + i * in_elems,
+            batch[static_cast<std::size_t>(i)].request.data.data() +
+                t * in_elems,
+            static_cast<std::size_t>(in_elems) * sizeof(float));
+      window.push_back(std::move(x));
+    }
+
+    const infer::InferenceResult result = session.run(window);
+    const std::uint64_t done_ns = now_ns();
+    const std::uint64_t infer_ns = done_ns - assembled_ns;
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::int64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+    while (n > seen &&
+           !max_batch_seen_.compare_exchange_weak(seen, n,
+                                                  std::memory_order_relaxed)) {
+    }
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      const PendingRequest& p = batch[static_cast<std::size_t>(i)];
+      InferResponse resp;
+      resp.request_id = p.request.request_id;
+      resp.out_features = static_cast<std::uint32_t>(out_features);
+      resp.batch = static_cast<std::uint32_t>(n);
+      resp.queue_ns = assembled_ns - p.enqueue_ns;
+      resp.infer_ns = infer_ns;
+      resp.spike_counts.assign(
+          result.spike_counts.data() + i * out_features,
+          result.spike_counts.data() + (i + 1) * out_features);
+      if (p.conn->write_frame(FrameKind::kInferResponse, resp.request_id,
+                              encode_response(resp))) {
+        served_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (obs::metrics_enabled()) {
+        static const obs::MetricId kLatUs =
+            obs::histogram("serve.request_us");
+        static const obs::MetricId kServed = obs::counter("serve.requests");
+        obs::observe(kLatUs,
+                     static_cast<double>(done_ns - p.enqueue_ns) / 1e3);
+        obs::add(kServed);
+      }
+    }
+    if (obs::metrics_enabled()) {
+      static const obs::MetricId kBatch = obs::histogram("serve.batch_size");
+      static const obs::MetricId kBatches = obs::counter("serve.batches");
+      static const obs::MetricId kDepth = obs::gauge("serve.queue_depth");
+      obs::observe(kBatch, static_cast<double>(n));
+      obs::add(kBatches);
+      obs::set(kDepth, static_cast<double>(batcher_.depth()));
+    }
+  }
+}
+
+void Server::drain_and_stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  ST_LOG_INFO << "serve: draining (" << batcher_.depth()
+              << " queued requests)";
+  // 1. Wake the acceptor and every reader; no new connections or requests.
+  const char token = 'q';
+  [[maybe_unused]] ssize_t n = write(stop_pipe_[1], &token, 1);
+  listener_->close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // 2. Everything already admitted gets served; workers exit when dry.
+  batcher_.drain();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // 3. Readers observed the stop pipe; join them, then close connections
+  //    (after the workers, so every response was written first).
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (ReaderSlot& slot : readers_) {
+      if (slot.thread.joinable()) slot.thread.join();
+      slot.conn->close();
+    }
+    readers_.clear();
+  }
+  close(stop_pipe_[0]);
+  close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  const Stats s = stats();
+  ST_LOG_INFO << "serve: drained; served " << s.served << " requests in "
+              << s.batches << " batches (max batch " << s.max_batch_seen
+              << ", " << s.rejected_overload << " overload + "
+              << s.rejected_draining << " draining rejections)";
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
+  s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spiketune::serve

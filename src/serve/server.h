@@ -1,0 +1,132 @@
+// The serving daemon's core: transport + dynamic batcher + worker pool.
+//
+//   clients ──> Listener ──> reader threads ──> Batcher ──> worker threads
+//                                                  │             │
+//                            admission control ────┘             ├── per-worker
+//                            (queue-depth bound)                 │   InferenceSession
+//                                                 responses <────┘
+//
+// One reader thread per connection decodes frames and admits requests; N
+// worker threads each own a pre-sized InferenceSession over the shared
+// CompiledModel and pull dynamic batches (same-T coalescing under the
+// latency budget).  Workers respond directly on the request's connection —
+// Connection::write_frame is thread-safe — so a slow client never blocks
+// the batch pipeline behind it.
+//
+// Serving is bitwise-faithful: a request's spike counts equal a direct
+// InferenceSession::run on the same window, whatever batch it rode in,
+// because every kernel computes samples independently and both dispatch
+// paths are bit-identical (DESIGN.md §10, §11).  bench/serve_loadgen's
+// parity gate enforces this end to end.
+//
+// Shutdown is drain-safe: drain_and_stop() (the daemon calls it when the
+// cooperative SIGINT/SIGTERM handler fires — see obs/signal_flush.h) stops
+// accepting connections and requests, answers everything already admitted,
+// joins all threads, and leaves telemetry ready to flush.  Nothing is
+// dropped except requests that had not yet been admitted, whose clients
+// see a `shutting-down` error or a closed connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infer/session.h"
+#include "serve/batcher.h"
+#include "serve/transport.h"
+
+namespace spiketune::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (resolved port via Server::port())
+  int num_workers = 2;
+  std::int64_t max_batch = 16;
+  std::int64_t batch_timeout_us = 2000;  // coalescing latency budget
+  std::int64_t max_queue_depth = 256;    // admission-control bound
+  std::int64_t max_steps = 64;           // per-request window-length cap
+  double sparse_crossover = 0.35;        // forwarded to every session
+};
+
+class Server {
+ public:
+  /// The model must outlive the server (sessions keep pointers into it).
+  Server(const infer::CompiledModel& model, ServerConfig config);
+  ~Server();  // drain_and_stop() if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and spawns acceptor + workers.  Call once.
+  void start();
+
+  /// The bound port (valid after start()).
+  int port() const;
+
+  /// True between start() and drain_and_stop().
+  bool running() const { return running_.load(); }
+
+  /// Drain-safe shutdown: stop admissions, answer everything admitted,
+  /// join every thread, close every connection.  Idempotent; blocks until
+  /// the drain completes.
+  void drain_and_stop();
+
+  /// Monotonic counters for the final report / ledger.
+  struct Stats {
+    std::int64_t connections = 0;
+    std::int64_t served = 0;
+    std::int64_t batches = 0;
+    std::int64_t rejected_overload = 0;
+    std::int64_t rejected_draining = 0;
+    std::int64_t bad_requests = 0;
+    std::int64_t dropped_responses = 0;  // peer gone before its response
+    std::int64_t max_batch_seen = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct ReaderSlot {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
+    std::atomic<bool> done{false};
+  };
+
+  void acceptor_main();
+  void reader_main(ReaderSlot* slot);
+  void worker_main(int index);
+  void respond_error(const std::shared_ptr<Connection>& conn,
+                     std::uint64_t request_id, ErrorCode code,
+                     const std::string& message);
+  void reap_finished_readers();
+
+  const infer::CompiledModel* model_;
+  ServerConfig config_;
+  Batcher batcher_;
+  std::unique_ptr<Listener> listener_;
+
+  int stop_pipe_[2] = {-1, -1};  // wakes acceptor + readers at shutdown
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex readers_mu_;
+  std::list<ReaderSlot> readers_;
+
+  // Counters (relaxed: single writers or monotonic tallies).
+  std::atomic<std::int64_t> connections_{0};
+  std::atomic<std::int64_t> served_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> rejected_overload_{0};
+  std::atomic<std::int64_t> rejected_draining_{0};
+  std::atomic<std::int64_t> bad_requests_{0};
+  std::atomic<std::int64_t> dropped_responses_{0};
+  std::atomic<std::int64_t> max_batch_seen_{0};
+};
+
+}  // namespace spiketune::serve

@@ -1,0 +1,255 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "core/error.h"
+
+namespace spiketune::serve {
+
+namespace {
+
+// Blocks until `fd` is readable or `wake_fd` fires.  Returns false on wake
+// or error — callers treat both as "stop reading".
+bool wait_readable(int fd, int wake_fd) {
+  for (;;) {
+    struct pollfd pfds[2];
+    pfds[0] = {fd, POLLIN, 0};
+    pfds[1] = {wake_fd, POLLIN, 0};
+    const nfds_t n = wake_fd >= 0 ? 2 : 1;
+    const int rc = poll(pfds, n, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wake_fd >= 0 && (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)))
+      return false;
+    if (pfds[0].revents & (POLLIN | POLLERR | POLLHUP)) return true;
+  }
+}
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ST_REQUIRE(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "bad IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+// --- TcpConnection ----------------------------------------------------------
+
+TcpConnection::TcpConnection(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)) {
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpConnection::~TcpConnection() { close(); }
+
+bool TcpConnection::read_exact(std::uint8_t* buf, std::size_t n,
+                               int wake_fd) {
+  while (n > 0) {
+    if (!wait_readable(fd_, wake_fd)) return false;
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r == 0) return false;  // clean EOF
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    buf += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool TcpConnection::read_frame(FrameHeader& header,
+                               std::vector<std::uint8_t>& payload,
+                               int wake_fd) {
+  std::uint8_t raw[kHeaderBytes];
+  if (!read_exact(raw, kHeaderBytes, wake_fd)) return false;
+  header = decode_header(raw);
+  payload.resize(header.payload_bytes);
+  if (header.payload_bytes > 0 &&
+      !read_exact(payload.data(), payload.size(), wake_fd))
+    return false;
+  return true;
+}
+
+bool TcpConnection::write_frame(FrameKind kind, std::uint64_t request_id,
+                                const std::vector<std::uint8_t>& payload) {
+  FrameHeader h;
+  h.kind = kind;
+  h.request_id = request_id;
+  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t raw[kHeaderBytes];
+  encode_header(h, raw);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ < 0) return false;
+  return write_all(fd_, raw, kHeaderBytes) &&
+         (payload.empty() || write_all(fd_, payload.data(), payload.size()));
+}
+
+void TcpConnection::close() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- TcpListener ------------------------------------------------------------
+
+TcpListener::TcpListener(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ST_REQUIRE(fd_ >= 0, "socket() failed");
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot listen on " + host + ":" + std::to_string(port) +
+                ": " + err);
+  }
+  socklen_t len = sizeof addr;
+  getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::shared_ptr<Connection> TcpListener::accept(int wake_fd) {
+  if (fd_ < 0) return nullptr;
+  if (!wait_readable(fd_, wake_fd)) return nullptr;
+  sockaddr_in peer = {};
+  socklen_t len = sizeof peer;
+  const int cfd =
+      ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+  if (cfd < 0) return nullptr;
+  char ip[INET_ADDRSTRLEN] = "?";
+  inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+  return std::make_shared<TcpConnection>(
+      cfd, std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port)));
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- TcpClient --------------------------------------------------------------
+
+TcpClient::TcpClient(const std::string& host, int port, int retry_ms) {
+  const sockaddr_in addr = make_addr(host, port);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ST_REQUIRE(fd_ >= 0, "socket() failed");
+    if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) == 0) {
+      const int one = 1;
+      setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return;
+    }
+    ::close(fd_);
+    fd_ = -1;
+    if (std::chrono::steady_clock::now() >= deadline)
+      throw Error("cannot connect to " + host + ":" + std::to_string(port) +
+                  ": " + std::strerror(errno));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpClient::Reply TcpClient::roundtrip(const InferRequest& request) {
+  Reply reply;
+  if (fd_ < 0) {
+    reply.disconnected = true;
+    return reply;
+  }
+  const std::vector<std::uint8_t> payload = encode_request(request);
+  FrameHeader h;
+  h.kind = FrameKind::kInferRequest;
+  h.request_id = request.request_id;
+  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  std::uint8_t raw[kHeaderBytes];
+  encode_header(h, raw);
+  if (!write_all(fd_, raw, kHeaderBytes) ||
+      !write_all(fd_, payload.data(), payload.size())) {
+    reply.disconnected = true;
+    return reply;
+  }
+
+  // Read exactly one reply frame.
+  std::uint8_t rraw[kHeaderBytes];
+  std::uint8_t* p = rraw;
+  std::size_t want = kHeaderBytes;
+  while (want > 0) {
+    const ssize_t r = ::recv(fd_, p, want, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      reply.disconnected = true;
+      return reply;
+    }
+    p += r;
+    want -= static_cast<std::size_t>(r);
+  }
+  const FrameHeader rh = decode_header(rraw);
+  std::vector<std::uint8_t> rpayload(rh.payload_bytes);
+  std::size_t off = 0;
+  while (off < rpayload.size()) {
+    const ssize_t r =
+        ::recv(fd_, rpayload.data() + off, rpayload.size() - off, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      reply.disconnected = true;
+      return reply;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  if (rh.kind == FrameKind::kInferResponse) {
+    reply.ok = true;
+    reply.response = decode_response(rh.request_id, rpayload);
+  } else {
+    ST_REQUIRE(rh.kind == FrameKind::kError,
+               "unexpected frame kind in reply");
+    reply.error = decode_error(rh.request_id, rpayload);
+  }
+  return reply;
+}
+
+}  // namespace spiketune::serve

@@ -1,0 +1,142 @@
+// Pluggable transport under the serving daemon.
+//
+// The daemon is written against two small interfaces — Listener (produce
+// connections) and Connection (framed, bidirectional, wake-able) — so the
+// byte-moving layer can be swapped without touching the batcher or the
+// workers.  TCP is the first implementation; a local shared-memory ring
+// would implement the same pair (accept() mapping a client's ring segment,
+// read_frame()/write_frame() moving frames through it) and slot straight
+// into Server.  The split mirrors the distributed-server / tcp / shm
+// decomposition common in serving stacks.
+//
+// Threading contract:
+//   * read_frame() is called by exactly one reader thread per connection;
+//   * write_frame() is thread-safe — worker threads complete batches out
+//     of order and respond directly, so writes serialize on an internal
+//     mutex and each frame is sent atomically (header + payload in one
+//     locked section);
+//   * every blocking call takes a `wake_fd`: when that descriptor becomes
+//     readable the call returns early (nullptr / false), which is how the
+//     daemon unwedges its acceptor and readers at shutdown without closing
+//     descriptors out from under live syscalls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace spiketune::serve {
+
+/// One framed peer connection.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks until one full frame arrives and fills `header` + `payload`.
+  /// Returns false on clean EOF, peer error, or `wake_fd` becoming
+  /// readable (shutdown).  Throws InvalidArgument on protocol garbage.
+  virtual bool read_frame(FrameHeader& header,
+                          std::vector<std::uint8_t>& payload,
+                          int wake_fd) = 0;
+
+  /// Sends one frame (thread-safe; atomic per frame).  Returns false when
+  /// the peer is gone — callers treat that as "response dropped".
+  virtual bool write_frame(FrameKind kind, std::uint64_t request_id,
+                           const std::vector<std::uint8_t>& payload) = 0;
+
+  /// Hard-closes the connection (idempotent); pending reads/writes fail.
+  virtual void close() = 0;
+
+  /// Peer description for logs, e.g. "127.0.0.1:51244".
+  virtual std::string peer() const = 0;
+};
+
+/// Produces connections.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next connection; nullptr on `wake_fd` readable or
+  /// listener closed.
+  virtual std::shared_ptr<Connection> accept(int wake_fd) = 0;
+
+  /// Stops accepting (idempotent); a blocked accept() returns nullptr.
+  virtual void close() = 0;
+
+  /// The bound port (resolved, so port 0 requests report the real one).
+  virtual int port() const = 0;
+};
+
+// --- TCP --------------------------------------------------------------------
+
+class TcpConnection : public Connection {
+ public:
+  /// Takes ownership of a connected socket fd.
+  TcpConnection(int fd, std::string peer);
+  ~TcpConnection() override;
+
+  bool read_frame(FrameHeader& header, std::vector<std::uint8_t>& payload,
+                  int wake_fd) override;
+  bool write_frame(FrameKind kind, std::uint64_t request_id,
+                   const std::vector<std::uint8_t>& payload) override;
+  void close() override;
+  std::string peer() const override { return peer_; }
+
+ private:
+  bool read_exact(std::uint8_t* buf, std::size_t n, int wake_fd);
+
+  int fd_ = -1;
+  std::string peer_;
+  std::mutex write_mu_;
+};
+
+class TcpListener : public Listener {
+ public:
+  /// Binds and listens on `host:port` (port 0 = ephemeral).  Throws Error
+  /// when the address is unavailable.
+  TcpListener(const std::string& host, int port);
+  ~TcpListener() override;
+
+  std::shared_ptr<Connection> accept(int wake_fd) override;
+  void close() override;
+  int port() const override { return port_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Client side of the TCP transport (used by serve_loadgen and tests).
+/// Synchronous request/response; NOT thread-safe — one client per thread.
+class TcpClient {
+ public:
+  /// Connects, retrying for up to `retry_ms` while the daemon comes up.
+  TcpClient(const std::string& host, int port, int retry_ms = 0);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Sends `request` and blocks for its reply.  Returns the error response
+  /// the daemon sent, if any, through `error` (and an empty optional-like
+  /// response with ok == false).  A closed connection (daemon drained
+  /// away) sets `disconnected`.
+  struct Reply {
+    bool ok = false;            // true: `response` is valid
+    bool disconnected = false;  // peer vanished (e.g. SIGTERM drain)
+    InferResponse response;
+    ErrorResponse error;  // valid when !ok && !disconnected
+  };
+  Reply roundtrip(const InferRequest& request);
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace spiketune::serve

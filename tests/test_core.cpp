@@ -1,15 +1,18 @@
 // Unit tests for core utilities: error macros, RNG, CSV, tables, CLI flags.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "core/cli.h"
 #include "core/csv.h"
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/stats.h"
 #include "core/table.h"
 
 namespace spiketune {
@@ -225,6 +228,47 @@ TEST(Cli, BadNumberThrows) {
   const char* argv[] = {"--n=abc"};
   flags.parse(1, argv);
   EXPECT_THROW(flags.get_int("n"), InvalidArgument);
+}
+
+TEST(Stats, PercentileSortedNearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  // Nearest-rank on 1..100: p-th percentile is exactly the p-th value.
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.90), 90.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 100.0);
+  // Out-of-range q clamps instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 2.0), 100.0);
+}
+
+TEST(Stats, PercentileSortedSmallVectors) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);  // empty: defined 0
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.999), 7.0);
+  const std::vector<double> two = {1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(two, 0.5), 1.0);  // rank ceil(1.0) = 1
+  EXPECT_DOUBLE_EQ(percentile_sorted(two, 0.51), 9.0);
+}
+
+TEST(Stats, SummarizeLatenciesSortsAndSummarizes) {
+  std::vector<double> samples = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const LatencyStats s = summarize_latencies(samples);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.p999, 5.0);
+  EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end()));
+
+  std::vector<double> empty;
+  const LatencyStats z = summarize_latencies(empty);
+  EXPECT_EQ(z.count, 0);
+  EXPECT_DOUBLE_EQ(z.mean, 0.0);
+  EXPECT_DOUBLE_EQ(z.p999, 0.0);
 }
 
 }  // namespace

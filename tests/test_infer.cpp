@@ -177,6 +177,75 @@ TEST(InferSession, ReusesStateAcrossWindowsAndGrowsPastMaxBatch) {
   expect_records_equal(want_second.stats, got_second.stats);
 }
 
+TEST(InferSession, InterleavedBatchSizesLeakNoState) {
+  // The serving daemon feeds ONE session batches whose size jumps around
+  // with traffic (grow, shrink, grow again).  Shrinking is the dangerous
+  // direction: rows past the new batch still hold the previous window's
+  // membrane potentials and spike indices, and any kernel that iterates by
+  // capacity instead of batch would read them.  Every window must match a
+  // fresh dense forward bitwise, in any order, at 1 and 4 threads.
+  snn::MlpConfig cfg;
+  cfg.in_features = 32;
+  cfg.hidden = 16;
+  auto net = snn::make_snn_mlp(cfg);
+  const auto model = CompiledModel::compile(*net, Shape{32});
+
+  const std::int64_t batch_plan[] = {8, 2, 16, 1, 16, 3};
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadGuard guard(threads);
+    Rng rng(0xbadc0de + static_cast<std::uint64_t>(threads));
+    InferenceSession session(model, {.max_batch = 4, .record_stats = true});
+    for (std::int64_t n : batch_plan) {
+      SCOPED_TRACE("batch=" + std::to_string(n));
+      // Varying T and density across windows too, as mixed traffic would.
+      const std::int64_t steps = 2 + (n % 3);
+      auto window = random_window(steps, Shape{n, 32}, 0.1 + 0.05 * n, rng);
+      const auto got = session.run(window);
+      const auto want = net->forward(window, {.record_stats = true});
+      expect_bitwise_equal(want.spike_counts, got.spike_counts);
+      expect_records_equal(want.stats, got.stats);
+    }
+  }
+}
+
+TEST(InferSession, BatchedRowEqualsSoloRunBitwise) {
+  // Per-sample batch invariance — the foundation of the serve parity gate:
+  // a sample's spike counts in a batch of N equal the counts from running
+  // it alone, whatever its batchmates are.
+  snn::MlpConfig cfg;
+  cfg.in_features = 24;
+  cfg.hidden = 12;
+  auto net = snn::make_snn_mlp(cfg);
+  const auto model = CompiledModel::compile(*net, Shape{24});
+  Rng rng(0x0107);
+  const std::int64_t batch = 5;
+  const std::int64_t steps = 4;
+  auto window = random_window(steps, Shape{batch, 24}, 0.3, rng);
+
+  InferenceSession batched(model, {.max_batch = batch});
+  const auto all = batched.run(window);
+  const std::int64_t out = model.output_shape()[0];
+
+  for (std::int64_t i = 0; i < batch; ++i) {
+    SCOPED_TRACE("row=" + std::to_string(i));
+    std::vector<Tensor> solo_window;
+    for (std::int64_t t = 0; t < steps; ++t) {
+      Tensor x{Shape{1, 24}};
+      std::memcpy(x.data(), window[static_cast<std::size_t>(t)].data() + i * 24,
+                  24 * sizeof(float));
+      solo_window.push_back(std::move(x));
+    }
+    InferenceSession solo(model, {.max_batch = 1});
+    const auto one = solo.run(solo_window);
+    EXPECT_EQ(std::memcmp(one.spike_counts.data(),
+                          all.spike_counts.data() + i * out,
+                          static_cast<std::size_t>(out) * sizeof(float)),
+              0)
+        << "row " << i << " differs from its solo run";
+  }
+}
+
 TEST(InferCompile, MetadataMirrorsNetwork) {
   snn::CsnnConfig cfg;
   cfg.image_size = 12;

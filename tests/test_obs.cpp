@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -308,6 +309,49 @@ TEST(LogHistogram, QuantilesClampedToObservedRange) {
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(LogHistogram, QuantileStaysInsideItsBucketUnderAdversarialFills) {
+  // Regression: the representative value used to be clamped only to the
+  // global [min, max], which outliers in distant buckets stretch far past
+  // the edges of the bucket actually holding the q-th sample.  The clamp
+  // must intersect the bucket's own [lower, upper].
+  obs::LogHistogram h;
+  h.record(0.5);                            // bucket 0
+  for (int i = 0; i < 100; ++i) h.record(3.0);  // bucket 2: (2, 4]
+  h.record(1e9);                            // a faraway outlier
+  // The median sample sits in bucket (2, 4]; the reported quantile may not
+  // escape those edges no matter what min/max are.
+  const double med = h.quantile(0.5);
+  EXPECT_GE(med, 2.0);
+  EXPECT_LE(med, 4.0);
+  // Extreme quantiles still respect the observed range: q=0 reports the
+  // true minimum (bucket 0's representative is the min itself), q=1 a value
+  // inside the outlier's bucket, never past max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_GT(h.quantile(1.0), std::ldexp(1.0, 29));  // the 1e9 bucket's floor
+  EXPECT_LE(h.quantile(1.0), 1e9);
+}
+
+TEST(LogHistogram, QuantilesMonotoneInQ) {
+  // Bimodal mass with extreme outliers on both sides: quantiles must be
+  // non-decreasing in q and inside [min_seen, max_seen] everywhere.
+  obs::LogHistogram h;
+  h.record(1e-3);
+  for (int i = 0; i < 50; ++i) h.record(3.0);
+  for (int i = 0; i < 30; ++i) h.record(900.0);
+  h.record(1e12);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    EXPECT_GE(v, h.min_seen()) << "q=" << q;
+    EXPECT_LE(v, h.max_seen()) << "q=" << q;
+    prev = v;
+  }
+  // With 82 samples the median is in the 3.0 mass, p90 in the 900 mass.
+  EXPECT_LE(h.quantile(0.5), 4.0);
+  EXPECT_GT(h.quantile(0.9), 512.0);
 }
 
 TEST(LogHistogram, MergeAddsCountsAndExtremes) {

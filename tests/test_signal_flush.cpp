@@ -4,6 +4,7 @@
 // pipe, and spins; the parent kills it and re-parses the flushed files.
 #include <gtest/gtest.h>
 
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -88,6 +89,132 @@ TEST(SignalFlush, SigintFlushesAndExits130) {
   EXPECT_EQ(WEXITSTATUS(status), 128 + SIGINT);
   std::ifstream in(path);
   EXPECT_TRUE(in.good()) << "metrics file missing after SIGINT";
+}
+
+// --- cooperative (daemon) shutdown ------------------------------------------
+//
+// These tests all fork: install_shutdown_request() arms process-global
+// state (and makes install_signal_flush a no-op forever after), so the
+// gtest parent must never arm it itself or the flush-and-exit tests above
+// would inherit cooperative mode through fork and hang.
+
+/// Forks a child that runs `body` (exit code is the test's verdict) after
+/// signalling readiness; returns the child's wait status after the parent
+/// ran `parent_action(pid)`.
+template <typename Body, typename ParentAction>
+int run_forked(Body body, ParentAction parent_action) {
+  int ready[2];
+  EXPECT_EQ(pipe(ready), 0);
+  const pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    close(ready[0]);
+    body(ready[1]);  // never returns
+    _exit(99);
+  }
+  close(ready[1]);
+  char byte = 0;
+  EXPECT_EQ(read(ready[0], &byte, 1), 1);
+  close(ready[0]);
+  parent_action(pid);
+  int status = 0;
+  EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  return status;
+}
+
+void signal_ready(int fd) {
+  char byte = 'r';
+  (void)!write(fd, &byte, 1);
+}
+
+TEST(CooperativeShutdown, SigtermDrainsFlushesAndExitsZero) {
+  const std::string path = temp_path("coop_shutdown.jsonl");
+  std::remove(path.c_str());
+  const int status = run_forked(
+      [&](int ready_fd) {
+        // A miniature daemon: cooperative shutdown armed BEFORE telemetry,
+        // exactly as serve_main does.
+        obs::install_shutdown_request();
+        obs::TelemetrySession session("", path, false);
+        obs::install_signal_flush();  // must be a no-op (precedence)
+        obs::add(obs::counter("test.coop.served"), 3);
+        signal_ready(ready_fd);
+        while (!obs::shutdown_requested()) {
+          struct pollfd pfd = {obs::shutdown_fd(), POLLIN, 0};
+          poll(&pfd, 1, 1000);
+        }
+        if (obs::shutdown_signum() != SIGTERM) _exit(4);
+        // "Drain": record post-signal work, then flush and leave cleanly —
+        // a flush-and-exit handler would have _exit(143)ed before this.
+        obs::add(obs::counter("test.coop.drained"), 1);
+        session.flush();
+        _exit(0);
+      },
+      [](pid_t pid) { EXPECT_EQ(kill(pid, SIGTERM), 0); });
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "cooperative drain did not exit 0";
+
+  // The drain flushed, so BOTH counters (pre- and post-signal) are there.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  bool saw_served = false, saw_drained = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const JsonValue v = JsonValue::parse(line, "metrics-line");
+    if (v.string_or("name", "") == "test.coop.served") saw_served = true;
+    if (v.string_or("name", "") == "test.coop.drained") saw_drained = true;
+  }
+  EXPECT_TRUE(saw_served);
+  EXPECT_TRUE(saw_drained) << "post-signal work missing: drain was cut short";
+}
+
+TEST(CooperativeShutdown, SecondSignalForceKillsAStuckDrain) {
+  // Handler re-entry: the first SIGTERM runs the self-pipe handler and
+  // resets the disposition (SA_RESETHAND), so a second SIGTERM delivers
+  // the default action and kills a drain that never finishes.
+  const int status = run_forked(
+      [](int ready_fd) {
+        obs::install_shutdown_request();
+        signal_ready(ready_fd);
+        for (;;) pause();  // a "stuck drain": ignores the flag forever
+      },
+      [](pid_t pid) {
+        EXPECT_EQ(kill(pid, SIGTERM), 0);
+        // Give the handler time to run (and reset) before re-signalling.
+        usleep(100000);
+        EXPECT_EQ(kill(pid, SIGTERM), 0);
+      });
+  ASSERT_TRUE(WIFSIGNALED(status)) << "second SIGTERM did not kill the child";
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+}
+
+TEST(CooperativeShutdown, FlagAndPipeResetForTest) {
+  const int status = run_forked(
+      [](int ready_fd) {
+        obs::install_shutdown_request();
+        if (obs::shutdown_requested()) _exit(10);
+        if (obs::shutdown_fd() < 0) _exit(11);
+        signal_ready(ready_fd);
+        raise(SIGTERM);  // handler sets the flag; process keeps running
+        if (!obs::shutdown_requested()) _exit(12);
+        if (obs::shutdown_signum() != SIGTERM) _exit(13);
+        struct pollfd pfd = {obs::shutdown_fd(), POLLIN, 0};
+        if (poll(&pfd, 1, 0) != 1) _exit(14);  // pipe is readable
+        // Reset re-arms the handlers and drains the pipe...
+        obs::reset_shutdown_request_for_test();
+        if (obs::shutdown_requested()) _exit(15);
+        pfd = {obs::shutdown_fd(), POLLIN, 0};
+        if (poll(&pfd, 1, 0) != 0) _exit(16);
+        // ...so a second observe cycle works in the same process.
+        raise(SIGINT);
+        if (!obs::shutdown_requested()) _exit(17);
+        if (obs::shutdown_signum() != SIGINT) _exit(18);
+        _exit(0);
+      },
+      [](pid_t) {});
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child failed at step "
+                                    << WEXITSTATUS(status);
 }
 
 TEST(SignalFlush, ClearedSessionIsNotTouched) {
