@@ -7,6 +7,7 @@
 //   render_dashboard --in runs/            # a sweep's ledger directory
 //   render_dashboard --in runs/run.jsonl   # a single run
 //   render_dashboard --in runs/ --out fig2.html --csv fig2_epochs.csv
+//   render_dashboard --in runs/ --spans spans.jsonl   # + serving panels
 #include <filesystem>
 #include <iostream>
 
@@ -14,6 +15,7 @@
 #include "core/error.h"
 #include "obs/dashboard.h"
 #include "obs/ledger.h"
+#include "obs/spans.h"
 
 using namespace spiketune;
 
@@ -26,6 +28,9 @@ int main(int argc, char** argv) {
   flags.declare("csv", "",
                 "also export one CSV row per (run, epoch) to this path");
   flags.declare("title", "spiketune run ledger", "dashboard title");
+  flags.declare("spans", "",
+                "request-span JSONL from `serve --span-log`; adds the "
+                "Serving panels (latency/batch over time, stage breakdown)");
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -47,9 +52,13 @@ int main(int argc, char** argv) {
       runs.push_back(obs::parse_ledger(in));
     }
 
+    std::vector<obs::ParsedSpan> spans;
+    if (!flags.get("spans").empty())
+      spans = obs::parse_span_jsonl(flags.get("spans"));
+
     obs::DashboardOptions options;
     options.title = flags.get("title");
-    obs::write_dashboard_html(flags.get("out"), runs, options);
+    obs::write_dashboard_html(flags.get("out"), runs, spans, options);
     std::size_t epochs = 0, warnings = 0;
     for (const auto& run : runs) {
       epochs += run.epochs.size();
@@ -57,7 +66,9 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << flags.get("out") << " (" << runs.size()
               << " run(s), " << epochs << " epoch record(s), " << warnings
-              << " warning(s))\n";
+              << " warning(s)";
+    if (!spans.empty()) std::cout << ", " << spans.size() << " span(s)";
+    std::cout << ")\n";
     if (!flags.get("csv").empty()) {
       obs::write_ledger_csv(flags.get("csv"), runs);
       std::cout << "wrote " << flags.get("csv") << "\n";

@@ -56,6 +56,11 @@ using Clock = std::chrono::steady_clock;
 
 struct ConnResult {
   std::vector<double> latencies_ms;
+  // Daemon-reported per-stage times (us) for each completed request, from
+  // the response's queue/assemble/infer diagnostics.
+  std::vector<double> queue_us;
+  std::vector<double> assemble_us;
+  std::vector<double> infer_us;
   std::int64_t completed = 0;
   std::int64_t rejected_overload = 0;
   std::int64_t shutdown_drops = 0;
@@ -257,6 +262,12 @@ int main(int argc, char** argv) {
         r.latencies_ms.push_back(
             std::chrono::duration<double, std::milli>(t_done - scheduled)
                 .count());
+        r.queue_us.push_back(
+            static_cast<double>(reply.response.queue_ns) / 1e3);
+        r.assemble_us.push_back(
+            static_cast<double>(reply.response.assemble_ns) / 1e3);
+        r.infer_us.push_back(
+            static_cast<double>(reply.response.infer_ns) / 1e3);
 
         if (parity_per_conn < 0 || r.parity_checked < parity_per_conn) {
           if (ref == nullptr)
@@ -293,10 +304,15 @@ int main(int argc, char** argv) {
   }
 
   std::vector<double> latencies;
+  std::vector<double> queue_us, assemble_us, infer_us;
   ConnResult total;
   for (const ConnResult& r : results) {
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
+    queue_us.insert(queue_us.end(), r.queue_us.begin(), r.queue_us.end());
+    assemble_us.insert(assemble_us.end(), r.assemble_us.begin(),
+                       r.assemble_us.end());
+    infer_us.insert(infer_us.end(), r.infer_us.begin(), r.infer_us.end());
     total.completed += r.completed;
     total.rejected_overload += r.rejected_overload;
     total.shutdown_drops += r.shutdown_drops;
@@ -305,6 +321,9 @@ int main(int argc, char** argv) {
     total.max_batch_seen = std::max(total.max_batch_seen, r.max_batch_seen);
   }
   const LatencyStats lat = summarize_latencies(latencies);
+  const LatencyStats st_queue = summarize_latencies(queue_us);
+  const LatencyStats st_assemble = summarize_latencies(assemble_us);
+  const LatencyStats st_infer = summarize_latencies(infer_us);
   const double achieved_qps =
       elapsed_s > 0 ? static_cast<double>(total.completed) / elapsed_s : 0.0;
   const bool shutdown_observed = total.shutdown_drops > 0;
@@ -319,6 +338,12 @@ int main(int argc, char** argv) {
   table.add_row({"p99", fmt_f(lat.p99, 2) + "ms"});
   table.add_row({"p999", fmt_f(lat.p999, 2) + "ms"});
   table.add_row({"mean", fmt_f(lat.mean, 2) + "ms"});
+  table.add_row({"queue wait", fmt_f(st_queue.mean, 0) + "us mean / " +
+                                   fmt_f(st_queue.p99, 0) + "us p99"});
+  table.add_row({"assembly", fmt_f(st_assemble.mean, 0) + "us mean / " +
+                                 fmt_f(st_assemble.p99, 0) + "us p99"});
+  table.add_row({"inference", fmt_f(st_infer.mean, 0) + "us mean / " +
+                                  fmt_f(st_infer.p99, 0) + "us p99"});
   table.add_row({"max batch seen", std::to_string(total.max_batch_seen)});
   table.add_row({"overload rejections",
                  std::to_string(total.rejected_overload)});
@@ -351,6 +376,12 @@ int main(int argc, char** argv) {
         << "  \"p90_ms\": " << lat.p90 << ",\n"
         << "  \"p99_ms\": " << lat.p99 << ",\n"
         << "  \"p999_ms\": " << lat.p999 << ",\n"
+        << "  \"queue_mean_us\": " << st_queue.mean << ",\n"
+        << "  \"queue_p99_us\": " << st_queue.p99 << ",\n"
+        << "  \"assemble_mean_us\": " << st_assemble.mean << ",\n"
+        << "  \"assemble_p99_us\": " << st_assemble.p99 << ",\n"
+        << "  \"infer_mean_us\": " << st_infer.mean << ",\n"
+        << "  \"infer_p99_us\": " << st_infer.p99 << ",\n"
         << "  \"max_batch_seen\": " << total.max_batch_seen << ",\n"
         << "  \"parity_checked\": " << total.parity_checked << ",\n"
         << "  \"parity\": " << (parity_ok ? "true" : "false") << "\n"

@@ -1,0 +1,168 @@
+// SERVE_TOP — live terminal dashboard for a running serve daemon.
+//
+// Polls the daemon's STAT opcode (serve/protocol.h) and renders each JSON
+// snapshot as an ASCII panel: windowed (last-N-seconds) p50/p99/p999
+// latency, QPS, queue depth, per-stage time breakdown, batch-size
+// distribution, rejection rate, and SLO burn.  On a terminal the panel
+// refreshes in place (ANSI home + clear); piped, snapshots just append, so
+// `serve_top --iterations 1 --raw` doubles as a scriptable STAT scrape —
+// that is what the CI introspection smoke runs mid-burst.
+//
+//   ./serve_top --port 7421                      # refresh every second
+//   ./serve_top --port 7421 --interval-ms 250
+//   ./serve_top --port 7421 --iterations 1 --raw # one JSON snapshot
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "core/cli.h"
+#include "core/error.h"
+#include "core/json.h"
+#include "core/table.h"
+#include "serve/transport.h"
+
+using namespace spiketune;
+
+namespace {
+
+/// "p50 0.42ms | p99 1.87ms | p999 3.10ms" from a windowed histogram
+/// object with times in microseconds.
+std::string quantiles_ms(const JsonValue& h) {
+  return fmt_f(h.number_or("p50", 0) / 1e3, 2) + "ms | p99 " +
+         fmt_f(h.number_or("p99", 0) / 1e3, 2) + "ms | p999 " +
+         fmt_f(h.number_or("p999", 0) / 1e3, 2) + "ms";
+}
+
+std::string stage_row(const JsonValue& stages, const char* key) {
+  const JsonValue* s = stages.find(key);
+  if (s == nullptr) return "-";
+  return fmt_f(s->number_or("mean", 0), 0) + "us mean / " +
+         fmt_f(s->number_or("p99", 0), 0) + "us p99";
+}
+
+void render(const JsonValue& stat, std::ostream& os) {
+  const JsonValue* totals = stat.find("totals");
+  const JsonValue* req = stat.find("request_us");
+  const JsonValue* stages = stat.find("stages");
+  const JsonValue* batch = stat.find("batch_size");
+  const JsonValue* slo = stat.find("slo");
+  const JsonValue* spans = stat.find("spans");
+
+  AsciiTable table({"metric", "value"});
+  table.set_title(
+      "serve (up " + fmt_f(stat.number_or("uptime_s", 0), 1) + "s, window " +
+      fmt_f(stat.number_or("window_s", 0), 0) + "s)");
+  table.add_row({"QPS", fmt_f(stat.number_or("qps", 0), 0)});
+  if (req != nullptr) {
+    table.add_row({"latency p50", quantiles_ms(*req)});
+    table.add_row({"latency mean",
+                   fmt_f(req->number_or("mean", 0) / 1e3, 2) + "ms (" +
+                       fmt_f(req->number_or("count", 0), 0) +
+                       " in window)"});
+  }
+  table.add_row({"queue depth", fmt_f(stat.number_or("queue_depth", 0), 0)});
+  if (stages != nullptr) {
+    table.add_row({"stage decode", stage_row(*stages, "decode_us")});
+    table.add_row({"stage queue", stage_row(*stages, "queue_us")});
+    table.add_row({"stage assemble", stage_row(*stages, "assemble_us")});
+    table.add_row({"stage infer", stage_row(*stages, "infer_us")});
+    table.add_row({"stage respond", stage_row(*stages, "respond_us")});
+  }
+  if (batch != nullptr)
+    table.add_row({"batch size",
+                   fmt_f(batch->number_or("mean", 0), 1) + " mean / " +
+                       fmt_f(batch->number_or("max", 0), 0) + " max"});
+  table.add_row({"rejects/s", fmt_f(stat.number_or("rejects_per_s", 0), 1)});
+  if (totals != nullptr)
+    table.add_row(
+        {"served total", fmt_f(totals->number_or("served", 0), 0) + " (" +
+                             fmt_f(totals->number_or("batches", 0), 0) +
+                             " batches)"});
+  if (slo != nullptr && slo->number_or("target_ms", 0) > 0)
+    table.add_row(
+        {"SLO burn", fmt_f(slo->number_or("burn", 0), 2) + "x budget (" +
+                         fmt_f(slo->number_or("violations", 0), 0) + " of " +
+                         fmt_f(slo->number_or("ok", 0) +
+                                   slo->number_or("violations", 0),
+                               0) +
+                         " over " +
+                         fmt_f(slo->number_or("target_ms", 0), 1) + "ms)"});
+  if (spans != nullptr)
+    table.add_row({"spans",
+                   fmt_f(spans->number_or("recorded", 0), 0) +
+                       " recorded (1-in-" +
+                       fmt_f(spans->number_or("sample_every", 0), 0) + ")"});
+  table.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flags.declare("host", "127.0.0.1", "daemon address");
+  flags.declare("port", "7421", "daemon port");
+  flags.declare("connect-retry-ms", "4000",
+                "keep retrying the initial connect this long");
+  flags.declare("interval-ms", "1000", "poll period");
+  flags.declare("iterations", "0", "snapshots to take (0 = until killed)");
+  flags.declare("raw", "false", "print the raw JSON instead of the panel");
+  flags.declare("json-out", "",
+                "also write the most recent snapshot to this file");
+  try {
+    flags.parse(argc - 1, argv + 1);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.usage(argv[0]);
+    return 0;
+  }
+  std::string host;
+  int port = 0, retry_ms = 0, interval_ms = 0;
+  std::int64_t iterations = 0;
+  bool raw = false;
+  try {
+    host = flags.get("host");
+    port = static_cast<int>(flags.get_int("port"));
+    retry_ms = static_cast<int>(flags.get_int("connect-retry-ms"));
+    interval_ms = static_cast<int>(flags.get_int("interval-ms"));
+    iterations = flags.get_int("iterations");
+    raw = flags.get_bool("raw");
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << flags.usage(argv[0]);
+    return 2;
+  }
+
+  serve::TcpClient client(host, port, retry_ms);
+  const bool tty = isatty(STDOUT_FILENO) != 0;
+  const std::string json_out = flags.get("json-out");
+
+  for (std::int64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const serve::TcpClient::StatReply reply =
+        client.stat(static_cast<std::uint64_t>(i));
+    if (reply.disconnected) {
+      std::cerr << "daemon went away\n";
+      return i > 0 ? 0 : 1;  // drained mid-watch is a clean exit
+    }
+    if (!json_out.empty()) {
+      std::ofstream out(json_out, std::ios::trunc);
+      ST_REQUIRE(out.good(), "cannot open " + json_out);
+      out << reply.json << "\n";
+    }
+    if (raw) {
+      std::cout << reply.json << std::endl;
+      continue;
+    }
+    const JsonValue stat = JsonValue::parse(reply.json, "STAT");
+    if (tty && iterations != 1) std::cout << "\033[H\033[2J";
+    render(stat, std::cout);
+    std::cout.flush();
+  }
+  return 0;
+}

@@ -370,7 +370,11 @@ InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
         case OpKind::kLinear: {
           // Exact batch-wide density drives the kernel choice, so dispatch
           // is deterministic for any thread count.
+          const bool timed = config_.record_stage_times;
+          const std::uint64_t t0 = timed ? obs::telemetry_now_ns() : 0;
           const std::int64_t nz = build_index_lists(x, n, l.in_elems);
+          const std::uint64_t t1 = timed ? obs::telemetry_now_ns() : 0;
+          if (timed) result.index_ns += t1 - t0;
           in_nz = nz;
           dispatch_nz += nz;
           dispatch_elems += in_total;
@@ -385,12 +389,14 @@ InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
             else
               linear_sparse(l, x, n, nz_idx_.data(), idx_stride_,
                             nz_count_.data(), out);
+            if (timed) result.sparse_kernel_ns += obs::telemetry_now_ns() - t1;
           } else {
             ++result.dense_dispatches;
             if (l.kind == OpKind::kConv2d)
               conv_dense(l, x, n, cols_.data(), cols_stride_, out);
             else
               linear_dense(l, x, n, out);
+            if (timed) result.dense_kernel_ns += obs::telemetry_now_ns() - t1;
           }
           break;
         }

@@ -20,6 +20,7 @@
 // path exactly.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "infer/compiled_model.h"
@@ -37,6 +38,10 @@ struct SessionConfig {
   /// Populate InferenceResult::stats (one counting pass per layer boundary,
   /// identical to ForwardOptions::record_stats).
   bool record_stats = false;
+  /// Accumulate wall-clock per-stage timings (index building vs. sparse vs.
+  /// dense kernel time) into InferenceResult.  A few clock reads per
+  /// layer-step; never alters dispatch or results.
+  bool record_stage_times = false;
 };
 
 struct InferenceResult {
@@ -49,6 +54,13 @@ struct InferenceResult {
   double mean_input_density = 0.0;
   std::int64_t sparse_dispatches = 0;  // layer-steps on the sparse kernel
   std::int64_t dense_dispatches = 0;   // layer-steps on the dense kernel
+
+  /// Wall-clock stage split, populated when record_stage_times: time in
+  /// build_index_lists, in sparse kernels, and in dense kernels.  The
+  /// serving span log forwards the kernel split per request.
+  std::uint64_t index_ns = 0;
+  std::uint64_t sparse_kernel_ns = 0;
+  std::uint64_t dense_kernel_ns = 0;
 };
 
 class InferenceSession {

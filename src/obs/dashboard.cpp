@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
 
 #include "core/error.h"
+#include "core/stats.h"
 
 namespace spiketune::obs {
 
@@ -98,6 +100,7 @@ struct ChartSeries {
 /// One SVG line chart: single y-axis, recessive grid, 2px lines, markers
 /// with native <title> tooltips, direct end-labels for up to 4 series.
 std::string render_line_chart(const std::string& title,
+                              const std::string& x_label,
                               const std::string& y_label,
                               const std::vector<ChartSeries>& series) {
   constexpr double kW = 640, kH = 280;
@@ -167,8 +170,8 @@ std::string render_line_chart(const std::string& title,
   }
   // Axis labels.
   svg += "<text x=\"" + fmt_coord(kLeft + plot_w / 2) + "\" y=\"" +
-         fmt_coord(kH - 6) + "\" class=\"axis\" text-anchor=\"middle\">epoch" +
-         "</text>\n";
+         fmt_coord(kH - 6) + "\" class=\"axis\" text-anchor=\"middle\">" +
+         html_escape(x_label) + "</text>\n";
   svg += "<text x=\"14\" y=\"" + fmt_coord(kTop + plot_h / 2) +
          "\" class=\"axis\" text-anchor=\"middle\" transform=\"rotate(-90 14 " +
          fmt_coord(kTop + plot_h / 2) + ")\">" + html_escape(y_label) +
@@ -187,8 +190,9 @@ std::string render_line_chart(const std::string& title,
     for (const SeriesPoint& p : s.points) {
       svg += "<circle cx=\"" + fmt_coord(sx(p.x)) + "\" cy=\"" +
              fmt_coord(sy(p.y)) + "\" r=\"4\" fill=\"" + s.color +
-             "\"><title>" + html_escape(s.label) + " — epoch " + fmt(p.x) +
-             ": " + fmt(p.y) + "</title></circle>\n";
+             "\"><title>" + html_escape(s.label) + " — " +
+             html_escape(x_label) + " " + fmt(p.x) + ": " + fmt(p.y) +
+             "</title></circle>\n";
     }
     if (direct_labels) {
       const SeriesPoint& last = s.points.back();
@@ -379,6 +383,72 @@ std::string render_warnings(const std::vector<ParsedLedger>& runs) {
   return html;
 }
 
+/// Serving panels from a sampled request-span log: windowed p50/p99
+/// end-to-end latency and mean batch size per wall-clock second, plus the
+/// per-stage time breakdown over every recorded span.  The five stages tile
+/// [recv, send] exactly (see serve/server.h), so the table's stage means sum
+/// to the end-to-end mean.
+std::string render_serving_section(const std::vector<ParsedSpan>& spans) {
+  // Bucket spans into 1-second bins of wall time since the first recv.
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  for (const ParsedSpan& s : spans) t0 = std::min(t0, s.recv_ns);
+  std::map<std::uint64_t, std::vector<double>> e2e_by_s;
+  std::map<std::uint64_t, std::vector<double>> batch_by_s;
+  std::size_t failed = 0;
+  for (const ParsedSpan& s : spans) {
+    if (!s.ok) ++failed;
+    const std::uint64_t sec = (s.recv_ns - t0) / 1'000'000'000ull;
+    e2e_by_s[sec].push_back(s.e2e_us);
+    batch_by_s[sec].push_back(static_cast<double>(s.batch));
+  }
+
+  ChartSeries p50{"p50", series_color(0, 2), {}};
+  ChartSeries p99{"p99", series_color(1, 2), {}};
+  for (auto& [sec, lat] : e2e_by_s) {
+    const LatencyStats st = summarize_latencies(lat);
+    p50.points.push_back({static_cast<double>(sec), st.p50 / 1e3});
+    p99.points.push_back({static_cast<double>(sec), st.p99 / 1e3});
+  }
+  ChartSeries batch{"mean batch", series_color(0, 1), {}};
+  for (auto& [sec, sizes] : batch_by_s) {
+    double sum = 0.0;
+    for (double b : sizes) sum += b;
+    batch.points.push_back(
+        {static_cast<double>(sec), sum / static_cast<double>(sizes.size())});
+  }
+
+  std::string html = "<h2>Serving</h2>\n";
+  html += "<p class=\"meta\">" + std::to_string(spans.size()) +
+          " sampled request spans" +
+          (failed > 0 ? ", " + std::to_string(failed) + " failed" : "") +
+          ".</p>\n";
+  html += render_line_chart("Request latency by wall-clock second",
+                            "seconds", "latency (ms)", {p50, p99});
+  html += render_line_chart("Mean batch size by wall-clock second", "seconds",
+                            "requests / batch", {batch});
+
+  // Stage breakdown table over all spans.
+  html +=
+      "<table>\n<thead><tr><th>Stage</th><th>Mean (µs)</th><th>p50 (µs)</th>"
+      "<th>p99 (µs)</th><th>Max (µs)</th></tr></thead>\n<tbody>\n";
+  const std::pair<const char*, double ParsedSpan::*> stages[] = {
+      {"decode", &ParsedSpan::decode_us},    {"queue wait", &ParsedSpan::queue_us},
+      {"assembly", &ParsedSpan::assemble_us}, {"inference", &ParsedSpan::infer_us},
+      {"respond", &ParsedSpan::respond_us},  {"end-to-end", &ParsedSpan::e2e_us},
+  };
+  for (const auto& [name, member] : stages) {
+    std::vector<double> values;
+    values.reserve(spans.size());
+    for (const ParsedSpan& s : spans) values.push_back(s.*member);
+    const LatencyStats st = summarize_latencies(values);
+    html += std::string("<tr><td>") + name + "</td><td>" + fmt(st.mean) +
+            "</td><td>" + fmt(st.p50) + "</td><td>" + fmt(st.p99) +
+            "</td><td>" + fmt(st.max) + "</td></tr>\n";
+  }
+  html += "</tbody>\n</table>\n";
+  return html;
+}
+
 const char* kCss = R"css(
 :root {
   --bg: #ffffff; --panel: #f6f8fa; --border: #d0d7de;
@@ -427,6 +497,12 @@ svg .label { fill: var(--text2); font-size: 11px; }
 
 std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
                                   const DashboardOptions& options) {
+  return render_dashboard_html(runs, std::vector<ParsedSpan>{}, options);
+}
+
+std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
+                                  const std::vector<ParsedSpan>& spans,
+                                  const DashboardOptions& options) {
   ST_REQUIRE(!runs.empty(), "render_dashboard_html needs at least one run");
 
   std::string html;
@@ -450,16 +526,16 @@ std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
 
   html += "<h2>Trajectories</h2>\n";
   html += render_line_chart(
-      "Train accuracy by epoch", "train accuracy",
+      "Train accuracy by epoch", "epoch", "train accuracy",
       trajectory_series(runs, [](const LedgerEpoch& e) {
         return e.train_accuracy;
       }));
   html += render_line_chart(
-      "Mean firing rate by epoch", "spikes / neuron / step",
+      "Mean firing rate by epoch", "epoch", "spikes / neuron / step",
       trajectory_series(runs,
                         [](const LedgerEpoch& e) { return e.firing_rate; }));
   const std::string fps_chart = render_line_chart(
-      "Projected FPS/W by epoch", "FPS per watt",
+      "Projected FPS/W by epoch", "epoch", "FPS per watt",
       trajectory_series(runs, [](const LedgerEpoch& e) {
         return hw_value(e, "fps_per_watt");
       }));
@@ -475,6 +551,8 @@ std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
             std::to_string(max_heatmaps) + " of " +
             std::to_string(runs.size()) + " runs.</p>\n";
 
+  if (!spans.empty()) html += render_serving_section(spans);
+
   html += "<h2>Spike-health warnings</h2>\n" + render_warnings(runs);
   html += "</body>\n</html>\n";
   return html;
@@ -483,9 +561,16 @@ std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
 void write_dashboard_html(const std::string& path,
                           const std::vector<ParsedLedger>& runs,
                           const DashboardOptions& options) {
+  write_dashboard_html(path, runs, std::vector<ParsedSpan>{}, options);
+}
+
+void write_dashboard_html(const std::string& path,
+                          const std::vector<ParsedLedger>& runs,
+                          const std::vector<ParsedSpan>& spans,
+                          const DashboardOptions& options) {
   std::ofstream out(path, std::ios::trunc);
   ST_REQUIRE(out.good(), "cannot open dashboard output: " + path);
-  out << render_dashboard_html(runs, options);
+  out << render_dashboard_html(runs, spans, options);
   out.flush();
   ST_REQUIRE(out.good(), "failed writing dashboard: " + path);
 }

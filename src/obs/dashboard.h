@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/ledger.h"
+#include "obs/spans.h"
 
 namespace spiketune::obs {
 
@@ -39,10 +40,23 @@ struct DashboardOptions {
 std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
                                   const DashboardOptions& options = {});
 
+/// Same, plus a "Serving" section fed from a request-span log
+/// (obs/spans.h): windowed p50/p99 latency over wall time, the per-stage
+/// time breakdown, and batch-size trajectory.  `spans` may be empty (the
+/// section is skipped).
+std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
+                                  const std::vector<ParsedSpan>& spans,
+                                  const DashboardOptions& options);
+
 /// Renders and writes the dashboard to `path`.
 void write_dashboard_html(const std::string& path,
                           const std::vector<ParsedLedger>& runs,
                           const DashboardOptions& options = {});
+
+void write_dashboard_html(const std::string& path,
+                          const std::vector<ParsedLedger>& runs,
+                          const std::vector<ParsedSpan>& spans,
+                          const DashboardOptions& options);
 
 /// Writes a flat CSV view: one row per (run, epoch) with training metrics,
 /// mean firing rate, and the standard hardware-projection columns.

@@ -1,0 +1,98 @@
+#include "obs/spans.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/json.h"
+
+namespace spiketune::obs {
+
+SpanRecorder::SpanRecorder(std::size_t capacity, std::uint64_t sample_every)
+    : capacity_(capacity), sample_every_(sample_every) {
+  ST_REQUIRE(capacity_ > 0, "span recorder capacity must be positive");
+  ring_.reserve(capacity_);
+}
+
+void SpanRecorder::record(const RequestSpan& span) {
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<RequestSpan> SpanRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestSpan> out;
+  out.reserve(ring_.size());
+  // Oldest first: once wrapped, `next_` points at the oldest slot.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+void SpanRecorder::write_jsonl(const std::string& path) const {
+  const std::vector<RequestSpan> spans = snapshot();
+  std::ofstream out(path, std::ios::app);
+  ST_REQUIRE(out.good(), "cannot open span log: " + path);
+  for (const RequestSpan& s : spans) {
+    JsonValue o = JsonValue::make_object();
+    o.set("server_id", JsonValue(static_cast<std::int64_t>(s.server_id)));
+    o.set("client_id", JsonValue(static_cast<std::int64_t>(s.client_id)));
+    o.set("num_steps", JsonValue(s.num_steps));
+    o.set("batch", JsonValue(s.batch));
+    o.set("recv_ns", JsonValue(static_cast<std::int64_t>(s.recv_ns)));
+    o.set("admit_ns", JsonValue(static_cast<std::int64_t>(s.admit_ns)));
+    o.set("assemble_ns", JsonValue(static_cast<std::int64_t>(s.assemble_ns)));
+    o.set("infer_ns", JsonValue(static_cast<std::int64_t>(s.infer_ns)));
+    o.set("done_ns", JsonValue(static_cast<std::int64_t>(s.done_ns)));
+    o.set("send_ns", JsonValue(static_cast<std::int64_t>(s.send_ns)));
+    o.set("sparse_kernel_ns",
+          JsonValue(static_cast<std::int64_t>(s.sparse_kernel_ns)));
+    o.set("dense_kernel_ns",
+          JsonValue(static_cast<std::int64_t>(s.dense_kernel_ns)));
+    o.set("ok", JsonValue(s.ok));
+    out << o.dump() << "\n";
+  }
+  out.flush();
+  ST_REQUIRE(out.good(), "failed writing span log: " + path);
+}
+
+std::vector<ParsedSpan> parse_span_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  ST_REQUIRE(in.good(), "cannot open span log: " + path);
+  std::vector<ParsedSpan> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const JsonValue o =
+        JsonValue::parse(line, path + ":" + std::to_string(lineno));
+    ParsedSpan s;
+    s.server_id = static_cast<std::uint64_t>(o.number_or("server_id", 0));
+    s.recv_ns = static_cast<std::uint64_t>(o.number_or("recv_ns", 0));
+    s.batch = static_cast<int>(o.number_or("batch", 0));
+    const double recv = o.number_or("recv_ns", 0);
+    const double admit = o.number_or("admit_ns", recv);
+    const double assemble = o.number_or("assemble_ns", admit);
+    const double infer = o.number_or("infer_ns", assemble);
+    const double done = o.number_or("done_ns", infer);
+    const double send = o.number_or("send_ns", done);
+    s.decode_us = (admit - recv) / 1e3;
+    s.queue_us = (assemble - admit) / 1e3;
+    s.assemble_us = (infer - assemble) / 1e3;
+    s.infer_us = (done - infer) / 1e3;
+    s.respond_us = (send - done) / 1e3;
+    s.e2e_us = (send - recv) / 1e3;
+    if (const JsonValue* ok = o.find("ok")) s.ok = ok->as_bool();
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace spiketune::obs

@@ -1,0 +1,105 @@
+// Per-request span timelines for the serving stack.
+//
+// A RequestSpan is the wall-clock skeleton of one served request: the six
+// timestamps the daemon stamps as the request crosses recv → admission →
+// batch assembly → inference → completion → send.  Stage durations are
+// derived, not stored, so they sum to end-to-end time by construction:
+//
+//   decode   = admit    - recv      (frame parse + validation)
+//   queue    = assemble - admit     (waiting for batchmates / a worker)
+//   assemble = infer    - assemble  (batch tensor packing)
+//   infer    = done     - infer     (kernel time, sparse or dense)
+//   respond  = send     - done      (serialize + write back)
+//
+// SpanRecorder is the daemon-side sink: a bounded ring of sampled spans.
+// Sampling is a counter-modulo gate on the server-assigned request ID —
+// when a request is not sampled the entire span path costs one modulo and
+// a predictable branch; when it is, recording is one mutex-protected ring
+// store per request (off the per-sample hot path by construction, since at
+// most 1-in-N requests take it).  The ring keeps the most recent
+// `capacity` spans; `recorded()` counts everything ever sampled so drops
+// are visible.  write_jsonl dumps the ring for offline analysis; the
+// dashboard reads it back with parse_span_jsonl.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spiketune::obs {
+
+struct RequestSpan {
+  std::uint64_t server_id = 0;  // daemon-assigned, unique per admitted req
+  std::uint64_t client_id = 0;  // echoed from the request frame
+  int num_steps = 0;
+  int batch = 0;  // size of the batch this request rode in
+  std::uint64_t recv_ns = 0;
+  std::uint64_t admit_ns = 0;
+  std::uint64_t assemble_ns = 0;
+  std::uint64_t infer_ns = 0;
+  std::uint64_t done_ns = 0;
+  std::uint64_t send_ns = 0;
+  // Kernel split inside [infer, done], when the session records it.
+  std::uint64_t sparse_kernel_ns = 0;
+  std::uint64_t dense_kernel_ns = 0;
+  bool ok = true;
+};
+
+/// Bounded, sampled ring of request spans.  Thread-safe.
+class SpanRecorder {
+ public:
+  /// `sample_every` of 0 disables recording entirely; 1 records every
+  /// request; N records requests whose id % N == 0.
+  SpanRecorder(std::size_t capacity, std::uint64_t sample_every);
+
+  /// Cheap gate: should the span machinery run for this request at all?
+  bool sampled(std::uint64_t server_id) const {
+    return sample_every_ != 0 && server_id % sample_every_ == 0;
+  }
+  std::uint64_t sample_every() const { return sample_every_; }
+
+  void record(const RequestSpan& span);
+
+  /// Spans ever recorded (>= snapshot().size() once the ring wraps).
+  std::int64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the retained spans, oldest first.
+  std::vector<RequestSpan> snapshot() const;
+
+  /// Appends the retained spans as JSONL (one object per span, all times
+  /// in ns).  Throws spiketune::Error on I/O failure.
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  const std::size_t capacity_;
+  const std::uint64_t sample_every_;
+  mutable std::mutex mu_;
+  std::vector<RequestSpan> ring_;
+  std::size_t next_ = 0;  // ring insertion cursor once full
+  std::atomic<std::int64_t> recorded_{0};
+};
+
+/// One span log line parsed back, with derived stage durations in
+/// microseconds (what the dashboard plots).
+struct ParsedSpan {
+  std::uint64_t server_id = 0;
+  std::uint64_t recv_ns = 0;
+  int batch = 0;
+  double decode_us = 0.0;
+  double queue_us = 0.0;
+  double assemble_us = 0.0;
+  double infer_us = 0.0;
+  double respond_us = 0.0;
+  double e2e_us = 0.0;
+  bool ok = true;
+};
+
+/// Parses a span JSONL file (tolerates blank lines; throws on malformed
+/// JSON or missing file).  Returned in file order.
+std::vector<ParsedSpan> parse_span_jsonl(const std::string& path);
+
+}  // namespace spiketune::obs

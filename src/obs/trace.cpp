@@ -22,8 +22,9 @@ struct TraceEvent {
   const char* name;  // string literal or interned name; never owned
   std::uint64_t ts_ns;
   std::uint64_t dur_ns;  // 'X' events only
-  char phase;            // 'X' complete, 'C' counter
+  char phase;            // 'X' complete, 'C' counter, 's'/'t'/'f' flow
   double value;          // 'C' events only
+  std::uint64_t id;      // flow events only
 };
 
 struct TraceBuffer {
@@ -106,13 +107,31 @@ void stop_trace() { disable_telemetry(kTraceBit); }
 
 void trace_counter(const char* name, double value) {
   if (!trace_enabled()) return;
-  append(TraceEvent{name, telemetry_now_ns(), 0, 'C', value});
+  append(TraceEvent{name, telemetry_now_ns(), 0, 'C', value, 0});
+}
+
+void trace_span(const char* name, std::uint64_t t0_ns,
+                std::uint64_t dur_ns) {
+  if (!trace_enabled()) return;
+  append(TraceEvent{name, t0_ns, dur_ns, 'X', 0.0, 0});
+}
+
+void trace_flow(const char* name, std::uint64_t flow_id, char phase) {
+  trace_flow_at(name, flow_id, phase, telemetry_now_ns());
+}
+
+void trace_flow_at(const char* name, std::uint64_t flow_id, char phase,
+                   std::uint64_t ts_ns) {
+  if (!trace_enabled()) return;
+  ST_REQUIRE(phase == 's' || phase == 't' || phase == 'f',
+             "flow phase must be 's', 't', or 'f'");
+  append(TraceEvent{name, ts_ns, 0, phase, 0.0, flow_id});
 }
 
 namespace detail {
 void trace_complete(const char* name, std::uint64_t t0_ns,
                     std::uint64_t dur_ns) {
-  append(TraceEvent{name, t0_ns, dur_ns, 'X', 0.0});
+  append(TraceEvent{name, t0_ns, dur_ns, 'X', 0.0, 0});
 }
 }  // namespace detail
 
@@ -172,6 +191,12 @@ void write_trace_json(const std::string& path) {
       if (ev.phase == 'X') out << ",\"dur\":" << us(ev.dur_ns);
       if (ev.phase == 'C')
         out << ",\"args\":{\"value\":" << ev.value << "}";
+      if (ev.phase == 's' || ev.phase == 't' || ev.phase == 'f') {
+        out << ",\"id\":" << ev.id;
+        // Bind the finish arrow to the enclosing slice's end, per the
+        // trace-event spec, so the last hop renders at the right edge.
+        if (ev.phase == 'f') out << ",\"bp\":\"e\"";
+      }
       out << "}";
     }
   }

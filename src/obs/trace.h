@@ -30,6 +30,21 @@ void stop_trace();
 /// when tracing is disabled.
 void trace_counter(const char* name, double value);
 
+/// Appends a complete ("X") event with an explicit start/duration, for
+/// spans reconstructed after the fact (e.g. a request's queue wait, known
+/// only once the worker picks the batch up).  No-op when disabled.
+void trace_span(const char* name, std::uint64_t t0_ns, std::uint64_t dur_ns);
+
+/// Appends a flow event tying together spans of one logical operation
+/// (e.g. one request) across threads.  `phase` is 's' (start), 't' (step),
+/// or 'f' (finish); `flow_id` groups the arrows; all events of one flow
+/// must share `name`.  Perfetto draws arrows start → step → finish.  The
+/// timestamp should sit INSIDE the enclosing span on that thread — use the
+/// `_at` variant to pin it.  No-op when disabled.
+void trace_flow(const char* name, std::uint64_t flow_id, char phase);
+void trace_flow_at(const char* name, std::uint64_t flow_id, char phase,
+                   std::uint64_t ts_ns);
+
 /// Total buffered events across all threads (dropped ones excluded).
 std::size_t trace_event_count();
 

@@ -34,6 +34,8 @@ namespace spiketune::serve {
 struct PendingRequest {
   std::shared_ptr<Connection> conn;  // where the response goes
   InferRequest request;
+  std::uint64_t server_id = 0;   // daemon-assigned id (span/flow identity)
+  std::uint64_t recv_ns = 0;     // header fully read off the socket
   std::uint64_t enqueue_ns = 0;  // telemetry epoch, for queue-time stats
 };
 

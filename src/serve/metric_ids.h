@@ -1,0 +1,56 @@
+// Interned metric handles for the serving stack, resolved once.
+//
+// server.cpp used to re-intern `serve.queue_depth` (and friends) as
+// function-local statics in two separate scopes — harmless (interning is
+// idempotent) but a drift hazard: rename one registration and the metric
+// silently forks.  Every serve metric now lives here; call
+// serve_metric_ids() and index the struct.  The first call interns, every
+// later call is a function-local-static load.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace spiketune::serve {
+
+struct ServeMetricIds {
+  // Traffic and queue state.
+  obs::MetricId requests = obs::kNoMetric;       // counter: responses sent
+  obs::MetricId batches = obs::kNoMetric;        // counter: session runs
+  obs::MetricId rejected_overload = obs::kNoMetric;  // counter
+  obs::MetricId queue_depth = obs::kNoMetric;    // gauge: queued requests
+  obs::MetricId batch_size = obs::kNoMetric;     // histogram: samples/batch
+  // End-to-end and per-stage request latency (all microseconds).
+  obs::MetricId request_us = obs::kNoMetric;     // histogram: admit -> done
+  obs::MetricId queue_us = obs::kNoMetric;       // histogram: queue wait
+  obs::MetricId assemble_us = obs::kNoMetric;    // histogram: batch packing
+  obs::MetricId infer_us = obs::kNoMetric;       // histogram: kernel time
+  // SLO accounting (see serve/slo.h).
+  obs::MetricId slo_ok = obs::kNoMetric;         // counter: within target
+  obs::MetricId slo_violations = obs::kNoMetric; // counter: over target
+  obs::MetricId slo_burn = obs::kNoMetric;       // gauge: budget burn ratio
+  // Introspection endpoint.
+  obs::MetricId stat_requests = obs::kNoMetric;  // counter: STAT snapshots
+};
+
+inline const ServeMetricIds& serve_metric_ids() {
+  static const ServeMetricIds ids = [] {
+    ServeMetricIds m;
+    m.requests = obs::counter("serve.requests");
+    m.batches = obs::counter("serve.batches");
+    m.rejected_overload = obs::counter("serve.rejected_overload");
+    m.queue_depth = obs::gauge("serve.queue_depth");
+    m.batch_size = obs::histogram("serve.batch_size");
+    m.request_us = obs::histogram("serve.request_us");
+    m.queue_us = obs::histogram("serve.queue_us");
+    m.assemble_us = obs::histogram("serve.assemble_us");
+    m.infer_us = obs::histogram("serve.infer_us");
+    m.slo_ok = obs::counter("serve.slo.ok");
+    m.slo_violations = obs::counter("serve.slo.violations");
+    m.slo_burn = obs::gauge("serve.slo.burn");
+    m.stat_requests = obs::counter("serve.stat_requests");
+    return m;
+  }();
+  return ids;
+}
+
+}  // namespace spiketune::serve

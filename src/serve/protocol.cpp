@@ -64,7 +64,7 @@ FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
   std::uint32_t kind = 0;
   std::memcpy(&kind, p, 4);
   p += 4;
-  ST_REQUIRE(kind >= 1 && kind <= 3, "unknown frame kind " +
+  ST_REQUIRE(kind >= 1 && kind <= 5, "unknown frame kind " +
                                          std::to_string(kind));
   h.kind = static_cast<FrameKind>(kind);
   std::memcpy(&h.request_id, p, 8);
@@ -106,10 +106,11 @@ std::vector<std::uint8_t> encode_response(const InferResponse& r) {
   ST_REQUIRE(r.spike_counts.size() == r.out_features,
              "response spike_counts does not match out_features");
   std::vector<std::uint8_t> out;
-  out.reserve(24 + r.spike_counts.size() * sizeof(float));
+  out.reserve(32 + r.spike_counts.size() * sizeof(float));
   put(out, r.out_features);
   put(out, r.batch);
   put(out, r.queue_ns);
+  put(out, r.assemble_ns);
   put(out, r.infer_ns);
   const auto* p = reinterpret_cast<const std::uint8_t*>(r.spike_counts.data());
   out.insert(out.end(), p, p + r.spike_counts.size() * sizeof(float));
@@ -124,6 +125,7 @@ InferResponse decode_response(std::uint64_t request_id,
   r.out_features = get<std::uint32_t>(payload, off, "out_features");
   r.batch = get<std::uint32_t>(payload, off, "batch");
   r.queue_ns = get<std::uint64_t>(payload, off, "queue_ns");
+  r.assemble_ns = get<std::uint64_t>(payload, off, "assemble_ns");
   r.infer_ns = get<std::uint64_t>(payload, off, "infer_ns");
   ST_REQUIRE(payload.size() == off + r.out_features * sizeof(float),
              "response payload size does not match out_features");
@@ -155,6 +157,14 @@ ErrorResponse decode_error(std::uint64_t request_id,
   r.message.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
                    payload.end());
   return r;
+}
+
+std::vector<std::uint8_t> encode_stat(const std::string& json) {
+  return std::vector<std::uint8_t>(json.begin(), json.end());
+}
+
+std::string decode_stat(const std::vector<std::uint8_t>& payload) {
+  return std::string(payload.begin(), payload.end());
 }
 
 }  // namespace spiketune::serve

@@ -35,6 +35,8 @@ enum class FrameKind : std::uint32_t {
   kInferRequest = 1,
   kInferResponse = 2,
   kError = 3,
+  kStatRequest = 4,   // empty payload: "snapshot your live stats"
+  kStatResponse = 5,  // payload: one UTF-8 JSON document
 };
 
 /// Why the daemon refused a request.
@@ -65,9 +67,10 @@ struct InferRequest {
 struct InferResponse {
   std::uint64_t request_id = 0;
   std::uint32_t out_features = 0;
-  std::uint32_t batch = 0;         // requests coalesced into this run
-  std::uint64_t queue_ns = 0;      // admission -> batch assembly
-  std::uint64_t infer_ns = 0;      // the session run this request rode in
+  std::uint32_t batch = 0;          // requests coalesced into this run
+  std::uint64_t queue_ns = 0;       // admission -> batch assembly
+  std::uint64_t assemble_ns = 0;    // batch tensor packing
+  std::uint64_t infer_ns = 0;       // the session run this request rode in
   std::vector<float> spike_counts;  // out_features
 };
 
@@ -96,5 +99,10 @@ InferResponse decode_response(std::uint64_t request_id,
                               const std::vector<std::uint8_t>& payload);
 ErrorResponse decode_error(std::uint64_t request_id,
                            const std::vector<std::uint8_t>& payload);
+
+/// STAT payloads are a raw UTF-8 JSON document (see serve::Server::
+/// stat_json for the schema); these just move bytes <-> string.
+std::vector<std::uint8_t> encode_stat(const std::string& json);
+std::string decode_stat(const std::vector<std::uint8_t>& payload);
 
 }  // namespace spiketune::serve

@@ -46,6 +46,17 @@ int main(int argc, char** argv) {
                 "rejections");
   flags.declare("max-steps", "64", "per-request window-length cap");
   flags.declare("ledger", "", "write a run ledger into this directory");
+  flags.declare("span-log", "",
+                "write sampled request spans (JSONL) here at drain");
+  flags.declare("span-sample", "16",
+                "record every Nth request's span (0 = off, 1 = all)");
+  flags.declare("span-capacity", "4096", "spans retained in the ring");
+  flags.declare("stat-window-s", "10",
+                "STAT snapshots aggregate over this many trailing seconds");
+  flags.declare("slo-target-ms", "0",
+                "latency SLO target in ms (0 disables SLO tracking)");
+  flags.declare("slo-budget", "0.01",
+                "allowed SLO violation fraction (error budget)");
   exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -79,6 +90,14 @@ int main(int argc, char** argv) {
     cfg.batch_timeout_us = flags.get_int("latency-budget-us");
     cfg.max_queue_depth = flags.get_int("queue-depth");
     cfg.max_steps = flags.get_int("max-steps");
+    cfg.span_log = flags.get("span-log");
+    cfg.span_sample_every =
+        static_cast<std::uint64_t>(flags.get_int("span-sample"));
+    cfg.span_capacity =
+        static_cast<std::size_t>(flags.get_int("span-capacity"));
+    cfg.stat_window_s = static_cast<int>(flags.get_int("stat-window-s"));
+    cfg.slo_target_ms = flags.get_double("slo-target-ms");
+    cfg.slo_budget = flags.get_double("slo-budget");
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -152,6 +171,17 @@ int main(int argc, char** argv) {
                             static_cast<double>(stats.bad_requests));
     fin.values.emplace_back("max_batch_seen",
                             static_cast<double>(stats.max_batch_seen));
+    fin.values.emplace_back("stat_requests",
+                            static_cast<double>(stats.stat_requests));
+    fin.values.emplace_back("spans_recorded",
+                            static_cast<double>(server.spans().recorded()));
+    if (server.slo().enabled()) {
+      fin.values.emplace_back("slo_ok",
+                              static_cast<double>(server.slo().ok()));
+      fin.values.emplace_back(
+          "slo_violations", static_cast<double>(server.slo().violations()));
+      fin.values.emplace_back("slo_burn", server.slo().burn());
+    }
     ledger.write_final(fin);
     std::cout << "wrote " << ledger.path() << std::endl;
   }

@@ -6,16 +6,37 @@
 #include <cstring>
 
 #include "core/error.h"
+#include "core/json.h"
 #include "core/logging.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "serve/metric_ids.h"
 
 namespace spiketune::serve {
 
 namespace {
 
 std::uint64_t now_ns() { return obs::telemetry_now_ns(); }
+
+obs::WindowConfig stat_window(const ServerConfig& cfg) {
+  obs::WindowConfig w;
+  w.epochs = cfg.stat_window_s > 0 ? cfg.stat_window_s : 10;
+  return w;
+}
+
+/// Windowed histogram summary as an ordered JSON object (times in us).
+JsonValue hist_json(const obs::LogHistogram& h) {
+  JsonValue o = JsonValue::make_object();
+  o.set("count", JsonValue(h.count()));
+  o.set("mean", JsonValue(h.mean_or(0.0)));
+  o.set("p50", JsonValue(h.quantile(0.50)));
+  o.set("p99", JsonValue(h.quantile(0.99)));
+  o.set("p999", JsonValue(h.quantile(0.999)));
+  o.set("max", JsonValue(h.max_seen()));
+  return o;
+}
 
 }  // namespace
 
@@ -24,7 +45,18 @@ Server::Server(const infer::CompiledModel& model, ServerConfig config)
       config_(config),
       batcher_({.max_batch = config.max_batch,
                 .batch_timeout_us = config.batch_timeout_us,
-                .max_queue_depth = config.max_queue_depth}) {
+                .max_queue_depth = config.max_queue_depth}),
+      spans_(config.span_capacity, config.span_sample_every),
+      slo_({.target_ms = config.slo_target_ms, .budget = config.slo_budget}),
+      w_request_us_(stat_window(config)),
+      w_decode_us_(stat_window(config)),
+      w_queue_us_(stat_window(config)),
+      w_assemble_us_(stat_window(config)),
+      w_infer_us_(stat_window(config)),
+      w_respond_us_(stat_window(config)),
+      w_batch_(stat_window(config)),
+      w_served_(stat_window(config)),
+      w_rejected_(stat_window(config)) {
   ST_REQUIRE(config_.num_workers > 0, "num_workers must be positive");
   ST_REQUIRE(config_.max_steps > 0, "max_steps must be positive");
 }
@@ -34,6 +66,7 @@ Server::~Server() { drain_and_stop(); }
 void Server::start() {
   ST_REQUIRE(!running_.load(), "server already started");
   ST_REQUIRE(pipe(stop_pipe_) == 0, "cannot create stop pipe");
+  start_ns_ = now_ns();
   listener_ = std::make_unique<TcpListener>(config_.host, config_.port);
   running_.store(true);
   acceptor_ = std::thread([this] { acceptor_main(); });
@@ -95,6 +128,14 @@ void Server::reader_main(ReaderSlot* slot) {
   FrameHeader header;
   std::vector<std::uint8_t> payload;
   while (conn->read_frame(header, payload, stop_pipe_[0])) {
+    const std::uint64_t recv_ns = now_ns();
+    if (header.kind == FrameKind::kStatRequest) {
+      stat_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled()) obs::add(serve_metric_ids().stat_requests);
+      conn->write_frame(FrameKind::kStatResponse, header.request_id,
+                        encode_stat(stat_json()));
+      continue;
+    }
     if (header.kind != FrameKind::kInferRequest) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       respond_error(conn, header.request_id, ErrorCode::kBadRequest,
@@ -102,6 +143,7 @@ void Server::reader_main(ReaderSlot* slot) {
       continue;
     }
     PendingRequest pending;
+    pending.recv_ns = recv_ns;
     try {
       pending.request = decode_request(header.request_id, payload);
       ST_REQUIRE(pending.request.num_steps >= 1 &&
@@ -122,22 +164,30 @@ void Server::reader_main(ReaderSlot* slot) {
       continue;
     }
     pending.conn = conn;
+    // ids start at 1: the pre-increment value 0 is never a real request.
+    pending.server_id = next_server_id_.fetch_add(1) + 1;
     pending.enqueue_ns = now_ns();
+    w_decode_us_.record_at(
+        static_cast<double>(pending.enqueue_ns - pending.recv_ns) / 1e3,
+        pending.enqueue_ns);
+    if (obs::trace_enabled() && spans_.sampled(pending.server_id)) {
+      obs::trace_span("serve.recv", pending.recv_ns,
+                      pending.enqueue_ns - pending.recv_ns);
+      obs::trace_flow_at("serve.request", pending.server_id, 's',
+                         pending.recv_ns);
+    }
     switch (batcher_.submit(std::move(pending))) {
       case AdmitResult::kAdmitted:
         if (obs::metrics_enabled()) {
-          static const obs::MetricId kDepth =
-              obs::gauge("serve.queue_depth");
-          obs::set(kDepth, static_cast<double>(batcher_.depth()));
+          obs::set(serve_metric_ids().queue_depth,
+                   static_cast<double>(batcher_.depth()));
         }
         break;
       case AdmitResult::kQueueFull:
         rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-        if (obs::metrics_enabled()) {
-          static const obs::MetricId kRej =
-              obs::counter("serve.rejected_overload");
-          obs::add(kRej);
-        }
+        w_rejected_.add();
+        if (obs::metrics_enabled())
+          obs::add(serve_metric_ids().rejected_overload);
         respond_error(conn, header.request_id, ErrorCode::kOverloaded,
                       "queue at max depth; back off");
         break;
@@ -156,7 +206,8 @@ void Server::worker_main(int index) {
   infer::InferenceSession session(
       *model_, {.max_batch = config_.max_batch,
                 .sparse_crossover = config_.sparse_crossover,
-                .record_stats = false});
+                .record_stats = false,
+                .record_stage_times = config_.span_sample_every != 0});
   const Shape& per_sample = model_->input_shape();
   const std::int64_t in_elems = per_sample.numel();
   const std::int64_t out_features = model_->output_shape()[0];
@@ -185,10 +236,10 @@ void Server::worker_main(int index) {
             static_cast<std::size_t>(in_elems) * sizeof(float));
       window.push_back(std::move(x));
     }
+    const std::uint64_t infer_start_ns = now_ns();
 
     const infer::InferenceResult result = session.run(window);
     const std::uint64_t done_ns = now_ns();
-    const std::uint64_t infer_ns = done_ns - assembled_ns;
 
     batches_.fetch_add(1, std::memory_order_relaxed);
     std::int64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
@@ -196,7 +247,13 @@ void Server::worker_main(int index) {
            !max_batch_seen_.compare_exchange_weak(seen, n,
                                                   std::memory_order_relaxed)) {
     }
+    w_batch_.record_at(static_cast<double>(n), done_ns);
+    const bool tracing = obs::trace_enabled();
+    if (tracing)
+      obs::trace_span("serve.infer", infer_start_ns,
+                      done_ns - infer_start_ns);
 
+    const ServeMetricIds& ids = serve_metric_ids();
     for (std::int64_t i = 0; i < n; ++i) {
       const PendingRequest& p = batch[static_cast<std::size_t>(i)];
       InferResponse resp;
@@ -204,7 +261,8 @@ void Server::worker_main(int index) {
       resp.out_features = static_cast<std::uint32_t>(out_features);
       resp.batch = static_cast<std::uint32_t>(n);
       resp.queue_ns = assembled_ns - p.enqueue_ns;
-      resp.infer_ns = infer_ns;
+      resp.assemble_ns = infer_start_ns - assembled_ns;
+      resp.infer_ns = done_ns - infer_start_ns;
       resp.spike_counts.assign(
           result.spike_counts.data() + i * out_features,
           result.spike_counts.data() + (i + 1) * out_features);
@@ -214,22 +272,63 @@ void Server::worker_main(int index) {
       } else {
         dropped_responses_.fetch_add(1, std::memory_order_relaxed);
       }
+      const std::uint64_t send_ns = now_ns();
+
+      // Stage durations tile [recv, send]; the windowed means therefore
+      // sum to the end-to-end mean (the STAT consistency invariant).
+      w_queue_us_.record_at(static_cast<double>(resp.queue_ns) / 1e3,
+                            send_ns);
+      w_assemble_us_.record_at(static_cast<double>(resp.assemble_ns) / 1e3,
+                               send_ns);
+      w_infer_us_.record_at(static_cast<double>(resp.infer_ns) / 1e3,
+                            send_ns);
+      w_respond_us_.record_at(static_cast<double>(send_ns - done_ns) / 1e3,
+                              send_ns);
+      const double e2e_us =
+          static_cast<double>(send_ns - p.recv_ns) / 1e3;
+      w_request_us_.record_at(e2e_us, send_ns);
+      w_served_.add_at(1, send_ns);
+      slo_.record(e2e_us / 1e3);
+
+      if (spans_.sampled(p.server_id)) {
+        obs::RequestSpan span;
+        span.server_id = p.server_id;
+        span.client_id = p.request.request_id;
+        span.num_steps = static_cast<int>(p.request.num_steps);
+        span.batch = static_cast<int>(n);
+        span.recv_ns = p.recv_ns;
+        span.admit_ns = p.enqueue_ns;
+        span.assemble_ns = assembled_ns;
+        span.infer_ns = infer_start_ns;
+        span.done_ns = done_ns;
+        span.send_ns = send_ns;
+        span.sparse_kernel_ns = result.sparse_kernel_ns;
+        span.dense_kernel_ns = result.dense_kernel_ns;
+        spans_.record(span);
+        if (tracing) {
+          obs::trace_span("serve.respond", done_ns, send_ns - done_ns);
+          obs::trace_flow_at("serve.request", p.server_id, 'f', done_ns);
+        }
+      }
       if (obs::metrics_enabled()) {
-        static const obs::MetricId kLatUs =
-            obs::histogram("serve.request_us");
-        static const obs::MetricId kServed = obs::counter("serve.requests");
-        obs::observe(kLatUs,
-                     static_cast<double>(done_ns - p.enqueue_ns) / 1e3);
-        obs::add(kServed);
+        obs::observe(ids.request_us, e2e_us);
+        obs::observe(ids.queue_us,
+                     static_cast<double>(resp.queue_ns) / 1e3);
+        obs::observe(ids.assemble_us,
+                     static_cast<double>(resp.assemble_ns) / 1e3);
+        obs::observe(ids.infer_us,
+                     static_cast<double>(resp.infer_ns) / 1e3);
+        obs::add(ids.requests);
+        if (slo_.enabled())
+          obs::add(e2e_us / 1e3 <= config_.slo_target_ms ? ids.slo_ok
+                                                         : ids.slo_violations);
       }
     }
     if (obs::metrics_enabled()) {
-      static const obs::MetricId kBatch = obs::histogram("serve.batch_size");
-      static const obs::MetricId kBatches = obs::counter("serve.batches");
-      static const obs::MetricId kDepth = obs::gauge("serve.queue_depth");
-      obs::observe(kBatch, static_cast<double>(n));
-      obs::add(kBatches);
-      obs::set(kDepth, static_cast<double>(batcher_.depth()));
+      obs::observe(ids.batch_size, static_cast<double>(n));
+      obs::add(ids.batches);
+      obs::set(ids.queue_depth, static_cast<double>(batcher_.depth()));
+      if (slo_.enabled()) obs::set(ids.slo_burn, slo_.burn());
     }
   }
 }
@@ -263,6 +362,12 @@ void Server::drain_and_stop() {
   close(stop_pipe_[0]);
   close(stop_pipe_[1]);
   stop_pipe_[0] = stop_pipe_[1] = -1;
+  if (!config_.span_log.empty() && spans_.recorded() > 0) {
+    spans_.write_jsonl(config_.span_log);
+    ST_LOG_INFO << "serve: wrote " << config_.span_log << " ("
+                << spans_.recorded() << " spans sampled 1-in-"
+                << config_.span_sample_every << ")";
+  }
   const Stats s = stats();
   ST_LOG_INFO << "serve: drained; served " << s.served << " requests in "
               << s.batches << " batches (max batch " << s.max_batch_seen
@@ -280,7 +385,62 @@ Server::Stats Server::stats() const {
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
   s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
+  s.stat_requests = stat_requests_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::string Server::stat_json() const {
+  const std::uint64_t now = now_ns();
+  const Stats s = stats();
+
+  JsonValue root = JsonValue::make_object();
+  root.set("uptime_s",
+           JsonValue(static_cast<double>(now - start_ns_) / 1e9));
+  root.set("window_s", JsonValue(config_.stat_window_s));
+
+  JsonValue totals = JsonValue::make_object();
+  totals.set("connections", JsonValue(s.connections));
+  totals.set("served", JsonValue(s.served));
+  totals.set("batches", JsonValue(s.batches));
+  totals.set("rejected_overload", JsonValue(s.rejected_overload));
+  totals.set("rejected_draining", JsonValue(s.rejected_draining));
+  totals.set("bad_requests", JsonValue(s.bad_requests));
+  totals.set("dropped_responses", JsonValue(s.dropped_responses));
+  totals.set("max_batch_seen", JsonValue(s.max_batch_seen));
+  root.set("totals", totals);
+
+  root.set("queue_depth",
+           JsonValue(static_cast<std::int64_t>(batcher_.depth())));
+  root.set("qps", JsonValue(w_served_.per_second_at(now)));
+  root.set("rejects_per_s", JsonValue(w_rejected_.per_second_at(now)));
+
+  // Windowed latency: end-to-end plus the stage tiling of [recv, send].
+  root.set("request_us", hist_json(w_request_us_.merged_at(now)));
+  JsonValue stages = JsonValue::make_object();
+  stages.set("decode_us", hist_json(w_decode_us_.merged_at(now)));
+  stages.set("queue_us", hist_json(w_queue_us_.merged_at(now)));
+  stages.set("assemble_us", hist_json(w_assemble_us_.merged_at(now)));
+  stages.set("infer_us", hist_json(w_infer_us_.merged_at(now)));
+  stages.set("respond_us", hist_json(w_respond_us_.merged_at(now)));
+  root.set("stages", stages);
+  root.set("batch_size", hist_json(w_batch_.merged_at(now)));
+
+  JsonValue slo = JsonValue::make_object();
+  slo.set("enabled", JsonValue(slo_.enabled()));
+  slo.set("target_ms", JsonValue(config_.slo_target_ms));
+  slo.set("budget", JsonValue(config_.slo_budget));
+  slo.set("ok", JsonValue(slo_.ok()));
+  slo.set("violations", JsonValue(slo_.violations()));
+  slo.set("burn", JsonValue(slo_.burn()));
+  root.set("slo", slo);
+
+  JsonValue spans = JsonValue::make_object();
+  spans.set("sample_every",
+            JsonValue(static_cast<std::int64_t>(config_.span_sample_every)));
+  spans.set("recorded", JsonValue(spans_.recorded()));
+  root.set("spans", spans);
+
+  return root.dump();
 }
 
 }  // namespace spiketune::serve

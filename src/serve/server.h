@@ -37,7 +37,10 @@
 #include <vector>
 
 #include "infer/session.h"
+#include "obs/spans.h"
+#include "obs/window.h"
 #include "serve/batcher.h"
+#include "serve/slo.h"
 #include "serve/transport.h"
 
 namespace spiketune::serve {
@@ -51,6 +54,17 @@ struct ServerConfig {
   std::int64_t max_queue_depth = 256;    // admission-control bound
   std::int64_t max_steps = 64;           // per-request window-length cap
   double sparse_crossover = 0.35;        // forwarded to every session
+  // Request-scoped observability (see obs/spans.h).  Sampling keys off the
+  // server-assigned request id: 0 disables spans, 1 records every request.
+  std::uint64_t span_sample_every = 16;
+  std::size_t span_capacity = 4096;  // spans retained in the ring
+  std::string span_log;              // JSONL dump path, written at drain
+  // Live windowed aggregates (STAT snapshots) look back this many seconds.
+  int stat_window_s = 10;
+  // Latency SLO: target 0 disables; budget is the allowed violation
+  // fraction (serve/slo.h).
+  double slo_target_ms = 0.0;
+  double slo_budget = 0.01;
 };
 
 class Server {
@@ -86,8 +100,19 @@ class Server {
     std::int64_t bad_requests = 0;
     std::int64_t dropped_responses = 0;  // peer gone before its response
     std::int64_t max_batch_seen = 0;
+    std::int64_t stat_requests = 0;  // STAT snapshots served
   };
   Stats stats() const;
+
+  /// Live introspection snapshot: one compact JSON document with uptime,
+  /// since-start totals, windowed (last stat_window_s seconds) latency
+  /// quantiles + per-stage breakdown + QPS, batch-size distribution, SLO
+  /// burn, and span-sampling state.  What the STAT opcode returns; safe to
+  /// call from any thread while serving.
+  std::string stat_json() const;
+
+  const obs::SpanRecorder& spans() const { return spans_; }
+  const SloTracker& slo() const { return slo_; }
 
  private:
   struct ReaderSlot {
@@ -127,6 +152,28 @@ class Server {
   std::atomic<std::int64_t> bad_requests_{0};
   std::atomic<std::int64_t> dropped_responses_{0};
   std::atomic<std::int64_t> max_batch_seen_{0};
+  std::atomic<std::int64_t> stat_requests_{0};
+
+  // Request-scoped observability.  server ids start at 1 so id 0 never
+  // appears on the wire (and id % N == 0 sampling skips the pre-increment
+  // value, not a real request).
+  std::atomic<std::uint64_t> next_server_id_{0};
+  obs::SpanRecorder spans_;
+  SloTracker slo_;
+  std::uint64_t start_ns_ = 0;
+
+  // Windowed (last stat_window_s seconds) aggregates behind STAT.  The
+  // five stage histograms tile [recv, send] exactly, so their windowed
+  // means sum to the end-to-end mean up to sampling skew at epoch edges.
+  obs::WindowedHistogram w_request_us_;   // e2e: recv -> send
+  obs::WindowedHistogram w_decode_us_;    // recv -> admit
+  obs::WindowedHistogram w_queue_us_;     // admit -> assembly start
+  obs::WindowedHistogram w_assemble_us_;  // assembly -> kernel start
+  obs::WindowedHistogram w_infer_us_;     // kernel start -> done
+  obs::WindowedHistogram w_respond_us_;   // done -> sent
+  obs::WindowedHistogram w_batch_;        // samples per session run
+  obs::WindowedRate w_served_;
+  obs::WindowedRate w_rejected_;
 };
 
 }  // namespace spiketune::serve

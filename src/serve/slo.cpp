@@ -1,0 +1,30 @@
+#include "serve/slo.h"
+
+#include "core/error.h"
+
+namespace spiketune::serve {
+
+SloTracker::SloTracker(SloConfig config) : config_(config) {
+  ST_REQUIRE(config_.target_ms >= 0.0, "SLO target must be non-negative");
+  ST_REQUIRE(config_.budget > 0.0 && config_.budget <= 1.0,
+             "SLO budget must be in (0, 1]");
+}
+
+void SloTracker::record(double latency_ms) {
+  if (!enabled()) return;
+  if (latency_ms <= config_.target_ms) {
+    ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+double SloTracker::burn() const {
+  if (!enabled()) return 0.0;
+  const double bad = static_cast<double>(violations());
+  const double total = bad + static_cast<double>(ok());
+  if (total <= 0.0) return 0.0;
+  return (bad / total) / config_.budget;
+}
+
+}  // namespace spiketune::serve

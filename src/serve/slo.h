@@ -1,0 +1,52 @@
+// Latency SLO accounting for the serving daemon.
+//
+// The operator states an objective — "p-whatever under `target_ms`, with
+// at most `budget` of requests allowed over it" — and the tracker counts
+// each served request as ok or a violation.  The derived burn ratio is
+//
+//   burn = violation_fraction / budget
+//
+// so burn < 1 means the daemon is inside its error budget, burn = 2 means
+// it is violating at twice the allowed rate.  That is the number a pager
+// threshold watches; the daemon exports it as the `serve.slo.burn` gauge,
+// in every STAT snapshot, and in the final ledger record.
+//
+// Thread-safe: record() is two relaxed increments; burn() reads both.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace spiketune::serve {
+
+struct SloConfig {
+  double target_ms = 0.0;  // 0 disables tracking
+  double budget = 0.01;    // allowed violation fraction, e.g. 1%
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config);
+
+  bool enabled() const { return config_.target_ms > 0.0; }
+  const SloConfig& config() const { return config_; }
+
+  /// Tallies one served request.  No-op when disabled.
+  void record(double latency_ms);
+
+  std::int64_t ok() const { return ok_.load(std::memory_order_relaxed); }
+  std::int64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+  /// Error-budget burn: violation fraction over allowed fraction.  0 when
+  /// disabled or before any request.
+  double burn() const;
+
+ private:
+  SloConfig config_;
+  std::atomic<std::int64_t> ok_{0};
+  std::atomic<std::int64_t> violations_{0};
+};
+
+}  // namespace spiketune::serve

@@ -214,32 +214,11 @@ TcpClient::Reply TcpClient::roundtrip(const InferRequest& request) {
     return reply;
   }
 
-  // Read exactly one reply frame.
-  std::uint8_t rraw[kHeaderBytes];
-  std::uint8_t* p = rraw;
-  std::size_t want = kHeaderBytes;
-  while (want > 0) {
-    const ssize_t r = ::recv(fd_, p, want, 0);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      reply.disconnected = true;
-      return reply;
-    }
-    p += r;
-    want -= static_cast<std::size_t>(r);
-  }
-  const FrameHeader rh = decode_header(rraw);
-  std::vector<std::uint8_t> rpayload(rh.payload_bytes);
-  std::size_t off = 0;
-  while (off < rpayload.size()) {
-    const ssize_t r =
-        ::recv(fd_, rpayload.data() + off, rpayload.size() - off, 0);
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      reply.disconnected = true;
-      return reply;
-    }
-    off += static_cast<std::size_t>(r);
+  FrameHeader rh;
+  std::vector<std::uint8_t> rpayload;
+  if (!read_reply_frame(rh, rpayload)) {
+    reply.disconnected = true;
+    return reply;
   }
   if (rh.kind == FrameKind::kInferResponse) {
     reply.ok = true;
@@ -249,6 +228,64 @@ TcpClient::Reply TcpClient::roundtrip(const InferRequest& request) {
                "unexpected frame kind in reply");
     reply.error = decode_error(rh.request_id, rpayload);
   }
+  return reply;
+}
+
+bool TcpClient::read_reply_frame(FrameHeader& header,
+                                 std::vector<std::uint8_t>& payload) {
+  std::uint8_t rraw[kHeaderBytes];
+  std::uint8_t* p = rraw;
+  std::size_t want = kHeaderBytes;
+  while (want > 0) {
+    const ssize_t r = ::recv(fd_, p, want, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    want -= static_cast<std::size_t>(r);
+  }
+  header = decode_header(rraw);
+  payload.resize(header.payload_bytes);
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t r =
+        ::recv(fd_, payload.data() + off, payload.size() - off, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+TcpClient::StatReply TcpClient::stat(std::uint64_t request_id) {
+  StatReply reply;
+  if (fd_ < 0) {
+    reply.disconnected = true;
+    return reply;
+  }
+  FrameHeader h;
+  h.kind = FrameKind::kStatRequest;
+  h.request_id = request_id;
+  h.payload_bytes = 0;
+  std::uint8_t raw[kHeaderBytes];
+  encode_header(h, raw);
+  if (!write_all(fd_, raw, kHeaderBytes)) {
+    reply.disconnected = true;
+    return reply;
+  }
+  FrameHeader rh;
+  std::vector<std::uint8_t> rpayload;
+  if (!read_reply_frame(rh, rpayload)) {
+    reply.disconnected = true;
+    return reply;
+  }
+  ST_REQUIRE(rh.kind == FrameKind::kStatResponse,
+             "unexpected frame kind in STAT reply");
+  reply.ok = true;
+  reply.json = decode_stat(rpayload);
   return reply;
 }
 

@@ -133,9 +133,21 @@ class TcpClient {
   };
   Reply roundtrip(const InferRequest& request);
 
+  /// Requests a live STAT snapshot (serve::Server::stat_json).  `json` is
+  /// the raw document; parse with JsonValue::parse.
+  struct StatReply {
+    bool ok = false;
+    bool disconnected = false;
+    std::string json;
+  };
+  StatReply stat(std::uint64_t request_id = 0);
+
   bool connected() const { return fd_ >= 0; }
 
  private:
+  bool read_reply_frame(FrameHeader& header,
+                        std::vector<std::uint8_t>& payload);
+
   int fd_ = -1;
 };
 

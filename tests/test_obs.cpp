@@ -482,6 +482,33 @@ TEST(Trace, JsonParsesBackWithThreadEvents) {
   EXPECT_NE(text.find("test-worker"), std::string::npos);  // 'M' metadata
 }
 
+TEST(Trace, FlowAndSpanEventsCarryIdAndBinding) {
+  obs::start_trace();
+  obs::trace_flow_at("serve.request", 42, 's', 1000);
+  obs::trace_span("serve.recv", 1000, 250);
+  obs::trace_flow_at("serve.request", 42, 'f', 2000);
+  // An invalid phase is rejected (while tracing is on; off, it's a no-op).
+  EXPECT_THROW(obs::trace_flow_at("bad", 1, 'x', 0), Error);
+  obs::stop_trace();
+  EXPECT_EQ(obs::trace_event_count(), 3u);
+
+  const std::string path = ::testing::TempDir() + "/spiketune_flow.json";
+  obs::write_trace_json(path);
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+  obs::reset_trace();
+
+  JsonValidator v(text);
+  EXPECT_TRUE(v.valid());
+  // Flow events bind by shared id; the finish carries "bp":"e" so viewers
+  // attach it to the enclosing slice.
+  EXPECT_NE(text.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(text.find("\"id\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(text.find("serve.recv"), std::string::npos);
+}
+
 TEST(Trace, DisabledEmitsNothing) {
   obs::reset_trace();
   ASSERT_FALSE(obs::trace_enabled());

@@ -8,14 +8,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/error.h"
+#include "core/json.h"
 #include "core/rng.h"
 #include "infer/session.h"
+#include "obs/spans.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -90,11 +93,13 @@ TEST(ServeProtocol, ResponseAndErrorRoundTrip) {
   r.out_features = 3;
   r.batch = 5;
   r.queue_ns = 1234;
+  r.assemble_ns = 777;
   r.infer_ns = 987654321;
   r.spike_counts = {1.0f, 0.0f, 2.5f};
   const InferResponse back = decode_response(9, encode_response(r));
   EXPECT_EQ(back.batch, 5u);
   EXPECT_EQ(back.queue_ns, 1234u);
+  EXPECT_EQ(back.assemble_ns, 777u);
   EXPECT_EQ(back.infer_ns, 987654321u);
   ASSERT_EQ(back.spike_counts.size(), 3u);
   EXPECT_EQ(std::memcmp(back.spike_counts.data(), r.spike_counts.data(),
@@ -109,6 +114,12 @@ TEST(ServeProtocol, ResponseAndErrorRoundTrip) {
   EXPECT_EQ(eback.code, ErrorCode::kOverloaded);
   EXPECT_EQ(eback.message, "queue at max depth");
   EXPECT_STREQ(error_code_name(ErrorCode::kShuttingDown), "shutting-down");
+}
+
+TEST(ServeProtocol, StatPayloadRoundTrip) {
+  const std::string json = "{\"served\":3,\"qps\":12.5}";
+  EXPECT_EQ(decode_stat(encode_stat(json)), json);
+  EXPECT_TRUE(decode_stat(encode_stat("")).empty());
 }
 
 // --- batcher ----------------------------------------------------------------
@@ -371,6 +382,107 @@ TEST(ServeServer, DrainAnswersInFlightRequestsAndStopsAdmissions) {
   EXPECT_FALSE(s.server->running());
   // Idempotent: a second drain is a no-op.
   s.server->drain_and_stop();
+}
+
+TEST(ServeServer, StatReportsConsistentWindowedBreakdown) {
+  const std::string span_log = ::testing::TempDir() + "/serve_stat_spans.jsonl";
+  std::remove(span_log.c_str());
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 500;
+  cfg.span_sample_every = 1;  // record every request
+  cfg.span_log = span_log;
+  cfg.slo_target_ms = 10000.0;  // generous: every request should pass
+  MlpServer s(cfg);
+  Rng rng(21);
+  const std::int64_t elems = s.per_sample.numel();
+  TcpClient client("127.0.0.1", s.server->port(), 2000);
+
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    const TcpClient::Reply reply = client.roundtrip(
+        random_request(static_cast<std::uint64_t>(i + 1), 4, elems, rng));
+    ASSERT_TRUE(reply.ok) << reply.error.message;
+    // The response metadata carries the per-request stage split.
+    EXPECT_GT(reply.response.infer_ns, 0u);
+  }
+
+  // STAT on the same connection, interleaved with inference traffic.
+  const TcpClient::StatReply stat = client.stat(777);
+  ASSERT_TRUE(stat.ok);
+  ASSERT_FALSE(stat.disconnected);
+  const JsonValue root = JsonValue::parse(stat.json, "STAT reply");
+
+  const JsonValue* totals = root.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->number_or("served", -1), kRequests);
+  EXPECT_GT(root.number_or("qps", 0.0), 0.0);
+  EXPECT_GT(root.number_or("uptime_s", 0.0), 0.0);
+
+  // Every request landed inside the default 10 s window, and the five
+  // stage histograms tile [recv, send]: their means sum to the end-to-end
+  // mean (up to float noise from the ns -> us division).
+  const JsonValue* req = root.find("request_us");
+  const JsonValue* stages = root.find("stages");
+  ASSERT_NE(req, nullptr);
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(req->number_or("count", -1), kRequests);
+  double stage_mean_sum = 0.0;
+  for (const char* key :
+       {"decode_us", "queue_us", "assemble_us", "infer_us", "respond_us"}) {
+    const JsonValue* stage = stages->find(key);
+    ASSERT_NE(stage, nullptr) << key;
+    EXPECT_EQ(stage->number_or("count", -1), kRequests) << key;
+    stage_mean_sum += stage->number_or("mean", 0.0);
+  }
+  const double e2e_mean = req->number_or("mean", 0.0);
+  EXPECT_GT(e2e_mean, 0.0);
+  EXPECT_NEAR(stage_mean_sum, e2e_mean, 1e-6 * e2e_mean + 1e-3);
+  EXPECT_GE(req->number_or("p99", 0.0), req->number_or("p50", 0.0));
+
+  // SLO: a 10-second target means zero violations and zero burn.
+  const JsonValue* slo = root.find("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_EQ(slo->number_or("violations", -1), 0);
+  EXPECT_EQ(slo->number_or("ok", -1), kRequests);
+  EXPECT_DOUBLE_EQ(slo->number_or("burn", -1), 0.0);
+
+  // At 100% sampling every request left a span.
+  const JsonValue* spans = root.find("spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_EQ(spans->number_or("recorded", -1), kRequests);
+  EXPECT_EQ(s.server->spans().recorded(), kRequests);
+  EXPECT_EQ(s.server->stats().stat_requests, 1);
+
+  // Drain writes the span log; it parses back with one line per request
+  // and per-span stage tiling.
+  s.server->drain_and_stop();
+  const std::vector<obs::ParsedSpan> parsed = obs::parse_span_jsonl(span_log);
+  ASSERT_EQ(parsed.size(), static_cast<std::size_t>(kRequests));
+  for (const obs::ParsedSpan& p : parsed) {
+    EXPECT_TRUE(p.ok);
+    EXPECT_GE(p.batch, 1);
+    EXPECT_NEAR(p.decode_us + p.queue_us + p.assemble_us + p.infer_us +
+                    p.respond_us,
+                p.e2e_us, 1e-6 * p.e2e_us + 1e-3);
+  }
+}
+
+TEST(ServeServer, StatAnswersBeforeAnyInferenceTraffic) {
+  // STAT bypasses the batcher entirely, so introspection works on an idle
+  // daemon (and, by the same path, on an overloaded one): empty windows
+  // report zero quantiles rather than erroring.
+  MlpServer s({.num_workers = 1, .max_batch = 2, .batch_timeout_us = 100});
+  TcpClient client("127.0.0.1", s.server->port(), 2000);
+  const TcpClient::StatReply stat = client.stat(1);
+  ASSERT_TRUE(stat.ok);
+  const JsonValue root = JsonValue::parse(stat.json, "STAT reply");
+  EXPECT_EQ(root.find("totals")->number_or("served", -1), 0);
+  EXPECT_DOUBLE_EQ(root.number_or("qps", -1), 0.0);
+  const JsonValue* req = root.find("request_us");
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->number_or("count", -1), 0);
+  EXPECT_DOUBLE_EQ(req->number_or("p99", -1), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,232 @@
+// Sliding-window aggregate tests (obs/window.h): epoch-rollover exactness
+// against a serial reference driven by a synthetic clock, stalled-writer
+// drop accounting, rate math over completed epochs, and a concurrent
+// writers-vs-reader hammer.  Plus the request-span ring (obs/spans.h):
+// sampling gate, ring retention, and the JSONL write/parse round-trip with
+// its derived stage durations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/error.h"
+#include "obs/spans.h"
+#include "obs/window.h"
+
+namespace spiketune::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- WindowedHistogram ------------------------------------------------------
+
+TEST(WindowedHistogram, EmptyWindowReportsZeros) {
+  WindowedHistogram h({.epoch_ns = 1000, .epochs = 4});
+  const LogHistogram merged = h.merged_at(123456);
+  EXPECT_EQ(merged.count(), 0);
+  EXPECT_EQ(merged.quantile(0.5), 0.0);
+  EXPECT_EQ(merged.quantile(0.99), 0.0);
+  EXPECT_EQ(merged.mean_or(-1.0), -1.0);
+  EXPECT_EQ(h.dropped_late(), 0);
+}
+
+TEST(WindowedHistogram, RolloverMatchesSerialReferenceExactly) {
+  constexpr std::uint64_t kEpochNs = 1000;
+  constexpr int kEpochs = 4;
+  WindowedHistogram h({.epoch_ns = kEpochNs, .epochs = kEpochs});
+
+  // Serial reference: one plain LogHistogram per epoch, merged by hand over
+  // the same [cur - epochs + 1, cur] range the windowed structure uses.
+  std::map<std::uint64_t, LogHistogram> by_epoch;
+  auto reference_at = [&](std::uint64_t now_ns) {
+    const std::uint64_t cur = now_ns / kEpochNs;
+    const std::uint64_t lo = cur + 1 >= kEpochs ? cur + 1 - kEpochs : 0;
+    LogHistogram merged;
+    for (const auto& [epoch, hist] : by_epoch)
+      if (epoch >= lo && epoch <= cur) merged.merge(hist);
+    return merged;
+  };
+
+  // A deterministic value stream spread over 12 epochs — three full window
+  // lengths, so every slot gets recycled at least once.
+  std::uint64_t now = 0;
+  for (int i = 0; i < 240; ++i) {
+    now += 47;  // ~21 samples per epoch, never landing on an epoch edge
+    const double v = 0.5 + static_cast<double>((i * 37) % 1000);
+    h.record_at(v, now);
+    by_epoch[now / kEpochNs].record(v);
+
+    if (i % 17 == 0) {
+      const LogHistogram got = h.merged_at(now);
+      const LogHistogram want = reference_at(now);
+      ASSERT_EQ(got.count(), want.count()) << "at now=" << now;
+      ASSERT_DOUBLE_EQ(got.sum(), want.sum()) << "at now=" << now;
+      ASSERT_EQ(got.min_seen(), want.min_seen()) << "at now=" << now;
+      ASSERT_EQ(got.max_seen(), want.max_seen()) << "at now=" << now;
+      ASSERT_EQ(got.buckets(), want.buckets()) << "at now=" << now;
+    }
+  }
+  // Nothing was dropped: the synthetic clock only moves forward.
+  EXPECT_EQ(h.dropped_late(), 0);
+
+  // Far in the future the window is empty again.
+  EXPECT_EQ(h.merged_at(now + 100 * kEpochNs * kEpochs).count(), 0);
+}
+
+TEST(WindowedHistogram, StalledWriterDropsInsteadOfCorrupting) {
+  // epochs=2 -> 4 slots; epoch 0 and epoch 4 share a slot.
+  WindowedHistogram h({.epoch_ns = 1000, .epochs = 2});
+  h.record_at(1.0, 500);            // epoch 0
+  h.record_at(2.0, 4 * 1000 + 1);   // epoch 4 recycles epoch 0's slot
+  EXPECT_EQ(h.dropped_late(), 0);
+
+  h.record_at(3.0, 700);  // a writer stalled since epoch 0: slot is gone
+  EXPECT_EQ(h.dropped_late(), 1);
+  // The late sample is absent everywhere; the fresh epoch is intact.
+  const LogHistogram merged = h.merged_at(4 * 1000 + 2);
+  EXPECT_EQ(merged.count(), 1);
+  EXPECT_EQ(merged.max_seen(), 2.0);
+}
+
+TEST(WindowedHistogram, ConcurrentWritersLoseNothing) {
+  // Wide window + real clock: every sample written lands inside it, so the
+  // final merged count must equal the total pushed (no torn slots).
+  WindowedHistogram h({.epoch_ns = 1'000'000, .epochs = 60});
+  WindowedRate r({.epoch_ns = 1'000'000, .epochs = 60});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)h.merged();
+      (void)r.per_second();
+      (void)r.total_in_window();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(t * kPerThread + i % 97) + 1.0);
+        r.add();
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(h.merged().count() + h.dropped_late(),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(r.total_in_window() + r.dropped_late(),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+  // A 60 ms stall inside record() would be required to drop anything here.
+  EXPECT_EQ(h.dropped_late(), 0);
+}
+
+// --- WindowedRate -----------------------------------------------------------
+
+TEST(WindowedRate, PerSecondAveragesCompletedEpochsOnly) {
+  constexpr std::uint64_t kSecond = 1'000'000'000;
+  WindowedRate r({.epoch_ns = kSecond, .epochs = 5});
+  for (std::uint64_t e = 0; e < 5; ++e)
+    r.add_at(10, e * kSecond + kSecond / 2);
+
+  // At t=5s, epochs 0..4 are complete: 50 events over 5 s.
+  EXPECT_DOUBLE_EQ(r.per_second_at(5 * kSecond), 10.0);
+  // A partial current epoch never drags the rate down: 2 events early in
+  // epoch 5 leave the completed-epoch average untouched.
+  r.add_at(2, 5 * kSecond + 1);
+  EXPECT_DOUBLE_EQ(r.per_second_at(5 * kSecond + 2), 10.0);
+  // ...but the in-window total does include the partial epoch.
+  EXPECT_EQ(r.total_in_window_at(5 * kSecond + 2), 42);
+
+  // One window later everything has aged out.
+  EXPECT_DOUBLE_EQ(r.per_second_at(20 * kSecond), 0.0);
+  EXPECT_EQ(r.total_in_window_at(20 * kSecond), 0);
+}
+
+TEST(WindowedRate, EarlyLifeFallbackUsesElapsedFraction) {
+  constexpr std::uint64_t kSecond = 1'000'000'000;
+  WindowedRate r({.epoch_ns = kSecond, .epochs = 5});
+  r.add_at(4, kSecond / 4);
+  // No epoch has completed yet: 4 events over 0.5 s elapsed.
+  EXPECT_DOUBLE_EQ(r.per_second_at(kSecond / 2), 8.0);
+}
+
+// --- SpanRecorder -----------------------------------------------------------
+
+TEST(SpanRecorder, SamplingGateIsModuloOnServerId) {
+  const SpanRecorder every(16, 1);
+  const SpanRecorder fourth(16, 4);
+  const SpanRecorder off(16, 0);
+  EXPECT_TRUE(every.sampled(1));
+  EXPECT_TRUE(every.sampled(2));
+  EXPECT_TRUE(fourth.sampled(4));
+  EXPECT_TRUE(fourth.sampled(8));
+  EXPECT_FALSE(fourth.sampled(5));
+  EXPECT_FALSE(off.sampled(4));
+  EXPECT_FALSE(off.sampled(0));
+}
+
+TEST(SpanRecorder, RingKeepsMostRecentOldestFirst) {
+  SpanRecorder rec(4, 1);
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    RequestSpan s;
+    s.server_id = id;
+    rec.record(s);
+  }
+  EXPECT_EQ(rec.recorded(), 10);
+  const std::vector<RequestSpan> kept = rec.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(kept[i].server_id, 7 + i);
+}
+
+TEST(SpanRecorder, JsonlRoundTripDerivesStageDurations) {
+  const std::string path = temp_path("spans_roundtrip.jsonl");
+  std::remove(path.c_str());
+
+  SpanRecorder rec(8, 1);
+  RequestSpan s;
+  s.server_id = 3;
+  s.client_id = 99;
+  s.num_steps = 4;
+  s.batch = 2;
+  s.recv_ns = 1'000'000;
+  s.admit_ns = 1'005'000;     // decode  =  5 us
+  s.assemble_ns = 1'105'000;  // queue   = 100 us
+  s.infer_ns = 1'115'000;     // assemble = 10 us
+  s.done_ns = 1'915'000;      // infer   = 800 us
+  s.send_ns = 1'935'000;      // respond =  20 us
+  rec.record(s);
+  rec.write_jsonl(path);
+
+  const std::vector<ParsedSpan> parsed = parse_span_jsonl(path);
+  ASSERT_EQ(parsed.size(), 1u);
+  const ParsedSpan& p = parsed[0];
+  EXPECT_EQ(p.server_id, 3u);
+  EXPECT_EQ(p.recv_ns, 1'000'000u);
+  EXPECT_EQ(p.batch, 2);
+  EXPECT_TRUE(p.ok);
+  EXPECT_DOUBLE_EQ(p.decode_us, 5.0);
+  EXPECT_DOUBLE_EQ(p.queue_us, 100.0);
+  EXPECT_DOUBLE_EQ(p.assemble_us, 10.0);
+  EXPECT_DOUBLE_EQ(p.infer_us, 800.0);
+  EXPECT_DOUBLE_EQ(p.respond_us, 20.0);
+  EXPECT_DOUBLE_EQ(p.e2e_us, 935.0);
+  // The five stages tile [recv, send] exactly.
+  EXPECT_DOUBLE_EQ(p.decode_us + p.queue_us + p.assemble_us + p.infer_us +
+                       p.respond_us,
+                   p.e2e_us);
+
+  EXPECT_THROW(parse_span_jsonl(temp_path("no_such_spans.jsonl")), Error);
+}
+
+}  // namespace
+}  // namespace spiketune::obs
