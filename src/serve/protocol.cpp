@@ -70,6 +70,10 @@ FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
   std::memcpy(&h.request_id, p, 8);
   p += 8;
   std::memcpy(&h.payload_bytes, p, 4);
+  ST_REQUIRE(h.payload_bytes <= kMaxPayloadBytes,
+             "frame payload of " + std::to_string(h.payload_bytes) +
+                 " bytes exceeds the " + std::to_string(kMaxPayloadBytes) +
+                 "-byte protocol cap");
   return h;
 }
 
@@ -95,7 +99,11 @@ InferRequest decode_request(std::uint64_t request_id,
   r.elems_per_step = get<std::uint32_t>(payload, off, "elems_per_step");
   const std::size_t n =
       static_cast<std::size_t>(r.num_steps) * r.elems_per_step;
-  ST_REQUIRE(payload.size() == off + n * sizeof(float),
+  // Checked by division: n * sizeof(float) can wrap modulo 2^64 for hostile
+  // dims (e.g. num_steps = elems_per_step = 2^31), which would let a tiny
+  // payload pass and turn resize(n) into an allocation bomb.
+  const std::size_t body = payload.size() - off;
+  ST_REQUIRE(body % sizeof(float) == 0 && body / sizeof(float) == n,
              "request payload size does not match num_steps * elems");
   r.data.resize(n);
   std::memcpy(r.data.data(), payload.data() + off, n * sizeof(float));

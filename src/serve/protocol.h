@@ -31,6 +31,14 @@ namespace spiketune::serve {
 
 inline constexpr std::uint32_t kMagic = 0x53545356u;  // "STSV"
 
+/// Hard upper bound on a frame's payload.  `payload_bytes` arrives from an
+/// untrusted peer, so decode_header rejects anything above this before any
+/// buffer is sized — otherwise one hostile header makes the daemon allocate
+/// up to ~4 GiB per connection.  64 MiB is generous for legitimate traffic:
+/// the largest real payload is one request window (8 bytes + num_steps *
+/// elems_per_step floats), and this covers ~16M floats.
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
 enum class FrameKind : std::uint32_t {
   kInferRequest = 1,
   kInferResponse = 2,
@@ -81,7 +89,8 @@ struct ErrorResponse {
 };
 
 /// Header <-> raw bytes.  decode_header throws InvalidArgument on a bad
-/// magic (including byte-swapped: wrong-endian peer) or unknown kind.
+/// magic (including byte-swapped: wrong-endian peer), unknown kind, or a
+/// payload_bytes above kMaxPayloadBytes.
 void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]);
 FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]);
 

@@ -127,76 +127,90 @@ void Server::reader_main(ReaderSlot* slot) {
   const std::int64_t in_elems = model_->input_shape().numel();
   FrameHeader header;
   std::vector<std::uint8_t> payload;
-  while (conn->read_frame(header, payload, stop_pipe_[0])) {
-    const std::uint64_t recv_ns = now_ns();
-    if (header.kind == FrameKind::kStatRequest) {
-      stat_requests_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::metrics_enabled()) obs::add(serve_metric_ids().stat_requests);
-      conn->write_frame(FrameKind::kStatResponse, header.request_id,
-                        encode_stat(stat_json()));
-      continue;
+  // Everything a peer sends is untrusted: recoverable decode failures get a
+  // bad-request response below, and the outer catch turns anything else
+  // (bad magic, oversized frame, allocation failure) into a dropped
+  // connection — an exception escaping this thread would std::terminate
+  // the whole daemon.
+  try {
+    while (conn->read_frame(header, payload, stop_pipe_[0])) {
+      const std::uint64_t recv_ns = now_ns();
+      if (header.kind == FrameKind::kStatRequest) {
+        stat_requests_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) obs::add(serve_metric_ids().stat_requests);
+        conn->write_frame(FrameKind::kStatResponse, header.request_id,
+                          encode_stat(stat_json()));
+        continue;
+      }
+      if (header.kind != FrameKind::kInferRequest) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                      "expected an infer-request frame");
+        continue;
+      }
+      PendingRequest pending;
+      pending.recv_ns = recv_ns;
+      try {
+        pending.request = decode_request(header.request_id, payload);
+        ST_REQUIRE(pending.request.num_steps >= 1 &&
+                       pending.request.num_steps <=
+                           static_cast<std::uint32_t>(config_.max_steps),
+                   "num_steps outside [1, " +
+                       std::to_string(config_.max_steps) + "]");
+        ST_REQUIRE(static_cast<std::int64_t>(pending.request.elems_per_step) ==
+                       in_elems,
+                   "elems_per_step " +
+                       std::to_string(pending.request.elems_per_step) +
+                       " does not match model input " +
+                       std::to_string(in_elems));
+      } catch (const std::exception& e) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                      e.what());
+        continue;
+      }
+      pending.conn = conn;
+      // ids start at 1: the pre-increment value 0 is never a real request.
+      pending.server_id = next_server_id_.fetch_add(1) + 1;
+      pending.enqueue_ns = now_ns();
+      w_decode_us_.record_at(
+          static_cast<double>(pending.enqueue_ns - pending.recv_ns) / 1e3,
+          pending.enqueue_ns);
+      if (obs::trace_enabled() && spans_.sampled(pending.server_id)) {
+        obs::trace_span("serve.recv", pending.recv_ns,
+                        pending.enqueue_ns - pending.recv_ns);
+        obs::trace_flow_at("serve.request", pending.server_id, 's',
+                           pending.recv_ns);
+      }
+      switch (batcher_.submit(std::move(pending))) {
+        case AdmitResult::kAdmitted:
+          if (obs::metrics_enabled()) {
+            obs::set(serve_metric_ids().queue_depth,
+                     static_cast<double>(batcher_.depth()));
+          }
+          break;
+        case AdmitResult::kQueueFull:
+          rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+          w_rejected_.add();
+          if (obs::metrics_enabled())
+            obs::add(serve_metric_ids().rejected_overload);
+          respond_error(conn, header.request_id, ErrorCode::kOverloaded,
+                        "queue at max depth; back off");
+          break;
+        case AdmitResult::kDraining:
+          rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+          respond_error(conn, header.request_id, ErrorCode::kShuttingDown,
+                        "daemon is draining");
+          break;
+      }
     }
-    if (header.kind != FrameKind::kInferRequest) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      respond_error(conn, header.request_id, ErrorCode::kBadRequest,
-                    "expected an infer-request frame");
-      continue;
-    }
-    PendingRequest pending;
-    pending.recv_ns = recv_ns;
-    try {
-      pending.request = decode_request(header.request_id, payload);
-      ST_REQUIRE(pending.request.num_steps >= 1 &&
-                     pending.request.num_steps <=
-                         static_cast<std::uint32_t>(config_.max_steps),
-                 "num_steps outside [1, " +
-                     std::to_string(config_.max_steps) + "]");
-      ST_REQUIRE(static_cast<std::int64_t>(pending.request.elems_per_step) ==
-                     in_elems,
-                 "elems_per_step " +
-                     std::to_string(pending.request.elems_per_step) +
-                     " does not match model input " +
-                     std::to_string(in_elems));
-    } catch (const Error& e) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      respond_error(conn, header.request_id, ErrorCode::kBadRequest,
-                    e.what());
-      continue;
-    }
-    pending.conn = conn;
-    // ids start at 1: the pre-increment value 0 is never a real request.
-    pending.server_id = next_server_id_.fetch_add(1) + 1;
-    pending.enqueue_ns = now_ns();
-    w_decode_us_.record_at(
-        static_cast<double>(pending.enqueue_ns - pending.recv_ns) / 1e3,
-        pending.enqueue_ns);
-    if (obs::trace_enabled() && spans_.sampled(pending.server_id)) {
-      obs::trace_span("serve.recv", pending.recv_ns,
-                      pending.enqueue_ns - pending.recv_ns);
-      obs::trace_flow_at("serve.request", pending.server_id, 's',
-                         pending.recv_ns);
-    }
-    switch (batcher_.submit(std::move(pending))) {
-      case AdmitResult::kAdmitted:
-        if (obs::metrics_enabled()) {
-          obs::set(serve_metric_ids().queue_depth,
-                   static_cast<double>(batcher_.depth()));
-        }
-        break;
-      case AdmitResult::kQueueFull:
-        rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-        w_rejected_.add();
-        if (obs::metrics_enabled())
-          obs::add(serve_metric_ids().rejected_overload);
-        respond_error(conn, header.request_id, ErrorCode::kOverloaded,
-                      "queue at max depth; back off");
-        break;
-      case AdmitResult::kDraining:
-        rejected_draining_.fetch_add(1, std::memory_order_relaxed);
-        respond_error(conn, header.request_id, ErrorCode::kShuttingDown,
-                      "daemon is draining");
-        break;
-    }
+  } catch (const std::exception& e) {
+    // Framing is lost mid-stream; no per-request error response is
+    // possible, so count it and drop the connection.
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    ST_LOG_WARN << "serve: dropping connection " << conn->peer() << ": "
+                << e.what();
+    conn->close();
   }
   slot->done.store(true, std::memory_order_release);
 }

@@ -92,6 +92,8 @@ bool TcpConnection::read_frame(FrameHeader& header,
                                int wake_fd) {
   std::uint8_t raw[kHeaderBytes];
   if (!read_exact(raw, kHeaderBytes, wake_fd)) return false;
+  // decode_header caps payload_bytes at kMaxPayloadBytes, so this resize
+  // is bounded even for a hostile peer.
   header = decode_header(raw);
   payload.resize(header.payload_bytes);
   if (header.payload_bytes > 0 &&

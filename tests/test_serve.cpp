@@ -6,6 +6,11 @@
 // flight.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -60,6 +65,38 @@ TEST(ServeProtocol, RejectsBadMagicAndUnknownKind) {
   std::memcpy(bad, raw, kHeaderBytes);
   bad[4] = 0x7f;  // kind outside the enum
   EXPECT_THROW(decode_header(bad), InvalidArgument);
+}
+
+TEST(ServeProtocol, HeaderRejectsOversizedPayload) {
+  FrameHeader h;
+  std::uint8_t raw[kHeaderBytes];
+  h.payload_bytes = kMaxPayloadBytes;
+  encode_header(h, raw);
+  EXPECT_EQ(decode_header(raw).payload_bytes, kMaxPayloadBytes);
+  h.payload_bytes = kMaxPayloadBytes + 1;
+  encode_header(h, raw);
+  EXPECT_THROW(decode_header(raw), InvalidArgument);
+  h.payload_bytes = 0xffffffffu;
+  encode_header(h, raw);
+  EXPECT_THROW(decode_header(raw), InvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsOverflowingRequestDims) {
+  // num_steps = elems_per_step = 2^31: the element count times
+  // sizeof(float) wraps to 0 modulo 2^64, so a multiply-based size check
+  // would accept this 8-byte payload and then die inside resize().  The
+  // decoder must reject it as InvalidArgument instead.
+  const std::uint32_t huge = 1u << 31;
+  std::vector<std::uint8_t> payload;
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&huge);
+  payload.insert(payload.end(), p, p + 4);  // num_steps
+  payload.insert(payload.end(), p, p + 4);  // elems_per_step
+  EXPECT_THROW(decode_request(42, payload), InvalidArgument);
+
+  // A trailing byte count that is not a multiple of sizeof(float) can
+  // never agree with any (num_steps, elems_per_step): also rejected.
+  payload.push_back(0);
+  EXPECT_THROW(decode_request(42, payload), InvalidArgument);
 }
 
 TEST(ServeProtocol, RequestRoundTripAndTruncationChecks) {
@@ -336,6 +373,105 @@ TEST(ServeServer, RejectsMalformedRequests) {
   reply = client.roundtrip(random_request(3, 4, elems, rng));
   EXPECT_TRUE(reply.ok);
   EXPECT_EQ(s.server->stats().bad_requests, 2);
+}
+
+// Raw-socket helpers for sending hostile bytes TcpClient never would.
+int connect_raw(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+void send_raw(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool recv_frame_raw(int fd, FrameHeader& header,
+                    std::vector<std::uint8_t>& payload) {
+  std::uint8_t raw[kHeaderBytes];
+  std::size_t got = 0;
+  while (got < kHeaderBytes) {
+    const ssize_t r = ::recv(fd, raw + got, kHeaderBytes - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  header = decode_header(raw);
+  payload.resize(header.payload_bytes);
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t r = ::recv(fd, payload.data() + off, payload.size() - off, 0);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+TEST(ServeServer, HostileFramesNeverKillTheDaemon) {
+  MlpServer s;
+  const int port = s.server->port();
+
+  // 1. Overflowing dims (num_steps = elems = 2^31 in an 8-byte payload):
+  //    answered with bad-request; the connection stays usable.
+  {
+    const int fd = connect_raw(port);
+    FrameHeader h;
+    h.kind = FrameKind::kInferRequest;
+    h.request_id = 77;
+    h.payload_bytes = 8;
+    std::uint8_t raw[kHeaderBytes];
+    encode_header(h, raw);
+    send_raw(fd, raw, kHeaderBytes);
+    const std::uint32_t huge = 1u << 31;
+    std::uint8_t dims[8];
+    std::memcpy(dims, &huge, 4);
+    std::memcpy(dims + 4, &huge, 4);
+    send_raw(fd, dims, 8);
+    FrameHeader rh;
+    std::vector<std::uint8_t> rp;
+    ASSERT_TRUE(recv_frame_raw(fd, rh, rp));
+    EXPECT_EQ(rh.kind, FrameKind::kError);
+    EXPECT_EQ(decode_error(rh.request_id, rp).code, ErrorCode::kBadRequest);
+    ::close(fd);
+  }
+
+  // 2. A header claiming a ~4 GiB payload: the daemon drops the connection
+  //    (framing is unrecoverable) without allocating or aborting.
+  {
+    const int fd = connect_raw(port);
+    FrameHeader h;
+    h.kind = FrameKind::kInferRequest;
+    h.request_id = 78;
+    h.payload_bytes = 0xffffffffu;
+    std::uint8_t raw[kHeaderBytes];
+    encode_header(h, raw);
+    send_raw(fd, raw, kHeaderBytes);
+    std::uint8_t b;
+    EXPECT_LE(::recv(fd, &b, 1, 0), 0);  // server closed, not crashed
+    ::close(fd);
+  }
+
+  // 3. The daemon survived both: a well-formed request still round-trips
+  //    with bitwise parity.
+  Rng rng(5);
+  TcpClient client("127.0.0.1", port, 2000);
+  const InferRequest req = random_request(9, 4, s.per_sample.numel(), rng);
+  const TcpClient::Reply reply = client.roundtrip(req);
+  ASSERT_TRUE(reply.ok) << reply.error.message;
+  const std::vector<float> want = reference_counts(s.model, s.per_sample, req);
+  EXPECT_EQ(std::memcmp(reply.response.spike_counts.data(), want.data(),
+                        want.size() * sizeof(float)),
+            0);
+  EXPECT_GE(s.server->stats().bad_requests, 2);
 }
 
 TEST(ServeServer, DrainAnswersInFlightRequestsAndStopsAdmissions) {
