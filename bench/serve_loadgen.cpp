@@ -19,6 +19,17 @@
 // Any mismatch fails the run (exit 1); a performance number for a wrong
 // result is worthless.
 //
+// Unhappy paths are tallied separately, never lumped: overload rejections,
+// shutdown drops, deadline misses (--deadline-us arms a v2 per-request
+// budget), internal errors, bad requests, and raw disconnects each get
+// their own count in the table and the JSON.  With --retries N, transient
+// failures (overload, internal error, disconnect) are retried with
+// exponential backoff (--backoff-ms base) and automatic reconnect — the
+// client survives a chaos daemon running --fault-spec — and the report
+// separates goodput (completed) from retries and gave_up (budget
+// exhausted).  Terminal outcomes (deadline miss, bad request, daemon
+// draining) are never retried.
+//
 // A daemon SIGTERMed mid-burst is tolerated and reported: completed
 // requests keep their latencies and parity checks, requests refused with
 // `shutting-down` (or cut by the closing connection) are tallied as
@@ -26,6 +37,7 @@
 //
 //   ./serve_loadgen --port 7421 --model mlp --requests 2000 --conns 8
 //   ./serve_loadgen --port 7421 --qps 500 --json BENCH_serve.json
+//   ./serve_loadgen --port 7421 --retries 8 --deadline-us 5000  # chaos
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -64,6 +76,12 @@ struct ConnResult {
   std::int64_t completed = 0;
   std::int64_t rejected_overload = 0;
   std::int64_t shutdown_drops = 0;
+  std::int64_t deadline_misses = 0;   // kDeadlineExceeded (terminal)
+  std::int64_t internal_errors = 0;   // kInternalError responses seen
+  std::int64_t bad_requests = 0;      // kBadRequest (terminal)
+  std::int64_t disconnects = 0;       // connection died mid-roundtrip
+  std::int64_t retries = 0;           // resend attempts made
+  std::int64_t gave_up = 0;           // retry budget exhausted
   std::int64_t parity_checked = 0;
   std::int64_t parity_failures = 0;
   std::int64_t max_batch_seen = 0;
@@ -100,6 +118,15 @@ int main(int argc, char** argv) {
   flags.declare("qps", "0",
                 "open-loop target rate (0 = closed loop at --conns "
                 "concurrency)");
+  flags.declare("deadline-us", "0",
+                "per-request latency budget sent on the wire (protocol v2; "
+                "0 = none)");
+  flags.declare("retries", "0",
+                "retry budget per request for transient failures "
+                "(overload / disconnect / internal error; 0 = give up "
+                "immediately, the pre-chaos behavior)");
+  flags.declare("backoff-ms", "5",
+                "base retry backoff, doubled per attempt");
   flags.declare("parity", "8",
                 "verify this many responses per connection bitwise against "
                 "a direct InferenceSession (-1 = all)");
@@ -124,6 +151,8 @@ int main(int argc, char** argv) {
   std::string host;
   int port = 0, retry_ms = 0, conns = 0;
   std::int64_t total_requests = 0, parity_per_conn = 0;
+  std::int64_t retry_budget = 0, backoff_ms = 0;
+  std::uint64_t deadline_us = 0;
   std::uint32_t num_steps = 0;
   double density = 0.0, qps = 0.0;
   float beta = 0.0f, theta = 0.0f;
@@ -136,11 +165,16 @@ int main(int argc, char** argv) {
     num_steps = static_cast<std::uint32_t>(flags.get_int("num-steps"));
     density = flags.get_double("density");
     qps = flags.get_double("qps");
+    deadline_us = static_cast<std::uint64_t>(flags.get_int("deadline-us"));
+    retry_budget = flags.get_int("retries");
+    backoff_ms = flags.get_int("backoff-ms");
     parity_per_conn = flags.get_int("parity");
     beta = static_cast<float>(flags.get_double("beta"));
     theta = static_cast<float>(flags.get_double("theta"));
     ST_REQUIRE(conns > 0 && total_requests > 0,
                "--conns and --requests must be positive");
+    ST_REQUIRE(retry_budget >= 0 && backoff_ms >= 0,
+               "--retries and --backoff-ms must be non-negative");
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -181,6 +215,12 @@ int main(int argc, char** argv) {
             << " conns, T " << num_steps << ", "
             << (qps > 0 ? "open loop @ " + fmt_f(qps, 0) + " QPS"
                         : std::string("closed loop"))
+            << (deadline_us > 0
+                    ? ", deadline " + std::to_string(deadline_us) + "us"
+                    : std::string())
+            << (retry_budget > 0
+                    ? ", retries " + std::to_string(retry_budget)
+                    : std::string())
             << " ==\n";
 
   std::vector<ConnResult> results(static_cast<std::size_t>(conns));
@@ -214,14 +254,22 @@ int main(int argc, char** argv) {
       std::unique_ptr<infer::InferenceSession> ref;
       Rng rng(0x10adc4feULL ^ (0x9e3779b97f4a7c15ULL *
                                static_cast<std::uint64_t>(c + 1)));
+      // Exponential backoff before retry attempt `attempt` (1-based).
+      const auto backoff = [&](std::int64_t attempt) {
+        const std::int64_t shift = std::min<std::int64_t>(attempt - 1, 6);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms << shift));
+      };
       r.latencies_ms.reserve(static_cast<std::size_t>(count));
-      for (std::int64_t i = 0; i < count; ++i) {
+      bool conn_dead = false;
+      for (std::int64_t i = 0; i < count && !conn_dead; ++i) {
         serve::InferRequest req;
         req.request_id =
             (static_cast<std::uint64_t>(c) << 32) |
             static_cast<std::uint64_t>(i);
         req.num_steps = num_steps;
         req.elems_per_step = static_cast<std::uint32_t>(in_elems);
+        req.deadline_us = deadline_us;
         req.data = make_window(num_steps, in_elems, density, rng);
 
         // Open loop: launch at the scheduled slot (global slot index
@@ -238,23 +286,89 @@ int main(int argc, char** argv) {
                                 interval_s));
           std::this_thread::sleep_until(scheduled);
         }
-        const serve::TcpClient::Reply reply = client->roundtrip(req);
-        const auto t_done = Clock::now();
-        if (reply.disconnected) {
-          ++r.shutdown_drops;
-          break;  // daemon drained away; stop this connection
-        }
-        if (!reply.ok) {
-          if (reply.error.code == serve::ErrorCode::kShuttingDown) {
-            ++r.shutdown_drops;
+
+        // Send / retry until completed, terminal, or out of budget.
+        serve::TcpClient::Reply reply;
+        bool completed = false;
+        std::int64_t attempts = 0;
+        for (;;) {
+          if (client == nullptr) {
+            // Reconnect (single attempt; the backoff paces the loop).  A
+            // refused connect means the daemon is gone — a drain, from
+            // this side — so stop the connection like a shutdown drop.
+            try {
+              client = std::make_unique<serve::TcpClient>(host, port, 0);
+            } catch (const Error&) {
+              if (attempts < retry_budget) {
+                ++attempts;
+                ++r.retries;
+                backoff(attempts);
+                continue;
+              }
+              ++r.shutdown_drops;
+              conn_dead = true;
+              break;
+            }
+          }
+          reply = client->roundtrip(req);
+          if (reply.disconnected) {
+            ++r.disconnects;
+            client.reset();
+            if (attempts < retry_budget) {
+              ++attempts;
+              ++r.retries;
+              backoff(attempts);
+              continue;
+            }
+            if (retry_budget == 0) {
+              // Pre-chaos semantics: a cut connection means the daemon
+              // drained away; stop this connection.
+              ++r.shutdown_drops;
+              conn_dead = true;
+            } else {
+              ++r.gave_up;
+            }
             break;
           }
-          if (reply.error.code == serve::ErrorCode::kOverloaded) {
-            ++r.rejected_overload;
-            continue;
+          if (!reply.ok) {
+            if (reply.error.code == serve::ErrorCode::kShuttingDown) {
+              ++r.shutdown_drops;
+              conn_dead = true;
+              break;
+            }
+            if (reply.error.code == serve::ErrorCode::kOverloaded) {
+              ++r.rejected_overload;
+              if (attempts < retry_budget) {
+                ++attempts;
+                ++r.retries;
+                backoff(attempts);
+                continue;
+              }
+              break;  // budget gone; move on to the next request
+            }
+            if (reply.error.code == serve::ErrorCode::kDeadlineExceeded) {
+              ++r.deadline_misses;  // terminal: the answer is already late
+              break;
+            }
+            if (reply.error.code == serve::ErrorCode::kInternalError) {
+              ++r.internal_errors;
+              if (attempts < retry_budget) {
+                ++attempts;
+                ++r.retries;
+                backoff(attempts);
+                continue;
+              }
+              ++r.gave_up;
+              break;
+            }
+            ++r.bad_requests;  // terminal: resending cannot fix it
+            break;
           }
-          throw Error("daemon rejected request: " + reply.error.message);
+          completed = true;
+          break;
         }
+        if (!completed) continue;
+        const auto t_done = Clock::now();
         ++r.completed;
         r.max_batch_seen = std::max(
             r.max_batch_seen,
@@ -316,6 +430,12 @@ int main(int argc, char** argv) {
     total.completed += r.completed;
     total.rejected_overload += r.rejected_overload;
     total.shutdown_drops += r.shutdown_drops;
+    total.deadline_misses += r.deadline_misses;
+    total.internal_errors += r.internal_errors;
+    total.bad_requests += r.bad_requests;
+    total.disconnects += r.disconnects;
+    total.retries += r.retries;
+    total.gave_up += r.gave_up;
     total.parity_checked += r.parity_checked;
     total.parity_failures += r.parity_failures;
     total.max_batch_seen = std::max(total.max_batch_seen, r.max_batch_seen);
@@ -324,6 +444,8 @@ int main(int argc, char** argv) {
   const LatencyStats st_queue = summarize_latencies(queue_us);
   const LatencyStats st_assemble = summarize_latencies(assemble_us);
   const LatencyStats st_infer = summarize_latencies(infer_us);
+  // Goodput counts only completed (parity-checkable) responses, so under
+  // chaos it is the number that matters; retries and misses are overhead.
   const double achieved_qps =
       elapsed_s > 0 ? static_cast<double>(total.completed) / elapsed_s : 0.0;
   const bool shutdown_observed = total.shutdown_drops > 0;
@@ -332,7 +454,7 @@ int main(int argc, char** argv) {
   AsciiTable table({"metric", "value"});
   table.set_title("serve loadgen (" + std::to_string(total.completed) +
                   " completed, " + fmt_f(elapsed_s, 2) + "s)");
-  table.add_row({"QPS", fmt_f(achieved_qps, 0)});
+  table.add_row({"QPS (goodput)", fmt_f(achieved_qps, 0)});
   table.add_row({"p50", fmt_f(lat.p50, 2) + "ms"});
   table.add_row({"p90", fmt_f(lat.p90, 2) + "ms"});
   table.add_row({"p99", fmt_f(lat.p99, 2) + "ms"});
@@ -348,6 +470,12 @@ int main(int argc, char** argv) {
   table.add_row({"overload rejections",
                  std::to_string(total.rejected_overload)});
   table.add_row({"shutdown drops", std::to_string(total.shutdown_drops)});
+  table.add_row({"deadline misses", std::to_string(total.deadline_misses)});
+  table.add_row({"internal errors", std::to_string(total.internal_errors)});
+  table.add_row({"bad requests", std::to_string(total.bad_requests)});
+  table.add_row({"disconnects", std::to_string(total.disconnects)});
+  table.add_row({"retries", std::to_string(total.retries)});
+  table.add_row({"gave up", std::to_string(total.gave_up)});
   table.add_row({"parity",
                  (parity_ok ? "ok" : "FAILED") + std::string(" (") +
                      std::to_string(total.parity_checked) + " checked)"});
@@ -369,8 +497,17 @@ int main(int argc, char** argv) {
         << "  \"shutdown_drops\": " << total.shutdown_drops << ",\n"
         << "  \"shutdown_observed\": "
         << (shutdown_observed ? "true" : "false") << ",\n"
+        << "  \"deadline_us\": " << deadline_us << ",\n"
+        << "  \"deadline_misses\": " << total.deadline_misses << ",\n"
+        << "  \"internal_errors\": " << total.internal_errors << ",\n"
+        << "  \"bad_requests\": " << total.bad_requests << ",\n"
+        << "  \"disconnects\": " << total.disconnects << ",\n"
+        << "  \"retry_budget\": " << retry_budget << ",\n"
+        << "  \"retries\": " << total.retries << ",\n"
+        << "  \"gave_up\": " << total.gave_up << ",\n"
         << "  \"elapsed_s\": " << elapsed_s << ",\n"
         << "  \"max_sustainable_qps\": " << achieved_qps << ",\n"
+        << "  \"goodput_qps\": " << achieved_qps << ",\n"
         << "  \"mean_ms\": " << lat.mean << ",\n"
         << "  \"p50_ms\": " << lat.p50 << ",\n"
         << "  \"p90_ms\": " << lat.p90 << ",\n"

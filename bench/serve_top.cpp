@@ -50,6 +50,8 @@ void render(const JsonValue& stat, std::ostream& os) {
   const JsonValue* batch = stat.find("batch_size");
   const JsonValue* slo = stat.find("slo");
   const JsonValue* spans = stat.find("spans");
+  const JsonValue* deadline = stat.find("deadline");
+  const JsonValue* faults = stat.find("faults");
 
   AsciiTable table({"metric", "value"});
   table.set_title(
@@ -76,11 +78,33 @@ void render(const JsonValue& stat, std::ostream& os) {
                    fmt_f(batch->number_or("mean", 0), 1) + " mean / " +
                        fmt_f(batch->number_or("max", 0), 0) + " max"});
   table.add_row({"rejects/s", fmt_f(stat.number_or("rejects_per_s", 0), 1)});
-  if (totals != nullptr)
+  if (deadline != nullptr)
     table.add_row(
-        {"served total", fmt_f(totals->number_or("served", 0), 0) + " (" +
+        {"deadline shed",
+         fmt_f(deadline->number_or("shed", 0), 0) + " of " +
+             fmt_f(deadline->number_or("requests", 0), 0) + " budgeted (" +
+             fmt_f(deadline->number_or("shed_per_s", 0), 1) + "/s)"});
+  if (totals != nullptr) {
+    table.add_row(
+        {"served total", fmt_f(totals->number_or("served", 0), 0) + " of " +
+                             fmt_f(totals->number_or("admitted", 0), 0) +
+                             " admitted (" +
                              fmt_f(totals->number_or("batches", 0), 0) +
                              " batches)"});
+    table.add_row(
+        {"conn hygiene",
+         fmt_f(totals->number_or("idle_reaped", 0), 0) + " idle-reaped / " +
+             fmt_f(totals->number_or("send_timeouts", 0), 0) +
+             " send-timeouts / " +
+             fmt_f(totals->number_or("internal_errors", 0), 0) +
+             " internal errors"});
+  }
+  if (faults != nullptr) {
+    const JsonValue* enabled = faults->find("enabled");
+    if (enabled != nullptr && enabled->is_bool() && enabled->as_bool())
+      table.add_row({"faults injected",
+                     fmt_f(faults->number_or("injected", 0), 0)});
+  }
   if (slo != nullptr && slo->number_or("target_ms", 0) > 0)
     table.add_row(
         {"SLO burn", fmt_f(slo->number_or("burn", 0), 2) + "x budget (" +

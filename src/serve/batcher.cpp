@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/error.h"
+#include "obs/telemetry.h"
 
 namespace spiketune::serve {
 
@@ -26,10 +27,35 @@ AdmitResult Batcher::submit(PendingRequest request) {
   return AdmitResult::kAdmitted;
 }
 
-std::vector<PendingRequest> Batcher::next_batch() {
+void Batcher::purge_expired_locked(std::uint64_t now_ns,
+                                   std::vector<PendingRequest>& out) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->deadline_ns != 0 && it->deadline_ns <= now_ns) {
+      out.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<PendingRequest> Batcher::next_batch(
+    std::vector<PendingRequest>& expired) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
-  if (queue_.empty()) return {};  // draining and dry: worker exits
+  purge_expired_locked(obs::telemetry_now_ns(), expired);
+  if (queue_.empty()) {
+    // Either draining-and-dry (worker exits) or everything queued had
+    // already expired — return promptly so the caller sheds `expired`
+    // instead of blocking on the next live arrival.
+    if (!expired.empty() || draining_) {
+      if (draining_) cv_.notify_one();
+      return {};
+    }
+    // Expired-free spurious wake: fall through and re-wait.
+    lock.unlock();
+    return next_batch(expired);
+  }
 
   std::vector<PendingRequest> batch;
   batch.reserve(static_cast<std::size_t>(config_.max_batch));
@@ -68,6 +94,17 @@ std::vector<PendingRequest> Batcher::next_batch() {
         }
       }
       break;
+    }
+  }
+  // Batchmates picked up during the budget wait may themselves have
+  // expired; shed them here rather than running inference on them.
+  const std::uint64_t now = obs::telemetry_now_ns();
+  for (auto it = batch.begin(); it != batch.end();) {
+    if (it->deadline_ns != 0 && it->deadline_ns <= now) {
+      expired.push_back(std::move(*it));
+      it = batch.erase(it);
+    } else {
+      ++it;
     }
   }
   // A sweep may have taken requests another blocked worker was woken for;

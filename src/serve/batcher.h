@@ -1,4 +1,4 @@
-// Dynamic batching queue with admission control.
+// Dynamic batching queue with admission control and deadline shedding.
 //
 // Readers admit single-sample requests; workers pull coalesced batches.
 // The batching rule is the classic latency-budget window: a worker takes
@@ -16,6 +16,15 @@
 // Draining flips admissions to kDraining (clients get `shutting-down`)
 // while workers keep pulling until the queue is empty; the latency budget
 // is skipped while draining so shutdown is prompt.
+//
+// Deadline shedding happens at dequeue: every next_batch call first purges
+// entries whose deadline_ns has passed into the `expired` out-parameter.
+// The worker answers those with kDeadlineExceeded instead of running
+// inference on a stale window — shedding IS the response, so every admitted
+// request is still answered exactly once.  Purging at dequeue (not on a
+// timer) keeps submit O(1) and means an expired request occupies a queue
+// slot only until the next worker pass.  Draining purges the same way, so
+// a drain never burns inference on requests whose clients have given up.
 #pragma once
 
 #include <condition_variable>
@@ -34,9 +43,11 @@ namespace spiketune::serve {
 struct PendingRequest {
   std::shared_ptr<Connection> conn;  // where the response goes
   InferRequest request;
-  std::uint64_t server_id = 0;   // daemon-assigned id (span/flow identity)
-  std::uint64_t recv_ns = 0;     // header fully read off the socket
-  std::uint64_t enqueue_ns = 0;  // telemetry epoch, for queue-time stats
+  std::uint64_t server_id = 0;    // daemon-assigned id (span/flow identity)
+  std::uint64_t recv_ns = 0;      // header fully read off the socket
+  std::uint64_t enqueue_ns = 0;   // telemetry epoch, for queue-time stats
+  std::uint64_t deadline_ns = 0;  // telemetry epoch; 0 = no deadline
+  std::uint32_t version = 1;      // protocol version to answer with
 };
 
 enum class AdmitResult { kAdmitted, kQueueFull, kDraining };
@@ -54,10 +65,13 @@ class Batcher {
   /// Reader side.  O(1); never blocks.
   AdmitResult submit(PendingRequest request);
 
-  /// Worker side.  Blocks until a batch is ready; returns an empty vector
-  /// only when draining and the queue is empty (worker should exit).
-  /// Every returned request has the same request.num_steps.
-  std::vector<PendingRequest> next_batch();
+  /// Worker side.  Blocks until a batch or expired requests are ready.
+  /// Deadline-expired queue entries are moved into `expired` (appended; the
+  /// caller answers them with kDeadlineExceeded).  Returns an empty vector
+  /// with `expired` also untouched only when draining and the queue is dry
+  /// — the worker-exit signal.  Every returned batch request has the same
+  /// request.num_steps.
+  std::vector<PendingRequest> next_batch(std::vector<PendingRequest>& expired);
 
   /// Stops admissions and wakes every blocked worker; idempotent.
   void drain();
@@ -67,6 +81,10 @@ class Batcher {
   const BatcherConfig& config() const { return config_; }
 
  private:
+  /// Moves every expired entry from the queue into `out` (mu_ held).
+  void purge_expired_locked(std::uint64_t now_ns,
+                            std::vector<PendingRequest>& out);
+
   BatcherConfig config_;
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,145 @@
+// Deterministic fault injection under the serving transport.
+//
+// Chaos testing only earns its keep when a failure found once can be found
+// again: every fault here is drawn from a seeded per-connection RNG stream
+// (Rng(seed).fork(connection_index)), so the same seed against the same
+// traffic pattern replays the same schedule of delays, stalls, partial
+// writes, corrupted headers, and mid-frame disconnects.  The schedule that
+// actually fired is recorded in a FaultLog (no timestamps — the log is
+// byte-identical across runs) and written as JSONL for CI artifacts.
+//
+// The injector subclasses TcpConnection and interposes on its protected
+// transport_recv/transport_send primitives, so faults land underneath the
+// framing exactly where a flaky network would: short reads, short writes,
+// and connections dying halfway through a frame.  Byte corruption is the
+// one fault that must stay *detectable* — the serving stack's headline
+// invariant is bitwise parity of successful responses, so the injector
+// corrupts only inbound frame-HEADER bytes (flipping a magic bit), which
+// decode_header always rejects.  The connection is then dropped and the
+// client retries; a successful response is never silently wrong.
+//
+// Grammar for --fault-spec (comma-separated k=v, all optional):
+//   seed=42          RNG seed (default 1)
+//   p_delay=0.05     per-frame probability of a delay before reading
+//   delay_ms=10      length of that delay
+//   p_read_stall=0.02   per-recv-call stall probability
+//   p_write_stall=0.02  per-send-call stall probability
+//   stall_ms=40      length of a read/write stall
+//   p_partial=0.3    per-send-call probability of a short (1..8 byte) write
+//   p_corrupt=0.01   per-frame probability of corrupting a header byte
+//   p_disconnect=0.002  per-call probability of killing the connection
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "serve/transport.h"
+
+namespace spiketune::serve {
+
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double p_delay = 0.0;
+  int delay_ms = 10;
+  double p_read_stall = 0.0;
+  double p_write_stall = 0.0;
+  int stall_ms = 40;
+  double p_partial = 0.0;
+  double p_corrupt = 0.0;
+  double p_disconnect = 0.0;
+
+  /// True when any fault can actually fire.
+  bool enabled() const {
+    return p_delay > 0 || p_read_stall > 0 || p_write_stall > 0 ||
+           p_partial > 0 || p_corrupt > 0 || p_disconnect > 0;
+  }
+
+  /// Parses the comma-separated grammar above; throws InvalidArgument on
+  /// unknown keys, malformed numbers, or probabilities outside [0, 1].
+  static FaultSpec parse(const std::string& text);
+
+  /// Canonical round-trippable form (stable field order).
+  std::string describe() const;
+};
+
+/// Thread-safe record of every fault that fired.  Events carry the
+/// connection index, direction, and per-direction operation sequence number
+/// — deliberately no wall-clock — so two runs with the same seed and
+/// traffic produce byte-identical logs.
+class FaultLog {
+ public:
+  struct Event {
+    std::uint64_t conn = 0;
+    char dir = 'r';  // 'r' = inbound path, 'w' = outbound path
+    std::uint64_t op = 0;
+    std::string fault;
+  };
+
+  void record(std::uint64_t conn, char dir, std::uint64_t op,
+              std::string fault);
+  std::size_t size() const;
+  std::vector<Event> events() const;
+
+  /// JSONL, one event per line, sorted by (conn, dir, op) so concurrent
+  /// connections do not make the artifact order racy.
+  std::string dump() const;
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// TcpConnection with seeded faults injected under the framing.  Reader
+/// and writer draw from independent forks of the connection stream, so the
+/// reader thread and worker threads never race on the RNG.
+class FaultInjectingConnection : public TcpConnection {
+ public:
+  FaultInjectingConnection(int fd, std::string peer, const FaultSpec& spec,
+                           std::uint64_t conn_index, FaultLog* log);
+
+  bool read_frame(FrameHeader& header, std::vector<std::uint8_t>& payload,
+                  int wake_fd) override;
+
+ protected:
+  ssize_t transport_recv(std::uint8_t* buf, std::size_t n) override;
+  ssize_t transport_send(const std::uint8_t* buf, std::size_t n) override;
+
+ private:
+  void log_fault(char dir, std::uint64_t op, const char* fault);
+
+  FaultSpec spec_;
+  std::uint64_t conn_index_;
+  FaultLog* log_;
+  Rng read_rng_;   // reader thread only
+  Rng write_rng_;  // under the base class write lock only
+  std::uint64_t read_seq_ = 0;
+  std::uint64_t write_seq_ = 0;
+  bool corrupt_next_read_ = false;  // armed per-frame, fires on header bytes
+};
+
+/// Wraps a TcpListener so every accepted connection carries its own
+/// deterministic fault schedule.
+class FaultInjectingListener : public Listener {
+ public:
+  FaultInjectingListener(std::unique_ptr<TcpListener> inner, FaultSpec spec,
+                         FaultLog* log);
+
+  std::shared_ptr<Connection> accept(int wake_fd,
+                                     int timeout_ms = -1) override;
+  void close() override;
+  int port() const override;
+
+ private:
+  std::unique_ptr<TcpListener> inner_;
+  FaultSpec spec_;
+  FaultLog* log_;
+  std::atomic<std::uint64_t> next_index_{0};
+};
+
+}  // namespace spiketune::serve

@@ -30,6 +30,13 @@ struct ServeMetricIds {
   obs::MetricId slo_burn = obs::kNoMetric;       // gauge: budget burn ratio
   // Introspection endpoint.
   obs::MetricId stat_requests = obs::kNoMetric;  // counter: STAT snapshots
+  // Deadline lifecycle (protocol v2).
+  obs::MetricId deadline_requests = obs::kNoMetric;  // counter: budget > 0
+  obs::MetricId deadline_shed = obs::kNoMetric;      // counter: expired->shed
+  // Unhappy-path hygiene.
+  obs::MetricId internal_errors = obs::kNoMetric;  // counter: poison requests
+  obs::MetricId idle_reaped = obs::kNoMetric;      // counter: idle conns cut
+  obs::MetricId send_timeouts = obs::kNoMetric;    // counter: slow-peer cuts
 };
 
 inline const ServeMetricIds& serve_metric_ids() {
@@ -48,6 +55,11 @@ inline const ServeMetricIds& serve_metric_ids() {
     m.slo_violations = obs::counter("serve.slo.violations");
     m.slo_burn = obs::gauge("serve.slo.burn");
     m.stat_requests = obs::counter("serve.stat_requests");
+    m.deadline_requests = obs::counter("serve.deadline.requests");
+    m.deadline_shed = obs::counter("serve.deadline.shed");
+    m.internal_errors = obs::counter("serve.internal_errors");
+    m.idle_reaped = obs::counter("serve.conn.idle_reaped");
+    m.send_timeouts = obs::counter("serve.conn.send_timeouts");
     return m;
   }();
   return ids;

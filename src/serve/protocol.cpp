@@ -37,6 +37,10 @@ const char* error_code_name(ErrorCode code) {
       return "bad-request";
     case ErrorCode::kShuttingDown:
       return "shutting-down";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case ErrorCode::kInternalError:
+      return "internal-error";
   }
   return "unknown";
 }
@@ -45,8 +49,11 @@ void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]) {
   std::uint8_t* p = out;
   std::memcpy(p, &h.magic, 4);
   p += 4;
-  const auto kind = static_cast<std::uint32_t>(h.kind);
-  std::memcpy(p, &kind, 4);
+  // Version 1 is encoded as a zero byte so v1 frames (and replies to v1
+  // peers) stay byte-identical to the pre-versioning wire format.
+  const std::uint32_t ver = h.version <= 1 ? 0 : h.version;
+  const std::uint32_t kind_ver = static_cast<std::uint32_t>(h.kind) | (ver << 8);
+  std::memcpy(p, &kind_ver, 4);
   p += 4;
   std::memcpy(p, &h.request_id, 8);
   p += 8;
@@ -61,9 +68,16 @@ FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
   ST_REQUIRE(h.magic == kMagic,
              "bad frame magic (not a spiketune-serve peer, or wrong "
              "endianness)");
-  std::uint32_t kind = 0;
-  std::memcpy(&kind, p, 4);
+  std::uint32_t kind_ver = 0;
+  std::memcpy(&kind_ver, p, 4);
   p += 4;
+  const std::uint32_t kind = kind_ver & 0xffu;
+  // Version 1 peers predate the version byte and send zero there.
+  h.version = (kind_ver >> 8) == 0 ? 1 : (kind_ver >> 8);
+  ST_REQUIRE(h.version <= kProtocolVersion,
+             "frame version " + std::to_string(h.version) +
+                 " is newer than this daemon speaks (max " +
+                 std::to_string(kProtocolVersion) + ")");
   ST_REQUIRE(kind >= 1 && kind <= 5, "unknown frame kind " +
                                          std::to_string(kind));
   h.kind = static_cast<FrameKind>(kind);
@@ -77,26 +91,33 @@ FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
   return h;
 }
 
-std::vector<std::uint8_t> encode_request(const InferRequest& r) {
+std::vector<std::uint8_t> encode_request(const InferRequest& r,
+                                         std::uint32_t version) {
   ST_REQUIRE(r.data.size() == static_cast<std::size_t>(r.num_steps) *
                                   r.elems_per_step,
              "request data does not match num_steps * elems_per_step");
+  ST_REQUIRE(version >= 2 || r.deadline_us == 0,
+             "deadline_us needs protocol version >= 2");
   std::vector<std::uint8_t> out;
-  out.reserve(8 + r.data.size() * sizeof(float));
+  out.reserve(16 + r.data.size() * sizeof(float));
   put(out, r.num_steps);
   put(out, r.elems_per_step);
+  if (version >= 2) put(out, r.deadline_us);
   const auto* p = reinterpret_cast<const std::uint8_t*>(r.data.data());
   out.insert(out.end(), p, p + r.data.size() * sizeof(float));
   return out;
 }
 
 InferRequest decode_request(std::uint64_t request_id,
-                            const std::vector<std::uint8_t>& payload) {
+                            const std::vector<std::uint8_t>& payload,
+                            std::uint32_t version) {
   InferRequest r;
   r.request_id = request_id;
   std::size_t off = 0;
   r.num_steps = get<std::uint32_t>(payload, off, "num_steps");
   r.elems_per_step = get<std::uint32_t>(payload, off, "elems_per_step");
+  if (version >= 2)
+    r.deadline_us = get<std::uint64_t>(payload, off, "deadline_us");
   const std::size_t n =
       static_cast<std::size_t>(r.num_steps) * r.elems_per_step;
   // Checked by division: n * sizeof(float) can wrap modulo 2^64 for hostile
@@ -158,7 +179,7 @@ ErrorResponse decode_error(std::uint64_t request_id,
   r.request_id = request_id;
   std::size_t off = 0;
   const auto code = get<std::uint32_t>(payload, off, "error code");
-  ST_REQUIRE(code >= 1 && code <= 3, "unknown error code");
+  ST_REQUIRE(code >= 1 && code <= 5, "unknown error code");
   r.code = static_cast<ErrorCode>(code);
   const auto len = get<std::uint32_t>(payload, off, "message length");
   ST_REQUIRE(payload.size() == off + len, "error message truncated");

@@ -5,9 +5,17 @@
 // frame is a fixed 20-byte header followed by `payload_bytes` of payload:
 //
 //   u32 magic        'STSV' (0x53545356) — rejects stray connections early
-//   u32 kind         FrameKind
+//   u32 kind_ver     low byte: FrameKind; next byte: protocol version
 //   u64 request_id   client-chosen, echoed verbatim on the response
 //   u32 payload_bytes
+//
+// Versioning: the original protocol (version 1) left the upper 24 bits of
+// the kind word zero, so a legacy frame decodes as version 1 and keeps
+// working — a v1 infer-request simply has no deadline (budget 0 = none).
+// Version 2 adds a per-request `deadline_us` budget to the infer-request
+// payload and two new error codes (`deadline-exceeded`, `internal-error`).
+// The daemon answers every frame with the version the request carried, so
+// a v1 peer never sees a v2 header.
 //
 // One inference request carries ONE sample's spike window, shaped
 // [num_steps, elems_per_step]; the daemon coalesces concurrent requests
@@ -31,11 +39,15 @@ namespace spiketune::serve {
 
 inline constexpr std::uint32_t kMagic = 0x53545356u;  // "STSV"
 
+/// Current protocol version.  Version 1 (no version byte on the wire) is
+/// still decoded; anything above kProtocolVersion is rejected.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
 /// Hard upper bound on a frame's payload.  `payload_bytes` arrives from an
 /// untrusted peer, so decode_header rejects anything above this before any
 /// buffer is sized — otherwise one hostile header makes the daemon allocate
 /// up to ~4 GiB per connection.  64 MiB is generous for legitimate traffic:
-/// the largest real payload is one request window (8 bytes + num_steps *
+/// the largest real payload is one request window (16 bytes + num_steps *
 /// elems_per_step floats), and this covers ~16M floats.
 inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
 
@@ -49,9 +61,11 @@ enum class FrameKind : std::uint32_t {
 
 /// Why the daemon refused a request.
 enum class ErrorCode : std::uint32_t {
-  kOverloaded = 1,    // admission control: queue at max depth — back off
-  kBadRequest = 2,    // malformed frame or shape mismatch with the model
-  kShuttingDown = 3,  // daemon is draining; no new work accepted
+  kOverloaded = 1,        // admission control: queue at max depth — back off
+  kBadRequest = 2,        // malformed frame or shape mismatch with the model
+  kShuttingDown = 3,      // daemon is draining; no new work accepted
+  kDeadlineExceeded = 4,  // v2: deadline_us expired before inference — shed
+  kInternalError = 5,     // v2: inference failed for this request only
 };
 
 const char* error_code_name(ErrorCode code);
@@ -59,17 +73,23 @@ const char* error_code_name(ErrorCode code);
 struct FrameHeader {
   std::uint32_t magic = kMagic;
   FrameKind kind = FrameKind::kInferRequest;
+  std::uint32_t version = kProtocolVersion;
   std::uint64_t request_id = 0;
   std::uint32_t payload_bytes = 0;
 };
 inline constexpr std::size_t kHeaderBytes = 20;
 
 /// One sample's spike window: [num_steps, elems_per_step] floats.
+/// `deadline_us` (version >= 2) is the client's end-to-end latency budget
+/// measured from the instant the daemon finishes reading the frame; 0 means
+/// no deadline.  A request still queued when its budget expires is shed
+/// with kDeadlineExceeded instead of wasting inference on a stale answer.
 struct InferRequest {
   std::uint64_t request_id = 0;
   std::uint32_t num_steps = 0;
   std::uint32_t elems_per_step = 0;
-  std::vector<float> data;  // num_steps * elems_per_step
+  std::uint64_t deadline_us = 0;  // 0 = no deadline (and the v1 meaning)
+  std::vector<float> data;        // num_steps * elems_per_step
 };
 
 struct InferResponse {
@@ -89,21 +109,28 @@ struct ErrorResponse {
 };
 
 /// Header <-> raw bytes.  decode_header throws InvalidArgument on a bad
-/// magic (including byte-swapped: wrong-endian peer), unknown kind, or a
-/// payload_bytes above kMaxPayloadBytes.
+/// magic (including byte-swapped: wrong-endian peer), unknown kind, a
+/// version above kProtocolVersion, or a payload_bytes above
+/// kMaxPayloadBytes.  A legacy header (zero version byte) decodes as
+/// version 1.
 void encode_header(const FrameHeader& h, std::uint8_t out[kHeaderBytes]);
 FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]);
 
 /// Payload encoders: the returned buffer pairs with a header of the
-/// matching kind and the struct's request_id.
-std::vector<std::uint8_t> encode_request(const InferRequest& r);
+/// matching kind, version, and the struct's request_id.  encode_request
+/// emits the layout for `version` (v1 has no deadline field, so a nonzero
+/// deadline_us with version < 2 is refused rather than silently dropped).
+std::vector<std::uint8_t> encode_request(
+    const InferRequest& r, std::uint32_t version = kProtocolVersion);
 std::vector<std::uint8_t> encode_response(const InferResponse& r);
 std::vector<std::uint8_t> encode_error(const ErrorResponse& r);
 
 /// Payload decoders; throw InvalidArgument on truncated or inconsistent
 /// payloads (e.g. num_steps * elems disagreeing with the payload size).
+/// decode_request selects the layout by the header's `version`.
 InferRequest decode_request(std::uint64_t request_id,
-                            const std::vector<std::uint8_t>& payload);
+                            const std::vector<std::uint8_t>& payload,
+                            std::uint32_t version = kProtocolVersion);
 InferResponse decode_response(std::uint64_t request_id,
                               const std::vector<std::uint8_t>& payload);
 ErrorResponse decode_error(std::uint64_t request_id,

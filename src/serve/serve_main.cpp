@@ -57,6 +57,18 @@ int main(int argc, char** argv) {
                 "latency SLO target in ms (0 disables SLO tracking)");
   flags.declare("slo-budget", "0.01",
                 "allowed SLO violation fraction (error budget)");
+  flags.declare("send-timeout-ms", "5000",
+                "cut a connection whose peer stops reading after this long "
+                "mid-write (0 = unbounded)");
+  flags.declare("idle-timeout-ms", "60000",
+                "reap connections with no completed frame for this long "
+                "(0 = never)");
+  flags.declare("fault-spec", "",
+                "deterministic fault injection, e.g. "
+                "seed=42,p_partial=0.3,p_disconnect=0.01,p_corrupt=0.01 "
+                "(empty = off; see DESIGN.md §13 for the grammar)");
+  flags.declare("fault-log", "",
+                "write the fired-fault schedule (JSONL) here at drain");
   exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -98,6 +110,12 @@ int main(int argc, char** argv) {
     cfg.stat_window_s = static_cast<int>(flags.get_int("stat-window-s"));
     cfg.slo_target_ms = flags.get_double("slo-target-ms");
     cfg.slo_budget = flags.get_double("slo-budget");
+    cfg.send_timeout_ms = static_cast<int>(flags.get_int("send-timeout-ms"));
+    cfg.idle_timeout_ms = static_cast<int>(flags.get_int("idle-timeout-ms"));
+    cfg.fault_spec = flags.get("fault-spec");
+    cfg.fault_log = flags.get("fault-log");
+    if (!cfg.fault_spec.empty())
+      serve::FaultSpec::parse(cfg.fault_spec);  // fail fast on a bad spec
   } catch (const Error& e) {
     std::cerr << e.what() << "\n" << flags.usage(argv[0]);
     return 2;
@@ -161,6 +179,7 @@ int main(int argc, char** argv) {
     obs::LedgerFinal fin;
     fin.values.emplace_back("connections",
                             static_cast<double>(stats.connections));
+    fin.values.emplace_back("admitted", static_cast<double>(stats.admitted));
     fin.values.emplace_back("served", static_cast<double>(stats.served));
     fin.values.emplace_back("batches", static_cast<double>(stats.batches));
     fin.values.emplace_back("rejected_overload",
@@ -169,6 +188,18 @@ int main(int argc, char** argv) {
                             static_cast<double>(stats.rejected_draining));
     fin.values.emplace_back("bad_requests",
                             static_cast<double>(stats.bad_requests));
+    fin.values.emplace_back("dropped_responses",
+                            static_cast<double>(stats.dropped_responses));
+    fin.values.emplace_back("deadline_requests",
+                            static_cast<double>(stats.deadline_requests));
+    fin.values.emplace_back("deadline_shed",
+                            static_cast<double>(stats.deadline_shed));
+    fin.values.emplace_back("internal_errors",
+                            static_cast<double>(stats.internal_errors));
+    fin.values.emplace_back("idle_reaped",
+                            static_cast<double>(stats.idle_reaped));
+    fin.values.emplace_back("send_timeouts",
+                            static_cast<double>(stats.send_timeouts));
     fin.values.emplace_back("max_batch_seen",
                             static_cast<double>(stats.max_batch_seen));
     fin.values.emplace_back("stat_requests",

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -56,9 +57,14 @@ Server::Server(const infer::CompiledModel& model, ServerConfig config)
       w_respond_us_(stat_window(config)),
       w_batch_(stat_window(config)),
       w_served_(stat_window(config)),
-      w_rejected_(stat_window(config)) {
+      w_rejected_(stat_window(config)),
+      w_deadline_shed_(stat_window(config)) {
   ST_REQUIRE(config_.num_workers > 0, "num_workers must be positive");
   ST_REQUIRE(config_.max_steps > 0, "max_steps must be positive");
+  ST_REQUIRE(config_.send_timeout_ms >= 0,
+             "send_timeout_ms must be non-negative");
+  ST_REQUIRE(config_.idle_timeout_ms >= 0,
+             "idle_timeout_ms must be non-negative");
 }
 
 Server::~Server() { drain_and_stop(); }
@@ -67,7 +73,18 @@ void Server::start() {
   ST_REQUIRE(!running_.load(), "server already started");
   ST_REQUIRE(pipe(stop_pipe_) == 0, "cannot create stop pipe");
   start_ns_ = now_ns();
-  listener_ = std::make_unique<TcpListener>(config_.host, config_.port);
+  auto tcp = std::make_unique<TcpListener>(
+      config_.host, config_.port,
+      TcpListenerOptions{.sndbuf_bytes = config_.sndbuf_bytes});
+  if (!config_.fault_spec.empty()) {
+    fault_spec_ = FaultSpec::parse(config_.fault_spec);
+    listener_ = std::make_unique<FaultInjectingListener>(
+        std::move(tcp), fault_spec_, &fault_log_);
+    ST_LOG_INFO << "serve: FAULT INJECTION ON (" << fault_spec_.describe()
+                << ")";
+  } else {
+    listener_ = std::move(tcp);
+  }
   running_.store(true);
   acceptor_ = std::thread([this] { acceptor_main(); });
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
@@ -76,7 +93,9 @@ void Server::start() {
   ST_LOG_INFO << "serve: listening on " << config_.host << ":" << port()
               << " (" << config_.num_workers << " workers, max batch "
               << config_.max_batch << ", budget " << config_.batch_timeout_us
-              << "us, queue depth " << config_.max_queue_depth << ")";
+              << "us, queue depth " << config_.max_queue_depth
+              << ", send timeout " << config_.send_timeout_ms
+              << "ms, idle timeout " << config_.idle_timeout_ms << "ms)";
 }
 
 int Server::port() const {
@@ -86,9 +105,24 @@ int Server::port() const {
 
 void Server::acceptor_main() {
   obs::set_thread_label("serve-accept");
+  // With idle reaping armed, accept() wakes on a bounded tick so the reaper
+  // runs even when no connection ever arrives.
+  const int tick_ms =
+      config_.idle_timeout_ms > 0 ? std::min(config_.idle_timeout_ms, 1000)
+                                  : -1;
   for (;;) {
-    std::shared_ptr<Connection> conn = listener_->accept(stop_pipe_[0]);
-    if (conn == nullptr) return;  // woken for shutdown or listener closed
+    std::shared_ptr<Connection> conn =
+        listener_->accept(stop_pipe_[0], tick_ms);
+    if (conn == nullptr) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (tick_ms < 0) return;  // woken without a stop: listener is gone
+      // Reaping tick (or a transient accept error — either way, keep
+      // accepting rather than silently killing the acceptor).
+      reap_idle_connections();
+      reap_finished_readers();
+      continue;
+    }
+    conn->set_send_timeout_ms(config_.send_timeout_ms, &send_timeouts_);
     connections_.fetch_add(1, std::memory_order_relaxed);
     reap_finished_readers();
     std::lock_guard<std::mutex> lock(readers_mu_);
@@ -111,14 +145,54 @@ void Server::reap_finished_readers() {
   }
 }
 
+void Server::reap_idle_connections() {
+  const std::uint64_t now = now_ns();
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(config_.idle_timeout_ms) * 1'000'000ull;
+  std::lock_guard<std::mutex> lock(readers_mu_);
+  for (ReaderSlot& slot : readers_) {
+    if (slot.reaped || slot.done.load(std::memory_order_acquire)) continue;
+    const std::uint64_t last = slot.conn->last_activity_ns();
+    if (last == 0 || now <= last || now - last <= budget) continue;
+    // abort(), not close(): the reader thread may be blocked inside
+    // read_frame on this connection, and the descriptor must stay valid
+    // until that thread is joined.
+    slot.conn->abort();
+    slot.reaped = true;
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) obs::add(serve_metric_ids().idle_reaped);
+    ST_LOG_INFO << "serve: reaping idle connection " << slot.conn->peer()
+                << " (no activity for " << (now - last) / 1'000'000 << "ms)";
+  }
+}
+
 void Server::respond_error(const std::shared_ptr<Connection>& conn,
                            std::uint64_t request_id, ErrorCode code,
-                           const std::string& message) {
+                           const std::string& message,
+                           std::uint32_t version) {
   ErrorResponse err;
   err.request_id = request_id;
   err.code = code;
   err.message = message;
-  conn->write_frame(FrameKind::kError, request_id, encode_error(err));
+  conn->write_frame(FrameKind::kError, request_id, encode_error(err), version);
+}
+
+void Server::shed_expired(std::vector<PendingRequest>& expired) {
+  if (expired.empty()) return;
+  const ServeMetricIds& ids = serve_metric_ids();
+  for (PendingRequest& p : expired) {
+    deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+    w_deadline_shed_.add();
+    if (obs::metrics_enabled()) obs::add(ids.deadline_shed);
+    // The shed IS this request's one answer: it entered `admitted` and
+    // leaves through `deadline_shed`, keeping the accounting invariant
+    // whether or not the peer is still there to read it.
+    respond_error(p.conn, p.request.request_id, ErrorCode::kDeadlineExceeded,
+                  "deadline of " + std::to_string(p.request.deadline_us) +
+                      "us expired before inference",
+                  p.version);
+  }
+  expired.clear();
 }
 
 void Server::reader_main(ReaderSlot* slot) {
@@ -139,19 +213,21 @@ void Server::reader_main(ReaderSlot* slot) {
         stat_requests_.fetch_add(1, std::memory_order_relaxed);
         if (obs::metrics_enabled()) obs::add(serve_metric_ids().stat_requests);
         conn->write_frame(FrameKind::kStatResponse, header.request_id,
-                          encode_stat(stat_json()));
+                          encode_stat(stat_json()), header.version);
         continue;
       }
       if (header.kind != FrameKind::kInferRequest) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         respond_error(conn, header.request_id, ErrorCode::kBadRequest,
-                      "expected an infer-request frame");
+                      "expected an infer-request frame", header.version);
         continue;
       }
       PendingRequest pending;
       pending.recv_ns = recv_ns;
+      pending.version = header.version;
       try {
-        pending.request = decode_request(header.request_id, payload);
+        pending.request =
+            decode_request(header.request_id, payload, header.version);
         ST_REQUIRE(pending.request.num_steps >= 1 &&
                        pending.request.num_steps <=
                            static_cast<std::uint32_t>(config_.max_steps),
@@ -166,8 +242,17 @@ void Server::reader_main(ReaderSlot* slot) {
       } catch (const std::exception& e) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         respond_error(conn, header.request_id, ErrorCode::kBadRequest,
-                      e.what());
+                      e.what(), header.version);
         continue;
+      }
+      if (pending.request.deadline_us > 0) {
+        // The budget runs from frame-fully-read; the enqueue and batching
+        // delay all count against it.
+        pending.deadline_ns =
+            recv_ns + pending.request.deadline_us * 1000ull;
+        deadline_requests_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled())
+          obs::add(serve_metric_ids().deadline_requests);
       }
       pending.conn = conn;
       // ids start at 1: the pre-increment value 0 is never a real request.
@@ -182,8 +267,10 @@ void Server::reader_main(ReaderSlot* slot) {
         obs::trace_flow_at("serve.request", pending.server_id, 's',
                            pending.recv_ns);
       }
+      const std::uint32_t version = pending.version;
       switch (batcher_.submit(std::move(pending))) {
         case AdmitResult::kAdmitted:
+          admitted_.fetch_add(1, std::memory_order_relaxed);
           if (obs::metrics_enabled()) {
             obs::set(serve_metric_ids().queue_depth,
                      static_cast<double>(batcher_.depth()));
@@ -195,12 +282,12 @@ void Server::reader_main(ReaderSlot* slot) {
           if (obs::metrics_enabled())
             obs::add(serve_metric_ids().rejected_overload);
           respond_error(conn, header.request_id, ErrorCode::kOverloaded,
-                        "queue at max depth; back off");
+                        "queue at max depth; back off", version);
           break;
         case AdmitResult::kDraining:
           rejected_draining_.fetch_add(1, std::memory_order_relaxed);
           respond_error(conn, header.request_id, ErrorCode::kShuttingDown,
-                        "daemon is draining");
+                        "daemon is draining", version);
           break;
       }
     }
@@ -210,7 +297,7 @@ void Server::reader_main(ReaderSlot* slot) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     ST_LOG_WARN << "serve: dropping connection " << conn->peer() << ": "
                 << e.what();
-    conn->close();
+    conn->abort();
   }
   slot->done.store(true, std::memory_order_release);
 }
@@ -225,10 +312,90 @@ void Server::worker_main(int index) {
   const Shape& per_sample = model_->input_shape();
   const std::int64_t in_elems = per_sample.numel();
   const std::int64_t out_features = model_->output_shape()[0];
+  const ServeMetricIds& ids = serve_metric_ids();
+
+  // Sends request `p`'s response from row `row` of `result` and records
+  // every per-request stat.  Shared by the batch path and the per-request
+  // isolation path (which runs with n == 1).
+  const auto respond_one = [&](const PendingRequest& p,
+                               const infer::InferenceResult& result,
+                               std::int64_t row, std::int64_t n,
+                               std::uint64_t assembled_ns,
+                               std::uint64_t infer_start_ns,
+                               std::uint64_t done_ns) {
+    InferResponse resp;
+    resp.request_id = p.request.request_id;
+    resp.out_features = static_cast<std::uint32_t>(out_features);
+    resp.batch = static_cast<std::uint32_t>(n);
+    resp.queue_ns = assembled_ns - p.enqueue_ns;
+    resp.assemble_ns = infer_start_ns - assembled_ns;
+    resp.infer_ns = done_ns - infer_start_ns;
+    resp.spike_counts.assign(
+        result.spike_counts.data() + row * out_features,
+        result.spike_counts.data() + (row + 1) * out_features);
+    if (p.conn->write_frame(FrameKind::kInferResponse, resp.request_id,
+                            encode_response(resp), p.version)) {
+      served_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t send_ns = now_ns();
+
+    // Stage durations tile [recv, send]; the windowed means therefore
+    // sum to the end-to-end mean (the STAT consistency invariant).
+    w_queue_us_.record_at(static_cast<double>(resp.queue_ns) / 1e3, send_ns);
+    w_assemble_us_.record_at(static_cast<double>(resp.assemble_ns) / 1e3,
+                             send_ns);
+    w_infer_us_.record_at(static_cast<double>(resp.infer_ns) / 1e3, send_ns);
+    w_respond_us_.record_at(static_cast<double>(send_ns - done_ns) / 1e3,
+                            send_ns);
+    const double e2e_us = static_cast<double>(send_ns - p.recv_ns) / 1e3;
+    w_request_us_.record_at(e2e_us, send_ns);
+    w_served_.add_at(1, send_ns);
+    slo_.record(e2e_us / 1e3);
+
+    if (spans_.sampled(p.server_id)) {
+      obs::RequestSpan span;
+      span.server_id = p.server_id;
+      span.client_id = p.request.request_id;
+      span.num_steps = static_cast<int>(p.request.num_steps);
+      span.batch = static_cast<int>(n);
+      span.recv_ns = p.recv_ns;
+      span.admit_ns = p.enqueue_ns;
+      span.assemble_ns = assembled_ns;
+      span.infer_ns = infer_start_ns;
+      span.done_ns = done_ns;
+      span.send_ns = send_ns;
+      span.sparse_kernel_ns = result.sparse_kernel_ns;
+      span.dense_kernel_ns = result.dense_kernel_ns;
+      spans_.record(span);
+      if (obs::trace_enabled()) {
+        obs::trace_span("serve.respond", done_ns, send_ns - done_ns);
+        obs::trace_flow_at("serve.request", p.server_id, 'f', done_ns);
+      }
+    }
+    if (obs::metrics_enabled()) {
+      obs::observe(ids.request_us, e2e_us);
+      obs::observe(ids.queue_us, static_cast<double>(resp.queue_ns) / 1e3);
+      obs::observe(ids.assemble_us,
+                   static_cast<double>(resp.assemble_ns) / 1e3);
+      obs::observe(ids.infer_us, static_cast<double>(resp.infer_ns) / 1e3);
+      obs::add(ids.requests);
+      if (slo_.enabled())
+        obs::add(e2e_us / 1e3 <= config_.slo_target_ms ? ids.slo_ok
+                                                       : ids.slo_violations);
+    }
+  };
 
   for (;;) {
-    std::vector<PendingRequest> batch = batcher_.next_batch();
-    if (batch.empty()) return;  // draining and dry
+    std::vector<PendingRequest> expired;
+    std::vector<PendingRequest> batch = batcher_.next_batch(expired);
+    const bool had_expired = !expired.empty();
+    shed_expired(expired);
+    if (batch.empty()) {
+      if (!had_expired) return;  // draining and dry
+      continue;  // this pass only shed; go back for live work
+    }
     ST_PROF_SCOPE("serve.batch");
     const std::int64_t n = static_cast<std::int64_t>(batch.size());
     const auto steps =
@@ -252,90 +419,64 @@ void Server::worker_main(int index) {
     }
     const std::uint64_t infer_start_ns = now_ns();
 
-    const infer::InferenceResult result = session.run(window);
-    const std::uint64_t done_ns = now_ns();
-
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    std::int64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
-    while (n > seen &&
-           !max_batch_seen_.compare_exchange_weak(seen, n,
-                                                  std::memory_order_relaxed)) {
+    // Poison isolation: one request that makes inference throw must not
+    // take its batchmates or this worker down.  Try the batch; on failure,
+    // re-run each request alone so the poison pill is pinned to exactly
+    // one request (answered kInternalError) and everyone else still gets
+    // their bitwise-correct response.
+    infer::InferenceResult result;
+    bool batch_ok = true;
+    try {
+      if (config_.poison_hook)
+        for (const PendingRequest& p : batch) config_.poison_hook(p.request);
+      result = session.run(window);
+    } catch (const std::exception& e) {
+      batch_ok = false;
+      ST_LOG_WARN << "serve: batch of " << n << " failed (" << e.what()
+                  << "); isolating per request";
     }
-    w_batch_.record_at(static_cast<double>(n), done_ns);
-    const bool tracing = obs::trace_enabled();
-    if (tracing)
-      obs::trace_span("serve.infer", infer_start_ns,
-                      done_ns - infer_start_ns);
 
-    const ServeMetricIds& ids = serve_metric_ids();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const PendingRequest& p = batch[static_cast<std::size_t>(i)];
-      InferResponse resp;
-      resp.request_id = p.request.request_id;
-      resp.out_features = static_cast<std::uint32_t>(out_features);
-      resp.batch = static_cast<std::uint32_t>(n);
-      resp.queue_ns = assembled_ns - p.enqueue_ns;
-      resp.assemble_ns = infer_start_ns - assembled_ns;
-      resp.infer_ns = done_ns - infer_start_ns;
-      resp.spike_counts.assign(
-          result.spike_counts.data() + i * out_features,
-          result.spike_counts.data() + (i + 1) * out_features);
-      if (p.conn->write_frame(FrameKind::kInferResponse, resp.request_id,
-                              encode_response(resp))) {
-        served_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        dropped_responses_.fetch_add(1, std::memory_order_relaxed);
+    if (batch_ok) {
+      const std::uint64_t done_ns = now_ns();
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      std::int64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+      while (n > seen && !max_batch_seen_.compare_exchange_weak(
+                             seen, n, std::memory_order_relaxed)) {
       }
-      const std::uint64_t send_ns = now_ns();
-
-      // Stage durations tile [recv, send]; the windowed means therefore
-      // sum to the end-to-end mean (the STAT consistency invariant).
-      w_queue_us_.record_at(static_cast<double>(resp.queue_ns) / 1e3,
-                            send_ns);
-      w_assemble_us_.record_at(static_cast<double>(resp.assemble_ns) / 1e3,
-                               send_ns);
-      w_infer_us_.record_at(static_cast<double>(resp.infer_ns) / 1e3,
-                            send_ns);
-      w_respond_us_.record_at(static_cast<double>(send_ns - done_ns) / 1e3,
-                              send_ns);
-      const double e2e_us =
-          static_cast<double>(send_ns - p.recv_ns) / 1e3;
-      w_request_us_.record_at(e2e_us, send_ns);
-      w_served_.add_at(1, send_ns);
-      slo_.record(e2e_us / 1e3);
-
-      if (spans_.sampled(p.server_id)) {
-        obs::RequestSpan span;
-        span.server_id = p.server_id;
-        span.client_id = p.request.request_id;
-        span.num_steps = static_cast<int>(p.request.num_steps);
-        span.batch = static_cast<int>(n);
-        span.recv_ns = p.recv_ns;
-        span.admit_ns = p.enqueue_ns;
-        span.assemble_ns = assembled_ns;
-        span.infer_ns = infer_start_ns;
-        span.done_ns = done_ns;
-        span.send_ns = send_ns;
-        span.sparse_kernel_ns = result.sparse_kernel_ns;
-        span.dense_kernel_ns = result.dense_kernel_ns;
-        spans_.record(span);
-        if (tracing) {
-          obs::trace_span("serve.respond", done_ns, send_ns - done_ns);
-          obs::trace_flow_at("serve.request", p.server_id, 'f', done_ns);
+      w_batch_.record_at(static_cast<double>(n), done_ns);
+      if (obs::trace_enabled())
+        obs::trace_span("serve.infer", infer_start_ns,
+                        done_ns - infer_start_ns);
+      for (std::int64_t i = 0; i < n; ++i)
+        respond_one(batch[static_cast<std::size_t>(i)], result, i, n,
+                    assembled_ns, infer_start_ns, done_ns);
+    } else {
+      std::vector<std::int64_t> single_dims = dims;
+      single_dims[0] = 1;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const PendingRequest& p = batch[static_cast<std::size_t>(i)];
+        std::vector<Tensor> single;
+        single.reserve(static_cast<std::size_t>(steps));
+        for (std::int64_t t = 0; t < steps; ++t) {
+          Tensor x{Shape(single_dims)};
+          std::memcpy(x.data(), p.request.data.data() + t * in_elems,
+                      static_cast<std::size_t>(in_elems) * sizeof(float));
+          single.push_back(std::move(x));
         }
-      }
-      if (obs::metrics_enabled()) {
-        obs::observe(ids.request_us, e2e_us);
-        obs::observe(ids.queue_us,
-                     static_cast<double>(resp.queue_ns) / 1e3);
-        obs::observe(ids.assemble_us,
-                     static_cast<double>(resp.assemble_ns) / 1e3);
-        obs::observe(ids.infer_us,
-                     static_cast<double>(resp.infer_ns) / 1e3);
-        obs::add(ids.requests);
-        if (slo_.enabled())
-          obs::add(e2e_us / 1e3 <= config_.slo_target_ms ? ids.slo_ok
-                                                         : ids.slo_violations);
+        const std::uint64_t s_start = now_ns();
+        try {
+          if (config_.poison_hook) config_.poison_hook(p.request);
+          const infer::InferenceResult r1 = session.run(single);
+          const std::uint64_t s_done = now_ns();
+          batches_.fetch_add(1, std::memory_order_relaxed);
+          w_batch_.record_at(1.0, s_done);
+          respond_one(p, r1, 0, 1, assembled_ns, s_start, s_done);
+        } catch (const std::exception& e) {
+          internal_errors_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::metrics_enabled()) obs::add(ids.internal_errors);
+          respond_error(p.conn, p.request.request_id,
+                        ErrorCode::kInternalError, e.what(), p.version);
+        }
       }
     }
     if (obs::metrics_enabled()) {
@@ -357,7 +498,7 @@ void Server::drain_and_stop() {
   [[maybe_unused]] ssize_t n = write(stop_pipe_[1], &token, 1);
   listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
-  // 2. Everything already admitted gets served; workers exit when dry.
+  // 2. Everything already admitted gets served or shed; workers exit dry.
   batcher_.drain();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -382,22 +523,35 @@ void Server::drain_and_stop() {
                 << spans_.recorded() << " spans sampled 1-in-"
                 << config_.span_sample_every << ")";
   }
+  if (!config_.fault_log.empty() && !config_.fault_spec.empty()) {
+    fault_log_.write_jsonl(config_.fault_log);
+    ST_LOG_INFO << "serve: wrote " << config_.fault_log << " ("
+                << fault_log_.size() << " injected faults)";
+  }
   const Stats s = stats();
-  ST_LOG_INFO << "serve: drained; served " << s.served << " requests in "
-              << s.batches << " batches (max batch " << s.max_batch_seen
-              << ", " << s.rejected_overload << " overload + "
+  ST_LOG_INFO << "serve: drained; served " << s.served << " of " << s.admitted
+              << " admitted requests in " << s.batches << " batches (max batch "
+              << s.max_batch_seen << ", " << s.deadline_shed
+              << " deadline-shed, " << s.internal_errors
+              << " internal errors, " << s.rejected_overload << " overload + "
               << s.rejected_draining << " draining rejections)";
 }
 
 Server::Stats Server::stats() const {
   Stats s;
   s.connections = connections_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
   s.served = served_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
   s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.dropped_responses = dropped_responses_.load(std::memory_order_relaxed);
+  s.deadline_requests = deadline_requests_.load(std::memory_order_relaxed);
+  s.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  s.send_timeouts = send_timeouts_.load(std::memory_order_relaxed);
   s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
   s.stat_requests = stat_requests_.load(std::memory_order_relaxed);
   return s;
@@ -414,12 +568,18 @@ std::string Server::stat_json() const {
 
   JsonValue totals = JsonValue::make_object();
   totals.set("connections", JsonValue(s.connections));
+  totals.set("admitted", JsonValue(s.admitted));
   totals.set("served", JsonValue(s.served));
   totals.set("batches", JsonValue(s.batches));
   totals.set("rejected_overload", JsonValue(s.rejected_overload));
   totals.set("rejected_draining", JsonValue(s.rejected_draining));
   totals.set("bad_requests", JsonValue(s.bad_requests));
   totals.set("dropped_responses", JsonValue(s.dropped_responses));
+  totals.set("deadline_requests", JsonValue(s.deadline_requests));
+  totals.set("deadline_shed", JsonValue(s.deadline_shed));
+  totals.set("internal_errors", JsonValue(s.internal_errors));
+  totals.set("idle_reaped", JsonValue(s.idle_reaped));
+  totals.set("send_timeouts", JsonValue(s.send_timeouts));
   totals.set("max_batch_seen", JsonValue(s.max_batch_seen));
   root.set("totals", totals);
 
@@ -427,6 +587,18 @@ std::string Server::stat_json() const {
            JsonValue(static_cast<std::int64_t>(batcher_.depth())));
   root.set("qps", JsonValue(w_served_.per_second_at(now)));
   root.set("rejects_per_s", JsonValue(w_rejected_.per_second_at(now)));
+
+  JsonValue deadline = JsonValue::make_object();
+  deadline.set("requests", JsonValue(s.deadline_requests));
+  deadline.set("shed", JsonValue(s.deadline_shed));
+  deadline.set("shed_per_s", JsonValue(w_deadline_shed_.per_second_at(now)));
+  root.set("deadline", deadline);
+
+  JsonValue faults = JsonValue::make_object();
+  faults.set("enabled", JsonValue(!config_.fault_spec.empty()));
+  faults.set("injected",
+             JsonValue(static_cast<std::int64_t>(fault_log_.size())));
+  root.set("faults", faults);
 
   // Windowed latency: end-to-end plus the stage tiling of [recv, send].
   root.set("request_us", hist_json(w_request_us_.merged_at(now)));

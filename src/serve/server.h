@@ -19,16 +19,28 @@
 // paths are bit-identical (DESIGN.md §10, §11).  bench/serve_loadgen's
 // parity gate enforces this end to end.
 //
+// Unhappy paths are first-class (DESIGN.md §13).  Every admitted request
+// is answered exactly once, by exactly one of: a response (served), a
+// deadline-exceeded shed, an internal-error isolation, or a dropped write
+// to a vanished peer — so `admitted == served + dropped_responses +
+// deadline_shed + internal_errors` holds at drain.  Slow peers are cut by
+// the bounded send path (send_timeout_ms), silent ones by the acceptor's
+// idle reaper (idle_timeout_ms), and a request that makes inference throw
+// is answered kInternalError without taking its batchmates or its worker
+// down.  For chaos testing, fault_spec wraps the listener in the
+// deterministic injector from serve/fault.h.
+//
 // Shutdown is drain-safe: drain_and_stop() (the daemon calls it when the
 // cooperative SIGINT/SIGTERM handler fires — see obs/signal_flush.h) stops
-// accepting connections and requests, answers everything already admitted,
-// joins all threads, and leaves telemetry ready to flush.  Nothing is
-// dropped except requests that had not yet been admitted, whose clients
-// see a `shutting-down` error or a closed connection.
+// accepting connections and requests, answers or sheds everything already
+// admitted, joins all threads, and leaves telemetry ready to flush.
+// Nothing is dropped except requests that had not yet been admitted, whose
+// clients see a `shutting-down` error or a closed connection.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -40,6 +52,7 @@
 #include "obs/spans.h"
 #include "obs/window.h"
 #include "serve/batcher.h"
+#include "serve/fault.h"
 #include "serve/slo.h"
 #include "serve/transport.h"
 
@@ -54,6 +67,24 @@ struct ServerConfig {
   std::int64_t max_queue_depth = 256;    // admission-control bound
   std::int64_t max_steps = 64;           // per-request window-length cap
   double sparse_crossover = 0.35;        // forwarded to every session
+  // Connection hygiene.  send_timeout_ms bounds every response write: a
+  // peer that stops reading is cut after this budget instead of wedging a
+  // worker (0 = unbounded).  idle_timeout_ms reaps connections with no
+  // completed frame in that long (0 = never); the acceptor checks on a
+  // <= 1 s tick, so enforcement lags by up to one tick.
+  int send_timeout_ms = 5000;
+  int idle_timeout_ms = 0;
+  int sndbuf_bytes = 0;  // SO_SNDBUF for accepted sockets (0 = OS default)
+  // Deterministic fault injection (serve/fault.h).  Empty = real TCP; a
+  // spec string wraps the listener so every accepted connection misbehaves
+  // on a seeded schedule.  fault_log (optional) is where the fired-fault
+  // JSONL is written at drain.
+  std::string fault_spec;
+  std::string fault_log;
+  // Test hook: called for every request before it is inferred (batch and
+  // isolation paths both).  Lets tests wedge a worker (sleep) or poison a
+  // chosen request (throw) deterministically.  Leave empty in production.
+  std::function<void(const InferRequest&)> poison_hook;
   // Request-scoped observability (see obs/spans.h).  Sampling keys off the
   // server-assigned request id: 0 disables spans, 1 records every request.
   std::uint64_t span_sample_every = 16;
@@ -85,20 +116,26 @@ class Server {
   /// True between start() and drain_and_stop().
   bool running() const { return running_.load(); }
 
-  /// Drain-safe shutdown: stop admissions, answer everything admitted,
-  /// join every thread, close every connection.  Idempotent; blocks until
-  /// the drain completes.
+  /// Drain-safe shutdown: stop admissions, answer or shed everything
+  /// admitted, join every thread, close every connection.  Idempotent;
+  /// blocks until the drain completes.
   void drain_and_stop();
 
   /// Monotonic counters for the final report / ledger.
   struct Stats {
     std::int64_t connections = 0;
+    std::int64_t admitted = 0;  // requests that entered the queue
     std::int64_t served = 0;
     std::int64_t batches = 0;
     std::int64_t rejected_overload = 0;
     std::int64_t rejected_draining = 0;
     std::int64_t bad_requests = 0;
     std::int64_t dropped_responses = 0;  // peer gone before its response
+    std::int64_t deadline_requests = 0;  // admitted with a nonzero budget
+    std::int64_t deadline_shed = 0;      // expired in queue; never inferred
+    std::int64_t internal_errors = 0;    // poison requests isolated
+    std::int64_t idle_reaped = 0;        // connections cut for inactivity
+    std::int64_t send_timeouts = 0;      // connections cut mid-write
     std::int64_t max_batch_seen = 0;
     std::int64_t stat_requests = 0;  // STAT snapshots served
   };
@@ -106,19 +143,21 @@ class Server {
 
   /// Live introspection snapshot: one compact JSON document with uptime,
   /// since-start totals, windowed (last stat_window_s seconds) latency
-  /// quantiles + per-stage breakdown + QPS, batch-size distribution, SLO
-  /// burn, and span-sampling state.  What the STAT opcode returns; safe to
-  /// call from any thread while serving.
+  /// quantiles + per-stage breakdown + QPS, batch-size distribution,
+  /// deadline-shed state, SLO burn, and span-sampling state.  What the
+  /// STAT opcode returns; safe to call from any thread while serving.
   std::string stat_json() const;
 
   const obs::SpanRecorder& spans() const { return spans_; }
   const SloTracker& slo() const { return slo_; }
+  const FaultLog& fault_log() const { return fault_log_; }
 
  private:
   struct ReaderSlot {
     std::thread thread;
     std::shared_ptr<Connection> conn;
     std::atomic<bool> done{false};
+    bool reaped = false;  // acceptor-only, under readers_mu_
   };
 
   void acceptor_main();
@@ -126,13 +165,20 @@ class Server {
   void worker_main(int index);
   void respond_error(const std::shared_ptr<Connection>& conn,
                      std::uint64_t request_id, ErrorCode code,
-                     const std::string& message);
+                     const std::string& message,
+                     std::uint32_t version = kProtocolVersion);
+  /// Answers every request in `expired` with kDeadlineExceeded.
+  void shed_expired(std::vector<PendingRequest>& expired);
   void reap_finished_readers();
+  /// Aborts connections idle past idle_timeout_ms (acceptor tick).
+  void reap_idle_connections();
 
   const infer::CompiledModel* model_;
   ServerConfig config_;
   Batcher batcher_;
   std::unique_ptr<Listener> listener_;
+  FaultSpec fault_spec_;  // parsed from config_.fault_spec at start()
+  FaultLog fault_log_;
 
   int stop_pipe_[2] = {-1, -1};  // wakes acceptor + readers at shutdown
   std::atomic<bool> running_{false};
@@ -145,12 +191,18 @@ class Server {
 
   // Counters (relaxed: single writers or monotonic tallies).
   std::atomic<std::int64_t> connections_{0};
+  std::atomic<std::int64_t> admitted_{0};
   std::atomic<std::int64_t> served_{0};
   std::atomic<std::int64_t> batches_{0};
   std::atomic<std::int64_t> rejected_overload_{0};
   std::atomic<std::int64_t> rejected_draining_{0};
   std::atomic<std::int64_t> bad_requests_{0};
   std::atomic<std::int64_t> dropped_responses_{0};
+  std::atomic<std::int64_t> deadline_requests_{0};
+  std::atomic<std::int64_t> deadline_shed_{0};
+  std::atomic<std::int64_t> internal_errors_{0};
+  std::atomic<std::int64_t> idle_reaped_{0};
+  std::atomic<std::int64_t> send_timeouts_{0};
   std::atomic<std::int64_t> max_batch_seen_{0};
   std::atomic<std::int64_t> stat_requests_{0};
 
@@ -174,6 +226,7 @@ class Server {
   obs::WindowedHistogram w_batch_;        // samples per session run
   obs::WindowedRate w_served_;
   obs::WindowedRate w_rejected_;
+  obs::WindowedRate w_deadline_shed_;
 };
 
 }  // namespace spiketune::serve

@@ -13,27 +13,41 @@
 #include <thread>
 
 #include "core/error.h"
+#include "obs/telemetry.h"
 
 namespace spiketune::serve {
 
 namespace {
 
-// Blocks until `fd` is readable or `wake_fd` fires.  Returns false on wake
-// or error — callers treat both as "stop reading".
-bool wait_readable(int fd, int wake_fd) {
+/// Blocks until `fd` is ready for `events` or `wake_fd` fires.  Returns 1
+/// on ready, 0 on timeout (timeout_ms >= 0), -1 on wake or hard error.  A
+/// signal landing mid-poll (EINTR) restarts the wait with the remaining
+/// budget instead of surfacing as a spurious connection error.
+int wait_io(int fd, short events, int wake_fd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
     struct pollfd pfds[2];
-    pfds[0] = {fd, POLLIN, 0};
+    pfds[0] = {fd, events, 0};
     pfds[1] = {wake_fd, POLLIN, 0};
     const nfds_t n = wake_fd >= 0 ? 2 : 1;
-    const int rc = poll(pfds, n, -1);
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, left.count()));
+    }
+    const int rc = poll(pfds, n, wait_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return -1;
     }
+    if (rc == 0) return 0;
     if (wake_fd >= 0 && (pfds[1].revents & (POLLIN | POLLERR | POLLHUP)))
-      return false;
-    if (pfds[0].revents & (POLLIN | POLLERR | POLLHUP)) return true;
+      return -1;
+    // POLLNVAL included: let the subsequent syscall fail loudly rather
+    // than spinning on a descriptor that was closed under us.
+    if (pfds[0].revents != 0) return 1;
   }
 }
 
@@ -67,15 +81,29 @@ TcpConnection::TcpConnection(int fd, std::string peer)
     : fd_(fd), peer_(std::move(peer)) {
   const int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  touch_activity();
 }
 
 TcpConnection::~TcpConnection() { close(); }
 
+void TcpConnection::touch_activity() {
+  last_activity_ns_.store(obs::telemetry_now_ns(), std::memory_order_relaxed);
+}
+
+ssize_t TcpConnection::transport_recv(std::uint8_t* buf, std::size_t n) {
+  return ::recv(fd_, buf, n, 0);
+}
+
+ssize_t TcpConnection::transport_send(const std::uint8_t* buf,
+                                      std::size_t n) {
+  return ::send(fd_, buf, n, MSG_DONTWAIT | MSG_NOSIGNAL);
+}
+
 bool TcpConnection::read_exact(std::uint8_t* buf, std::size_t n,
                                int wake_fd) {
   while (n > 0) {
-    if (!wait_readable(fd_, wake_fd)) return false;
-    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (wait_io(fd_, POLLIN, wake_fd, -1) <= 0) return false;
+    const ssize_t r = transport_recv(buf, n);
     if (r == 0) return false;  // clean EOF
     if (r < 0) {
       if (errno == EINTR || errno == EAGAIN) continue;
@@ -99,21 +127,79 @@ bool TcpConnection::read_frame(FrameHeader& header,
   if (header.payload_bytes > 0 &&
       !read_exact(payload.data(), payload.size(), wake_fd))
     return false;
+  touch_activity();
+  return true;
+}
+
+bool TcpConnection::write_all_bounded(const std::uint8_t* p, std::size_t n,
+                                      std::uint64_t deadline_ns) {
+  while (n > 0) {
+    const ssize_t w = transport_send(p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+      // Socket buffer full: the peer has stopped reading.  Wait for
+      // POLLOUT up to the remaining budget; give up past the deadline.
+      int wait_ms = -1;
+      if (deadline_ns != 0) {
+        const std::uint64_t now = obs::telemetry_now_ns();
+        if (now >= deadline_ns) {
+          errno = ETIMEDOUT;
+          return false;
+        }
+        wait_ms = static_cast<int>((deadline_ns - now) / 1'000'000 + 1);
+      }
+      const int rc = wait_io(fd_, POLLOUT, -1, wait_ms);
+      if (rc == 0) {
+        errno = ETIMEDOUT;
+        return false;
+      }
+      if (rc < 0) return false;
+      continue;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
   return true;
 }
 
 bool TcpConnection::write_frame(FrameKind kind, std::uint64_t request_id,
-                                const std::vector<std::uint8_t>& payload) {
+                                const std::vector<std::uint8_t>& payload,
+                                std::uint32_t version) {
   FrameHeader h;
   h.kind = kind;
+  h.version = version;
   h.request_id = request_id;
   h.payload_bytes = static_cast<std::uint32_t>(payload.size());
   std::uint8_t raw[kHeaderBytes];
   encode_header(h, raw);
+  const std::uint64_t deadline_ns =
+      send_timeout_ms_ > 0
+          ? obs::telemetry_now_ns() +
+                static_cast<std::uint64_t>(send_timeout_ms_) * 1'000'000
+          : 0;
   std::lock_guard<std::mutex> lock(write_mu_);
-  if (fd_ < 0) return false;
-  return write_all(fd_, raw, kHeaderBytes) &&
-         (payload.empty() || write_all(fd_, payload.data(), payload.size()));
+  if (fd_ < 0 || aborted_.load(std::memory_order_relaxed)) return false;
+  errno = 0;
+  const bool ok =
+      write_all_bounded(raw, kHeaderBytes, deadline_ns) &&
+      (payload.empty() ||
+       write_all_bounded(payload.data(), payload.size(), deadline_ns));
+  if (ok) {
+    touch_activity();
+    return true;
+  }
+  if (errno == ETIMEDOUT && timeout_sink_ != nullptr)
+    timeout_sink_->fetch_add(1, std::memory_order_relaxed);
+  // Whether timeout or peer error, the frame may be half-written and the
+  // stream framing is lost: kill the connection so the reader unblocks and
+  // no later frame lands on a corrupt boundary.
+  if (!aborted_.exchange(true) && fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  return false;
+}
+
+void TcpConnection::abort() {
+  if (!aborted_.exchange(true) && fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void TcpConnection::close() {
@@ -127,11 +213,17 @@ void TcpConnection::close() {
 
 // --- TcpListener ------------------------------------------------------------
 
-TcpListener::TcpListener(const std::string& host, int port) {
+TcpListener::TcpListener(const std::string& host, int port,
+                         TcpListenerOptions options) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   ST_REQUIRE(fd_ >= 0, "socket() failed");
   const int one = 1;
   setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (options.sndbuf_bytes > 0) {
+    // Accepted sockets inherit the listening socket's buffer sizes.
+    setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &options.sndbuf_bytes,
+               sizeof options.sndbuf_bytes);
+  }
   sockaddr_in addr = make_addr(host, port);
   if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       listen(fd_, 128) != 0) {
@@ -148,18 +240,36 @@ TcpListener::TcpListener(const std::string& host, int port) {
 
 TcpListener::~TcpListener() { close(); }
 
-std::shared_ptr<Connection> TcpListener::accept(int wake_fd) {
-  if (fd_ < 0) return nullptr;
-  if (!wait_readable(fd_, wake_fd)) return nullptr;
-  sockaddr_in peer = {};
-  socklen_t len = sizeof peer;
-  const int cfd =
-      ::accept(fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+int TcpListener::accept_fd(int wake_fd, int timeout_ms, std::string* peer) {
+  for (;;) {
+    if (fd_ < 0) return -1;
+    const int rc = wait_io(fd_, POLLIN, wake_fd, timeout_ms);
+    if (rc <= 0) return -1;  // wake, timeout, or listener closed
+    sockaddr_in addr = {};
+    socklen_t len = sizeof addr;
+    const int cfd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (cfd < 0) {
+      // A connection aborted between poll and accept (or a signal) is not
+      // fatal to the listener; try again.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN)
+        continue;
+      return -1;
+    }
+    if (peer != nullptr) {
+      char ip[INET_ADDRSTRLEN] = "?";
+      inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+      *peer = std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+    }
+    return cfd;
+  }
+}
+
+std::shared_ptr<Connection> TcpListener::accept(int wake_fd,
+                                                int timeout_ms) {
+  std::string peer;
+  const int cfd = accept_fd(wake_fd, timeout_ms, &peer);
   if (cfd < 0) return nullptr;
-  char ip[INET_ADDRSTRLEN] = "?";
-  inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
-  return std::make_shared<TcpConnection>(
-      cfd, std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port)));
+  return std::make_shared<TcpConnection>(cfd, std::move(peer));
 }
 
 void TcpListener::close() {
@@ -178,8 +288,20 @@ TcpClient::TcpClient(const std::string& host, int port, int retry_ms) {
   for (;;) {
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     ST_REQUIRE(fd_ >= 0, "socket() failed");
-    if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) == 0) {
+    int rc = connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    if (rc != 0 && errno == EINTR) {
+      // A signal interrupted connect(); the handshake continues in the
+      // background.  Wait for writability and read the final verdict.
+      if (wait_io(fd_, POLLOUT, -1, retry_ms > 0 ? retry_ms : -1) > 0) {
+        int err = 0;
+        socklen_t len = sizeof err;
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0) rc = 0;
+        errno = err;
+      }
+    }
+    if (rc == 0) {
       const int one = 1;
       setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
       return;

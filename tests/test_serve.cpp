@@ -8,11 +8,15 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -23,8 +27,11 @@
 #include "core/json.h"
 #include "core/rng.h"
 #include "infer/session.h"
+#include "obs/signal_flush.h"
 #include "obs/spans.h"
+#include "obs/telemetry.h"
 #include "serve/batcher.h"
+#include "serve/fault.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/transport.h"
@@ -159,13 +166,89 @@ TEST(ServeProtocol, StatPayloadRoundTrip) {
   EXPECT_TRUE(decode_stat(encode_stat("")).empty());
 }
 
+TEST(ServeProtocol, HeaderVersionRoundTripAndLegacyZeroByte) {
+  FrameHeader h;
+  h.kind = FrameKind::kInferRequest;
+  h.version = 2;
+  std::uint8_t raw[kHeaderBytes];
+  encode_header(h, raw);
+  EXPECT_EQ(raw[5], 2);  // version lives in the kind word's second byte
+  EXPECT_EQ(decode_header(raw).version, 2u);
+
+  // Version 1 encodes as a ZERO byte so a v1 frame is byte-identical to
+  // the pre-versioning wire format, and a zero byte decodes back as v1 —
+  // old clients and old captures keep working unchanged.
+  h.version = 1;
+  encode_header(h, raw);
+  EXPECT_EQ(raw[5], 0);
+  EXPECT_EQ(decode_header(raw).version, 1u);
+
+  // A version above kProtocolVersion is a different protocol: rejected.
+  raw[5] = static_cast<std::uint8_t>(kProtocolVersion + 1);
+  EXPECT_THROW(decode_header(raw), InvalidArgument);
+}
+
+TEST(ServeProtocol, RequestDeadlineRoundTripAndV1Layout) {
+  InferRequest r;
+  r.request_id = 13;
+  r.num_steps = 2;
+  r.elems_per_step = 3;
+  r.deadline_us = 123456;
+  r.data = {1, 0, 1, 0, 1, 0};
+  const std::vector<std::uint8_t> v2 = encode_request(r);
+  EXPECT_EQ(v2.size(), 16u + r.data.size() * sizeof(float));
+  const InferRequest back = decode_request(13, v2);
+  EXPECT_EQ(back.deadline_us, 123456u);
+  EXPECT_EQ(back.num_steps, 2u);
+  ASSERT_EQ(back.data.size(), r.data.size());
+
+  // The v1 layout has no deadline field: 8 bytes of dims + the floats,
+  // exactly what the original protocol shipped.
+  r.deadline_us = 0;
+  const std::vector<std::uint8_t> v1 = encode_request(r, 1);
+  EXPECT_EQ(v1.size(), 8u + r.data.size() * sizeof(float));
+  EXPECT_EQ(decode_request(13, v1, 1).deadline_us, 0u);
+
+  // A nonzero deadline cannot ride a v1 frame: refused, never dropped.
+  r.deadline_us = 5;
+  EXPECT_THROW(encode_request(r, 1), Error);
+}
+
+TEST(ServeProtocol, V2ErrorCodesRoundTrip) {
+  ErrorResponse e;
+  e.request_id = 4;
+  e.code = ErrorCode::kDeadlineExceeded;
+  e.message = "late";
+  EXPECT_EQ(decode_error(4, encode_error(e)).code,
+            ErrorCode::kDeadlineExceeded);
+  e.code = ErrorCode::kInternalError;
+  EXPECT_EQ(decode_error(4, encode_error(e)).code, ErrorCode::kInternalError);
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternalError), "internal-error");
+  // One past the last known code: rejected at decode.
+  e.code = static_cast<ErrorCode>(6);
+  EXPECT_THROW(decode_error(4, encode_error(e)), InvalidArgument);
+}
+
 // --- batcher ----------------------------------------------------------------
 
-PendingRequest pending(std::uint32_t num_steps, std::uint64_t id = 0) {
+PendingRequest pending(std::uint32_t num_steps, std::uint64_t id = 0,
+                       std::uint64_t deadline_ns = 0) {
   PendingRequest p;
   p.request.request_id = id;
   p.request.num_steps = num_steps;
+  p.deadline_ns = deadline_ns;
   return p;
+}
+
+/// Dequeue for tests of the deadline-free batching rules: nothing queued
+/// carries a deadline, so the expired out-parameter must stay empty.
+std::vector<PendingRequest> take_batch(Batcher& b) {
+  std::vector<PendingRequest> expired;
+  std::vector<PendingRequest> batch = b.next_batch(expired);
+  EXPECT_TRUE(expired.empty());
+  return batch;
 }
 
 TEST(ServeBatcher, AdmissionControlBoundsQueueDepth) {
@@ -182,7 +265,7 @@ TEST(ServeBatcher, DrainRejectsSubmitsAndReleasesWorkers) {
   EXPECT_TRUE(b.draining());
   EXPECT_EQ(b.submit(pending(4)), AdmitResult::kDraining);
   // Draining + empty queue: next_batch returns empty instead of blocking.
-  EXPECT_TRUE(b.next_batch().empty());
+  EXPECT_TRUE(take_batch(b).empty());
 }
 
 TEST(ServeBatcher, DrainServesQueuedWorkBeforeReleasing) {
@@ -191,9 +274,9 @@ TEST(ServeBatcher, DrainServesQueuedWorkBeforeReleasing) {
   ASSERT_EQ(b.submit(pending(4, 2)), AdmitResult::kAdmitted);
   ASSERT_EQ(b.submit(pending(4, 3)), AdmitResult::kAdmitted);
   b.drain();
-  EXPECT_EQ(b.next_batch().size(), 2u);  // admitted work still comes out
-  EXPECT_EQ(b.next_batch().size(), 1u);
-  EXPECT_TRUE(b.next_batch().empty());  // then the drain signal
+  EXPECT_EQ(take_batch(b).size(), 2u);  // admitted work still comes out
+  EXPECT_EQ(take_batch(b).size(), 1u);
+  EXPECT_TRUE(take_batch(b).empty());  // then the drain signal
 }
 
 TEST(ServeBatcher, CoalescesSameWindowLengthOnly) {
@@ -205,14 +288,14 @@ TEST(ServeBatcher, CoalescesSameWindowLengthOnly) {
   ASSERT_EQ(b.submit(pending(2, 3)), AdmitResult::kAdmitted);
   ASSERT_EQ(b.submit(pending(4, 4)), AdmitResult::kAdmitted);
 
-  const auto first = b.next_batch();
+  const auto first = take_batch(b);
   ASSERT_EQ(first.size(), 3u);
   for (const PendingRequest& p : first) EXPECT_EQ(p.request.num_steps, 4u);
   EXPECT_EQ(first[0].request.request_id, 1u);
   EXPECT_EQ(first[1].request.request_id, 2u);
   EXPECT_EQ(first[2].request.request_id, 4u);
 
-  const auto second = b.next_batch();
+  const auto second = take_batch(b);
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0].request.request_id, 3u);
   EXPECT_EQ(second[0].request.num_steps, 2u);
@@ -222,9 +305,9 @@ TEST(ServeBatcher, RespectsMaxBatch) {
   Batcher b({.max_batch = 2, .batch_timeout_us = 0, .max_queue_depth = 16});
   for (std::uint64_t i = 0; i < 5; ++i)
     ASSERT_EQ(b.submit(pending(4, i)), AdmitResult::kAdmitted);
-  EXPECT_EQ(b.next_batch().size(), 2u);
-  EXPECT_EQ(b.next_batch().size(), 2u);
-  EXPECT_EQ(b.next_batch().size(), 1u);
+  EXPECT_EQ(take_batch(b).size(), 2u);
+  EXPECT_EQ(take_batch(b).size(), 2u);
+  EXPECT_EQ(take_batch(b).size(), 1u);
   EXPECT_EQ(b.depth(), 0u);
 }
 
@@ -238,10 +321,56 @@ TEST(ServeBatcher, LatencyBudgetPicksUpLateArrivals) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     b.drain();  // close the window so next_batch returns promptly
   });
-  const auto batch = b.next_batch();
+  const auto batch = take_batch(b);
   late.join();
   ASSERT_EQ(batch.size(), 2u);  // the late arrival joined the open batch
   EXPECT_EQ(batch[1].request.request_id, 2u);
+}
+
+TEST(ServeBatcher, ShedsExpiredEntriesAtDequeue) {
+  Batcher b({.max_batch = 4, .batch_timeout_us = 0, .max_queue_depth = 16});
+  const std::uint64_t now = obs::telemetry_now_ns();
+  ASSERT_EQ(b.submit(pending(4, 1)), AdmitResult::kAdmitted);
+  ASSERT_EQ(b.submit(pending(4, 2, /*deadline_ns=*/now)),  // already expired
+            AdmitResult::kAdmitted);
+  ASSERT_EQ(b.submit(pending(4, 3, now + 60'000'000'000ull)),  // +60 s
+            AdmitResult::kAdmitted);
+  std::vector<PendingRequest> expired;
+  const auto batch = b.next_batch(expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].request.request_id, 2u);
+  ASSERT_EQ(batch.size(), 2u);  // the live requests still coalesce
+  EXPECT_EQ(batch[0].request.request_id, 1u);
+  EXPECT_EQ(batch[1].request.request_id, 3u);
+  EXPECT_EQ(b.depth(), 0u);
+}
+
+TEST(ServeBatcher, ExpiredOnlyQueueReturnsPromptlyWithoutBlocking) {
+  // Everything queued is stale: next_batch must hand the expired entries
+  // back immediately (they still need kDeadlineExceeded answers) instead
+  // of blocking for a live arrival that may never come.
+  Batcher b({.max_batch = 4, .batch_timeout_us = 0, .max_queue_depth = 16});
+  ASSERT_EQ(b.submit(pending(4, 1, obs::telemetry_now_ns())),
+            AdmitResult::kAdmitted);
+  std::vector<PendingRequest> expired;
+  EXPECT_TRUE(b.next_batch(expired).empty());
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].request.request_id, 1u);
+}
+
+TEST(ServeBatcher, DrainStillShedsExpiredBeforeReleasingWorkers) {
+  Batcher b({.max_batch = 4, .batch_timeout_us = 0, .max_queue_depth = 16});
+  ASSERT_EQ(b.submit(pending(4, 1, obs::telemetry_now_ns())),
+            AdmitResult::kAdmitted);
+  b.drain();
+  // First pass: the expired entry comes out for shedding, not inference.
+  std::vector<PendingRequest> expired;
+  EXPECT_TRUE(b.next_batch(expired).empty());
+  ASSERT_EQ(expired.size(), 1u);
+  // Second pass: dry and draining — the worker-exit signal.
+  expired.clear();
+  EXPECT_TRUE(b.next_batch(expired).empty());
+  EXPECT_TRUE(expired.empty());
 }
 
 // --- server integration -----------------------------------------------------
@@ -376,9 +505,13 @@ TEST(ServeServer, RejectsMalformedRequests) {
 }
 
 // Raw-socket helpers for sending hostile bytes TcpClient never would.
-int connect_raw(int port) {
+// `rcvbuf` (if nonzero) shrinks SO_RCVBUF before connecting, so a peer
+// that never reads wedges the daemon's sends after a few KiB.
+int connect_raw(int port, int rcvbuf = 0) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
+  if (rcvbuf > 0)
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
   sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -396,24 +529,38 @@ void send_raw(int fd, const std::uint8_t* p, std::size_t n) {
   }
 }
 
-bool recv_frame_raw(int fd, FrameHeader& header,
-                    std::vector<std::uint8_t>& payload) {
-  std::uint8_t raw[kHeaderBytes];
+bool recv_exact(int fd, std::uint8_t* p, std::size_t n) {
   std::size_t got = 0;
-  while (got < kHeaderBytes) {
-    const ssize_t r = ::recv(fd, raw + got, kHeaderBytes - got, 0);
+  while (got < n) {
+    const ssize_t r = ::recv(fd, p + got, n - got, 0);
     if (r <= 0) return false;
     got += static_cast<std::size_t>(r);
   }
+  return true;
+}
+
+bool recv_frame_raw(int fd, FrameHeader& header,
+                    std::vector<std::uint8_t>& payload) {
+  std::uint8_t raw[kHeaderBytes];
+  if (!recv_exact(fd, raw, kHeaderBytes)) return false;
   header = decode_header(raw);
   payload.resize(header.payload_bytes);
-  std::size_t off = 0;
-  while (off < payload.size()) {
-    const ssize_t r = ::recv(fd, payload.data() + off, payload.size() - off, 0);
-    if (r <= 0) return false;
-    off += static_cast<std::size_t>(r);
-  }
-  return true;
+  return payload.empty() || recv_exact(fd, payload.data(), payload.size());
+}
+
+/// One full frame (header + payload) as raw wire bytes.
+std::vector<std::uint8_t> frame_bytes(const InferRequest& req,
+                                      std::uint32_t version) {
+  const std::vector<std::uint8_t> payload = encode_request(req, version);
+  FrameHeader h;
+  h.kind = FrameKind::kInferRequest;
+  h.version = version;
+  h.request_id = req.request_id;
+  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out(kHeaderBytes);
+  encode_header(h, out.data());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
 }
 
 TEST(ServeServer, HostileFramesNeverKillTheDaemon) {
@@ -619,6 +766,443 @@ TEST(ServeServer, StatAnswersBeforeAnyInferenceTraffic) {
   ASSERT_NE(req, nullptr);
   EXPECT_EQ(req->number_or("count", -1), 0);
   EXPECT_DOUBLE_EQ(req->number_or("p99", -1), 0.0);
+}
+
+// --- deadlines, poison isolation, connection hygiene ------------------------
+
+TEST(ServeServer, LegacyV1ClientRoundTripsByteCompatibly) {
+  MlpServer s;
+  Rng rng(17);
+  const InferRequest req = random_request(5, 4, s.per_sample.numel(), rng);
+  const std::vector<std::uint8_t> frame = frame_bytes(req, /*version=*/1);
+  EXPECT_EQ(frame[5], 0);  // v1 on the wire: zero version byte
+  // v1 payload layout: dims only, no deadline field.
+  EXPECT_EQ(frame.size(), kHeaderBytes + 8 + req.data.size() * sizeof(float));
+
+  const int fd = connect_raw(s.server->port());
+  send_raw(fd, frame.data(), frame.size());
+  // The daemon mirrors the request's version: the reply header must be
+  // byte-identical to the pre-versioning format (zero version byte).
+  std::uint8_t rraw[kHeaderBytes];
+  ASSERT_TRUE(recv_exact(fd, rraw, kHeaderBytes));
+  EXPECT_EQ(rraw[5], 0);
+  const FrameHeader rh = decode_header(rraw);
+  EXPECT_EQ(rh.version, 1u);
+  ASSERT_EQ(rh.kind, FrameKind::kInferResponse);
+  std::vector<std::uint8_t> rp(rh.payload_bytes);
+  ASSERT_TRUE(recv_exact(fd, rp.data(), rp.size()));
+  ::close(fd);
+
+  const InferResponse resp = decode_response(rh.request_id, rp);
+  const std::vector<float> want = reference_counts(s.model, s.per_sample, req);
+  ASSERT_EQ(resp.spike_counts.size(), want.size());
+  EXPECT_EQ(std::memcmp(resp.spike_counts.data(), want.data(),
+                        want.size() * sizeof(float)),
+            0);
+}
+
+TEST(ServeServer, ExpiredDeadlineIsShedNotServed) {
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 1;
+  cfg.batch_timeout_us = 0;
+  // Wedge the single worker inside the first request's inference so the
+  // second request's budget deterministically expires in the queue.
+  cfg.poison_hook = [](const InferRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  };
+  MlpServer s(cfg);
+  const std::int64_t elems = s.per_sample.numel();
+  const int port = s.server->port();
+
+  std::thread wedge([&] {
+    Rng rng(41);
+    TcpClient c("127.0.0.1", port, 2000);
+    const TcpClient::Reply r = c.roundtrip(random_request(1, 4, elems, rng));
+    EXPECT_TRUE(r.ok) << r.error.message;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  Rng rng(42);
+  TcpClient client("127.0.0.1", port, 2000);
+  InferRequest late = random_request(2, 4, elems, rng);
+  late.deadline_us = 5000;  // 5 ms << the ~170 ms of wedge left
+  const TcpClient::Reply reply = client.roundtrip(late);
+  wedge.join();
+  ASSERT_FALSE(reply.ok);
+  ASSERT_FALSE(reply.disconnected);
+  EXPECT_EQ(reply.error.code, ErrorCode::kDeadlineExceeded);
+
+  // The shed shows up in live STAT introspection (both counters were
+  // bumped before the error frame we already received was written).
+  const TcpClient::StatReply stat = client.stat(99);
+  ASSERT_TRUE(stat.ok);
+  const JsonValue root = JsonValue::parse(stat.json, "STAT reply");
+  const JsonValue* deadline = root.find("deadline");
+  ASSERT_NE(deadline, nullptr);
+  EXPECT_EQ(deadline->number_or("requests", -1), 1);
+  EXPECT_EQ(deadline->number_or("shed", -1), 1);
+
+  // Counters are only final once the workers are joined: `served` is
+  // bumped after the response write, so a drain must separate the last
+  // reply from the stats assertions.
+  s.server->drain_and_stop();
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.deadline_requests, 1);
+  EXPECT_EQ(stats.deadline_shed, 1);
+  EXPECT_EQ(stats.served, 1);
+  EXPECT_EQ(stats.admitted, stats.served + stats.dropped_responses +
+                                stats.deadline_shed + stats.internal_errors);
+}
+
+TEST(ServeServer, PoisonRequestIsolatedWithoutKillingBatchmates) {
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 8;
+  cfg.batch_timeout_us = 30000;  // 30 ms window: the three coalesce
+  cfg.poison_hook = [](const InferRequest& r) {
+    if (r.request_id == 666) throw Error("poison pill");
+  };
+  MlpServer s(cfg);
+  const std::int64_t elems = s.per_sample.numel();
+  const int port = s.server->port();
+
+  constexpr std::uint64_t kIds[3] = {1, 666, 2};
+  TcpClient::Reply replies[3];
+  InferRequest requests[3];
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&, i] {
+      Rng rng(300 + static_cast<std::uint64_t>(i));
+      TcpClient c("127.0.0.1", port, 2000);
+      requests[i] = random_request(kIds[i], 4, elems, rng);
+      replies[i] = c.roundtrip(requests[i]);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < 3; ++i) {
+    if (kIds[i] == 666) {
+      ASSERT_FALSE(replies[i].ok);
+      ASSERT_FALSE(replies[i].disconnected);
+      EXPECT_EQ(replies[i].error.code, ErrorCode::kInternalError);
+      continue;
+    }
+    // Batchmates survive the poison AND keep bitwise parity: the isolation
+    // re-run is the same kernel on the same window.
+    ASSERT_TRUE(replies[i].ok) << replies[i].error.message;
+    const std::vector<float> want =
+        reference_counts(s.model, s.per_sample, requests[i]);
+    EXPECT_EQ(std::memcmp(replies[i].response.spike_counts.data(), want.data(),
+                          want.size() * sizeof(float)),
+              0)
+        << "batchmate " << kIds[i];
+  }
+  // The worker survived the poison: a fresh request still round-trips.
+  Rng rng(310);
+  TcpClient after("127.0.0.1", port, 2000);
+  EXPECT_TRUE(after.roundtrip(random_request(7, 4, elems, rng)).ok);
+
+  // Counters bump after the response write, so they are only final once
+  // the workers are joined — drain before asserting them.
+  s.server->drain_and_stop();
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.internal_errors, 1);
+  EXPECT_EQ(stats.served, 3);  // two surviving batchmates + the follow-up
+  EXPECT_EQ(stats.admitted, stats.served + stats.dropped_responses +
+                                stats.deadline_shed + stats.internal_errors);
+}
+
+TEST(ServeServer, SlowPeerIsCutBySendTimeoutNotServedForever) {
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 0;
+  cfg.send_timeout_ms = 150;
+  cfg.sndbuf_bytes = 4096;  // wedge after a few KiB, not megabytes
+  MlpServer s(cfg);
+  const std::int64_t elems = s.per_sample.numel();
+  const int port = s.server->port();
+
+  // A peer that floods requests and never reads a byte of its responses.
+  const int fd = connect_raw(port, /*rcvbuf=*/4096);
+  Rng rng(51);
+  InferRequest req = random_request(1, 2, elems, rng);
+  const std::vector<std::uint8_t> frame = frame_bytes(req, kProtocolVersion);
+  bool full = false;
+  for (int i = 0; i < 2000 && !full; ++i) {
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t w = ::send(fd, frame.data() + off, frame.size() - off,
+                               MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (w <= 0) {
+        full = true;  // kernel buffers full (or the daemon already cut us)
+        break;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+
+  // The bounded write path gives up on the wedged peer within the budget.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (s.server->stats().send_timeouts < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(s.server->stats().send_timeouts, 1);
+  ::close(fd);
+
+  // Only that connection paid: a healthy client still gets parity service
+  // (retrying through any overload backlog the flood left behind).
+  Rng rng2(52);
+  TcpClient healthy("127.0.0.1", port, 2000);
+  const InferRequest good = random_request(9, 4, elems, rng2);
+  TcpClient::Reply reply;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    reply = healthy.roundtrip(good);
+    if (reply.ok || reply.error.code != ErrorCode::kOverloaded) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(reply.ok) << reply.error.message;
+  const std::vector<float> want =
+      reference_counts(s.model, s.per_sample, good);
+  EXPECT_EQ(std::memcmp(reply.response.spike_counts.data(), want.data(),
+                        want.size() * sizeof(float)),
+            0);
+}
+
+// --- fault injection --------------------------------------------------------
+
+TEST(ServeFault, SpecParsesValidatesAndRoundTrips) {
+  const FaultSpec spec =
+      FaultSpec::parse("seed=42,p_partial=0.3,p_disconnect=0.01,delay_ms=7");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.p_partial, 0.3);
+  EXPECT_DOUBLE_EQ(spec.p_disconnect, 0.01);
+  EXPECT_EQ(spec.delay_ms, 7);
+  EXPECT_TRUE(spec.enabled());
+  EXPECT_FALSE(FaultSpec{}.enabled());
+  EXPECT_FALSE(FaultSpec::parse("").enabled());
+
+  // describe() is canonical and round-trippable.
+  const FaultSpec back = FaultSpec::parse(spec.describe());
+  EXPECT_EQ(back.describe(), spec.describe());
+
+  EXPECT_THROW(FaultSpec::parse("p_bogus=0.1"), InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("p_partial=1.5"), InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("p_partial=-0.1"), InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("seed=banana"), InvalidArgument);
+  EXPECT_THROW(FaultSpec::parse("p_partial"), InvalidArgument);
+}
+
+/// Replays a fixed frame script straight through FaultInjectingConnections
+/// over socketpairs — single-threaded, with every inbound frame fully
+/// buffered before the injector reads it — and returns the fired-fault
+/// schedule.  Scripting matters: over real TCP the kernel's own short
+/// writes change how many transport_send calls (and thus RNG draws) a
+/// frame costs, so the schedule would not replay byte-for-byte.
+std::string scripted_fault_schedule(const std::string& spec_text) {
+  const FaultSpec spec = FaultSpec::parse(spec_text);
+  FaultLog log;
+  for (std::uint64_t conn = 0; conn < 3; ++conn) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      ADD_FAILURE() << "socketpair: " << std::strerror(errno);
+      return "";
+    }
+    FaultInjectingConnection c(sv[0], "scripted", spec, conn, &log);
+    for (int i = 0; i < 12; ++i) {
+      Rng rng(1000 * (conn + 1) + static_cast<std::uint64_t>(i));
+      const InferRequest req =
+          random_request(static_cast<std::uint64_t>(i + 1), 2, 16, rng);
+      const std::vector<std::uint8_t> frame =
+          frame_bytes(req, kProtocolVersion);
+      std::size_t off = 0;
+      while (off < frame.size()) {
+        const ssize_t w = ::send(sv[1], frame.data() + off,
+                                 frame.size() - off, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+      FrameHeader h;
+      std::vector<std::uint8_t> payload;
+      bool alive = false;
+      try {
+        alive = c.read_frame(h, payload, /*wake_fd=*/-1);
+      } catch (const Error&) {
+        // Corrupted header: the daemon would drop the connection.
+      }
+      if (alive)
+        alive = c.write_frame(FrameKind::kInferResponse, req.request_id,
+                              payload);
+      // Drain whatever reached the peer so later writes never block.
+      std::uint8_t sink[4096];
+      while (::recv(sv[1], sink, sizeof sink, MSG_DONTWAIT) > 0) {
+      }
+      if (!alive) break;  // disconnect or corruption killed this connection
+    }
+    ::close(sv[1]);
+  }
+  return log.dump();
+}
+
+TEST(ServeFault, SameSeedReproducesTheSameSchedule) {
+  const std::string spec =
+      "seed=11,p_delay=0.25,delay_ms=1,p_read_stall=0.2,p_write_stall=0.2,"
+      "stall_ms=1,p_partial=0.5,p_corrupt=0.1,p_disconnect=0.1";
+  const std::string a = scripted_fault_schedule(spec);
+  const std::string b = scripted_fault_schedule(spec);
+  EXPECT_FALSE(a.empty()) << "no faults fired: the schedule test is vacuous";
+  EXPECT_EQ(a, b) << "same seed, same traffic, different fault schedule";
+  // A different seed produces a different schedule (overwhelmingly).
+  const std::string c = scripted_fault_schedule(
+      "seed=12,p_delay=0.25,delay_ms=1,p_read_stall=0.2,p_write_stall=0.2,"
+      "stall_ms=1,p_partial=0.5,p_corrupt=0.1,p_disconnect=0.1");
+  EXPECT_NE(a, c);
+}
+
+TEST(ServeFault, ChaosNeverBreaksParityGivenRetries) {
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 4;
+  cfg.batch_timeout_us = 500;
+  cfg.fault_spec =
+      "seed=3,p_delay=0.1,delay_ms=1,p_partial=0.4,p_corrupt=0.05,"
+      "p_disconnect=0.05";
+  MlpServer s(cfg);
+  const std::int64_t elems = s.per_sample.numel();
+  const int port = s.server->port();
+
+  Rng rng(61);
+  std::unique_ptr<TcpClient> client;
+  int completed = 0;
+  for (int i = 0; i < 25; ++i) {
+    const InferRequest req =
+        random_request(static_cast<std::uint64_t>(i + 1), 4, elems, rng);
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      if (client == nullptr || !client->connected())
+        client = std::make_unique<TcpClient>("127.0.0.1", port, 2000);
+      const TcpClient::Reply reply = client->roundtrip(req);
+      if (reply.disconnected) {
+        client.reset();  // mid-frame fault: reconnect and retry
+        continue;
+      }
+      if (!reply.ok) continue;
+      // THE chaos invariant: a response that arrives is bitwise correct,
+      // whatever partial writes and delays it survived.
+      const std::vector<float> want =
+          reference_counts(s.model, s.per_sample, req);
+      ASSERT_EQ(reply.response.spike_counts.size(), want.size());
+      ASSERT_EQ(std::memcmp(reply.response.spike_counts.data(), want.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << "request " << i << " lost parity under faults";
+      ++completed;
+      break;
+    }
+  }
+  EXPECT_EQ(completed, 25);
+  EXPECT_GT(s.server->fault_log().size(), 0u);
+
+  s.server->drain_and_stop();
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.admitted, stats.served + stats.dropped_responses +
+                                stats.deadline_shed + stats.internal_errors);
+}
+
+// --- drain x deadlines (forked: the SIGTERM path end to end) ----------------
+
+TEST(ServeServer, SigtermDrainShedsExpiredAndExitsZero) {
+  // install_shutdown_request() arms process-global state, so the daemon
+  // side runs in a fork (same pattern as the cooperative-shutdown tests in
+  // test_signal_flush.cpp); the gtest parent plays the clients.
+  int ready[2];
+  ASSERT_EQ(pipe(ready), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(ready[0]);
+    obs::install_shutdown_request();
+    const auto net = snn::make_snn_mlp({});
+    const Shape per_sample{snn::MlpConfig{}.in_features};
+    const auto model = infer::CompiledModel::compile(*net, per_sample);
+    ServerConfig cfg;
+    cfg.port = 0;
+    cfg.num_workers = 1;
+    cfg.max_batch = 1;
+    cfg.batch_timeout_us = 0;
+    // Wedge the worker so tight-deadline requests are still queued (and
+    // expired) when SIGTERM lands.
+    cfg.poison_hook = [](const InferRequest&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    };
+    Server server(model, cfg);
+    server.start();
+    const std::uint32_t port = static_cast<std::uint32_t>(server.port());
+    if (write(ready[1], &port, sizeof port) != sizeof port) _exit(90);
+    while (!obs::shutdown_requested()) {
+      struct pollfd pfd = {obs::shutdown_fd(), POLLIN, 0};
+      poll(&pfd, 1, 1000);
+    }
+    server.drain_and_stop();
+    const Server::Stats st = server.stats();
+    if (server.running()) _exit(91);
+    if (st.admitted < 5) _exit(92);
+    if (st.deadline_shed < 4) _exit(93);
+    // Exactly-once accounting: every admitted request left through served,
+    // dropped, shed, or internal-error — nothing vanished, nothing doubled.
+    if (st.admitted != st.served + st.dropped_responses + st.deadline_shed +
+                           st.internal_errors)
+      _exit(94);
+    _exit(0);
+  }
+  close(ready[1]);
+  std::uint32_t port = 0;
+  ASSERT_EQ(read(ready[0], &port, sizeof port),
+            static_cast<ssize_t>(sizeof port));
+  close(ready[0]);
+  const std::int64_t elems = Shape{snn::MlpConfig{}.in_features}.numel();
+
+  // One no-deadline request wedges the single worker for ~400 ms...
+  std::thread wedge([&] {
+    Rng rng(71);
+    TcpClient c("127.0.0.1", static_cast<int>(port), 2000);
+    const TcpClient::Reply r = c.roundtrip(random_request(1, 4, elems, rng));
+    EXPECT_TRUE(r.ok || r.disconnected);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...while four 1 ms-deadline requests pile up behind it and expire.
+  Rng rng(72);
+  const int fd = connect_raw(static_cast<int>(port));
+  for (std::uint64_t id = 2; id <= 5; ++id) {
+    InferRequest req = random_request(id, 4, elems, rng);
+    req.deadline_us = 1000;
+    const std::vector<std::uint8_t> frame = frame_bytes(req, kProtocolVersion);
+    send_raw(fd, frame.data(), frame.size());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+
+  // The drain answers every queued request: four deadline-exceeded sheds
+  // arrive before the daemon closes the connection.
+  int sheds = 0;
+  FrameHeader rh;
+  std::vector<std::uint8_t> rp;
+  while (recv_frame_raw(fd, rh, rp)) {
+    if (rh.kind == FrameKind::kError &&
+        decode_error(rh.request_id, rp).code == ErrorCode::kDeadlineExceeded)
+      ++sheds;
+  }
+  EXPECT_EQ(sheds, 4);
+  ::close(fd);
+  wedge.join();
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "daemon child failed invariant check " << WEXITSTATUS(status);
 }
 
 }  // namespace
