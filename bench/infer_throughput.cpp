@@ -187,24 +187,86 @@ int main(int argc, char** argv) {
             << fmt_f(lif.beta, 2) << ", theta " << fmt_f(lif.threshold, 2)
             << ", threads " << num_threads() << ") ==\n";
 
+  const std::string json = flags.get("json");
+  const std::string ledger_dir = flags.get("ledger");
+  // The ledger is written on BOTH exits (clean and parity failure): a run
+  // that fails its gate must still leave a final record, or the sweep
+  // dashboard silently shows nothing instead of a red row.
+  const auto write_ledger = [&](bool parity_ok, const PathResult* sp,
+                                const PathResult* de, double speedup) {
+    if (ledger_dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(ledger_dir, ec);
+    obs::RunLedger ledger(ledger_dir + "/infer_throughput.jsonl");
+    obs::LedgerManifest m;
+    m.run_id = "infer_throughput";
+    m.threads = num_threads();
+    m.argv = exp::join_argv(argc, argv);
+    m.build = std::string("cxx ") + __VERSION__;
+    m.info.emplace_back("model", model_name);
+    m.params.emplace_back("batch", static_cast<double>(batch));
+    m.params.emplace_back("num_steps", static_cast<double>(num_steps));
+    m.params.emplace_back("beta", lif.beta);
+    m.params.emplace_back("theta", lif.threshold);
+    m.params.emplace_back("density", density);
+    ledger.write_manifest(m);
+    obs::LedgerFinal fin;
+    fin.values.emplace_back("parity", parity_ok ? 1.0 : 0.0);
+    if (sp != nullptr && de != nullptr) {
+      fin.values.emplace_back("measured_fps", sp->fps);
+      fin.values.emplace_back("dense_fps", de->fps);
+      fin.values.emplace_back("speedup", speedup);
+      fin.values.emplace_back("p99_ms", sp->p99_ms);
+      fin.values.emplace_back("input_density", sp->input_density);
+    }
+    ledger.write_final(fin);
+    std::cout << "wrote " << ledger.path() << "\n";
+  };
+
   // Parity gate: both session paths must reproduce the training-stack
   // forward bit for bit before any timing is believed.
   const auto model = infer::CompiledModel::compile(*net, per_sample);
   const auto reference = net->forward(window);
-  for (double crossover : {2.0, -1.0}) {
-    infer::InferenceSession session(
-        model, {.max_batch = batch, .sparse_crossover = crossover});
-    const auto got = session.run(window);
-    const auto* want = reference.spike_counts.data();
-    const auto* have = got.spike_counts.data();
-    for (std::int64_t i = 0; i < reference.spike_counts.numel(); ++i) {
-      ST_REQUIRE(want[i] == have[i],
-                 "parity failure on the " +
-                     std::string(crossover >= 1.0 ? "sparse" : "dense") +
-                     " path at element " + std::to_string(i) +
-                     ": dense forward " + std::to_string(want[i]) +
-                     " vs session " + std::to_string(have[i]));
+  std::string parity_error;
+  try {
+    for (double crossover : {2.0, -1.0}) {
+      infer::InferenceSession session(
+          model, {.max_batch = batch, .sparse_crossover = crossover});
+      const auto got = session.run(window);
+      const auto* want = reference.spike_counts.data();
+      const auto* have = got.spike_counts.data();
+      for (std::int64_t i = 0; i < reference.spike_counts.numel(); ++i) {
+        ST_REQUIRE(want[i] == have[i],
+                   "parity failure on the " +
+                       std::string(crossover >= 1.0 ? "sparse" : "dense") +
+                       " path at element " + std::to_string(i) +
+                       ": dense forward " + std::to_string(want[i]) +
+                       " vs session " + std::to_string(have[i]));
+      }
     }
+  } catch (const Error& e) {
+    parity_error = e.what();
+  }
+  if (!parity_error.empty()) {
+    // Failure path keeps the full observability contract: a JSON summary
+    // (parity: false, no timings — they would be lies), the ledger final
+    // record, and metrics flushed by std_flags.telemetry at scope exit.
+    std::cerr << "PARITY FAILURE: " << parity_error << "\n";
+    if (obs::metrics_enabled())
+      obs::set(obs::gauge("infer.bench.parity"), 0.0);
+    if (!json.empty()) {
+      std::ofstream out(json);
+      ST_REQUIRE(out.good(), "cannot open " + json + " for writing");
+      out << "{\n"
+          << "  \"model\": \"" << model_name << "\",\n"
+          << "  \"batch\": " << batch << ",\n"
+          << "  \"num_steps\": " << num_steps << ",\n"
+          << "  \"parity\": false\n"
+          << "}\n";
+      std::cout << "wrote " << json << "\n";
+    }
+    write_ledger(false, nullptr, nullptr, 0.0);
+    return 1;
   }
   std::cout << "parity: sparse and dense session paths match "
                "SpikingNetwork::forward bitwise\n\n";
@@ -233,13 +295,13 @@ int main(int argc, char** argv) {
             << fmt_pct(sparse.input_density, 1) << "\n";
 
   if (obs::metrics_enabled()) {
+    obs::set(obs::gauge("infer.bench.parity"), 1.0);
     obs::set(obs::gauge("infer.bench.fps_sparse"), sparse.fps);
     obs::set(obs::gauge("infer.bench.fps_dense"), dense.fps);
     obs::set(obs::gauge("infer.bench.speedup"), speedup);
     obs::set(obs::gauge("infer.bench.input_density"), sparse.input_density);
   }
 
-  const std::string json = flags.get("json");
   if (!json.empty()) {
     std::ofstream out(json);
     ST_REQUIRE(out.good(), "cannot open " + json + " for writing");
@@ -259,31 +321,6 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json << "\n";
   }
 
-  const std::string ledger_dir = flags.get("ledger");
-  if (!ledger_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(ledger_dir, ec);
-    obs::RunLedger ledger(ledger_dir + "/infer_throughput.jsonl");
-    obs::LedgerManifest m;
-    m.run_id = "infer_throughput";
-    m.threads = num_threads();
-    m.argv = exp::join_argv(argc, argv);
-    m.build = std::string("cxx ") + __VERSION__;
-    m.info.emplace_back("model", model_name);
-    m.params.emplace_back("batch", static_cast<double>(batch));
-    m.params.emplace_back("num_steps", static_cast<double>(num_steps));
-    m.params.emplace_back("beta", lif.beta);
-    m.params.emplace_back("theta", lif.threshold);
-    m.params.emplace_back("density", density);
-    ledger.write_manifest(m);
-    obs::LedgerFinal fin;
-    fin.values.emplace_back("measured_fps", sparse.fps);
-    fin.values.emplace_back("dense_fps", dense.fps);
-    fin.values.emplace_back("speedup", speedup);
-    fin.values.emplace_back("p99_ms", sparse.p99_ms);
-    fin.values.emplace_back("input_density", sparse.input_density);
-    ledger.write_final(fin);
-    std::cout << "wrote " << ledger.path() << "\n";
-  }
+  write_ledger(true, &sparse, &dense, speedup);
   return 0;
 }

@@ -8,12 +8,14 @@
 //   render_dashboard --in runs/run.jsonl   # a single run
 //   render_dashboard --in runs/ --out fig2.html --csv fig2_epochs.csv
 //   render_dashboard --in runs/ --spans spans.jsonl   # + serving panels
+//   render_dashboard --in runs/ --postmortem timeline.jsonl  # + crash panel
 #include <filesystem>
 #include <iostream>
 
 #include "core/cli.h"
 #include "core/error.h"
 #include "obs/dashboard.h"
+#include "obs/flight.h"
 #include "obs/ledger.h"
 #include "obs/spans.h"
 
@@ -31,6 +33,10 @@ int main(int argc, char** argv) {
   flags.declare("spans", "",
                 "request-span JSONL from `serve --span-log`; adds the "
                 "Serving panels (latency/batch over time, stage breakdown)");
+  flags.declare("postmortem", "",
+                "merged crash timeline from spiketune_flightdump; adds the "
+                "Post-mortem panel (crash header, event counts, final "
+                "timeline)");
   try {
     flags.parse(argc - 1, argv + 1);
   } catch (const Error& e) {
@@ -56,9 +62,14 @@ int main(int argc, char** argv) {
     if (!flags.get("spans").empty())
       spans = obs::parse_span_jsonl(flags.get("spans"));
 
+    obs::PostmortemTimeline postmortem;
+    if (!flags.get("postmortem").empty())
+      postmortem = obs::parse_timeline_jsonl(flags.get("postmortem"));
+
     obs::DashboardOptions options;
     options.title = flags.get("title");
-    obs::write_dashboard_html(flags.get("out"), runs, spans, options);
+    obs::write_dashboard_html(flags.get("out"), runs, spans, postmortem,
+                              options);
     std::size_t epochs = 0, warnings = 0;
     for (const auto& run : runs) {
       epochs += run.epochs.size();
@@ -68,6 +79,9 @@ int main(int argc, char** argv) {
               << " run(s), " << epochs << " epoch record(s), " << warnings
               << " warning(s)";
     if (!spans.empty()) std::cout << ", " << spans.size() << " span(s)";
+    if (postmortem.has_crash || !postmortem.entries.empty())
+      std::cout << ", " << postmortem.entries.size()
+                << " post-mortem entry(ies)";
     std::cout << ")\n";
     if (!flags.get("csv").empty()) {
       obs::write_ledger_csv(flags.get("csv"), runs);

@@ -49,14 +49,20 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/cli.h"
 #include "core/error.h"
+#include "core/json.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/table.h"
+#include "exp/ledger_flags.h"
 #include "exp/standard_flags.h"
 #include "infer/session.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "serve/transport.h"
 #include "snn/model_zoo.h"
 
@@ -131,6 +137,7 @@ int main(int argc, char** argv) {
                 "verify this many responses per connection bitwise against "
                 "a direct InferenceSession (-1 = all)");
   flags.declare("json", "BENCH_serve.json", "JSON summary path (empty: skip)");
+  flags.declare("ledger", "", "write a run ledger into this directory");
   exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -451,6 +458,28 @@ int main(int argc, char** argv) {
   const bool shutdown_observed = total.shutdown_drops > 0;
   const bool parity_ok = total.parity_failures == 0;
 
+  // Post-burst STAT probe: record whether the daemon's flight recorder was
+  // armed for this burst (the CI overhead comparison keys BENCH_serve.json
+  // pairs on it) and how much it dropped.  Best-effort — a daemon that
+  // already drained or crashed just leaves the fields out.
+  int flight_armed = -1;  // -1 unknown, 0 disarmed, 1 armed
+  std::int64_t flight_dropped = 0;
+  try {
+    serve::TcpClient probe(host, port, 0);
+    const serve::TcpClient::StatReply stat_reply = probe.stat(0);
+    if (!stat_reply.disconnected) {
+      const JsonValue stat = JsonValue::parse(stat_reply.json, "STAT");
+      if (const JsonValue* flight = stat.find("flight")) {
+        const JsonValue* armed = flight->find("armed");
+        if (armed != nullptr && armed->is_bool())
+          flight_armed = armed->as_bool() ? 1 : 0;
+        flight_dropped =
+            static_cast<std::int64_t>(flight->number_or("dropped", 0));
+      }
+    }
+  } catch (const Error&) {
+  }
+
   AsciiTable table({"metric", "value"});
   table.set_title("serve loadgen (" + std::to_string(total.completed) +
                   " completed, " + fmt_f(elapsed_s, 2) + "s)");
@@ -519,11 +548,53 @@ int main(int argc, char** argv) {
         << "  \"assemble_p99_us\": " << st_assemble.p99 << ",\n"
         << "  \"infer_mean_us\": " << st_infer.mean << ",\n"
         << "  \"infer_p99_us\": " << st_infer.p99 << ",\n"
-        << "  \"max_batch_seen\": " << total.max_batch_seen << ",\n"
-        << "  \"parity_checked\": " << total.parity_checked << ",\n"
+        << "  \"max_batch_seen\": " << total.max_batch_seen << ",\n";
+    if (flight_armed >= 0)
+      out << "  \"flight_recorder_armed\": "
+          << (flight_armed == 1 ? "true" : "false") << ",\n"
+          << "  \"flight_dropped\": " << flight_dropped << ",\n";
+    out << "  \"parity_checked\": " << total.parity_checked << ",\n"
         << "  \"parity\": " << (parity_ok ? "true" : "false") << "\n"
         << "}\n";
     std::cout << "wrote " << json << "\n";
+  }
+
+  // Metrics and the run ledger are written on EVERY exit below — the
+  // parity-failure path especially, since a gate trip with no final record
+  // used to look identical to a run that never happened.
+  if (obs::metrics_enabled()) {
+    obs::set(obs::gauge("loadgen.goodput_qps"), achieved_qps);
+    obs::set(obs::gauge("loadgen.completed"),
+             static_cast<double>(total.completed));
+    obs::set(obs::gauge("loadgen.parity"), parity_ok ? 1.0 : 0.0);
+  }
+  const std::string ledger_dir = flags.get("ledger");
+  if (!ledger_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(ledger_dir, ec);
+    obs::RunLedger ledger(ledger_dir + "/serve_loadgen.jsonl");
+    obs::LedgerManifest m;
+    m.run_id = "serve_loadgen";
+    m.threads = conns;
+    m.argv = exp::join_argv(argc, argv);
+    m.build = std::string("cxx ") + __VERSION__;
+    m.info.emplace_back("model", model_name);
+    m.info.emplace_back("mode", qps > 0 ? "open" : "closed");
+    m.params.emplace_back("requests", static_cast<double>(total_requests));
+    m.params.emplace_back("conns", static_cast<double>(conns));
+    m.params.emplace_back("num_steps", static_cast<double>(num_steps));
+    m.params.emplace_back("density", density);
+    ledger.write_manifest(m);
+    obs::LedgerFinal fin;
+    fin.values.emplace_back("goodput_qps", achieved_qps);
+    fin.values.emplace_back("p99_ms", lat.p99);
+    fin.values.emplace_back("completed",
+                            static_cast<double>(total.completed));
+    fin.values.emplace_back("parity", parity_ok ? 1.0 : 0.0);
+    fin.values.emplace_back("shutdown_observed",
+                            shutdown_observed ? 1.0 : 0.0);
+    ledger.write_final(fin);
+    std::cout << "wrote " << ledger.path() << "\n";
   }
 
   if (!parity_ok) {

@@ -52,11 +52,16 @@ void render(const JsonValue& stat, std::ostream& os) {
   const JsonValue* spans = stat.find("spans");
   const JsonValue* deadline = stat.find("deadline");
   const JsonValue* faults = stat.find("faults");
+  const JsonValue* build = stat.find("build");
+  const JsonValue* flight = stat.find("flight");
 
   AsciiTable table({"metric", "value"});
   table.set_title(
       "serve (up " + fmt_f(stat.number_or("uptime_s", 0), 1) + "s, window " +
       fmt_f(stat.number_or("window_s", 0), 0) + "s)");
+  if (build != nullptr)
+    table.add_row({"build", build->string_or("stamp", "?") + " (cfg " +
+                                build->string_or("fingerprint", "?") + ")"});
   table.add_row({"QPS", fmt_f(stat.number_or("qps", 0), 0)});
   if (req != nullptr) {
     table.add_row({"latency p50", quantiles_ms(*req)});
@@ -119,6 +124,23 @@ void render(const JsonValue& stat, std::ostream& os) {
                    fmt_f(spans->number_or("recorded", 0), 0) +
                        " recorded (1-in-" +
                        fmt_f(spans->number_or("sample_every", 0), 0) + ")"});
+  if (flight != nullptr) {
+    const JsonValue* armed = flight->find("armed");
+    if (armed != nullptr && armed->is_bool() && armed->as_bool()) {
+      table.add_row(
+          {"flight recorder",
+           fmt_f(flight->number_or("retained", 0), 0) + " of " +
+               fmt_f(flight->number_or("threads", 0) *
+                         flight->number_or("capacity_per_thread", 0),
+                     0) +
+               " held (" + fmt_f(flight->number_or("recorded", 0), 0) +
+               " recorded, " + fmt_f(flight->number_or("dropped", 0), 0) +
+               " dropped, " + fmt_f(flight->number_or("threads", 0), 0) +
+               " threads)"});
+    } else {
+      table.add_row({"flight recorder", "disarmed"});
+    }
+  }
   table.print(os);
 }
 

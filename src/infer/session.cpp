@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "tensor/gemm.h"
@@ -380,6 +381,11 @@ InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
           dispatch_elems += in_total;
           const double density =
               static_cast<double>(nz) / static_cast<double>(in_total);
+          obs::flight_record(density <= config_.sparse_crossover
+                                 ? obs::FlightEventId::kInferSparseDispatch
+                                 : obs::FlightEventId::kInferDenseDispatch,
+                             static_cast<std::uint64_t>(li),
+                             static_cast<std::uint64_t>(nz));
           if (density <= config_.sparse_crossover) {
             ++result.sparse_dispatches;
             if (l.kind == OpKind::kConv2d)

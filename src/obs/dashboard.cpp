@@ -449,6 +449,71 @@ std::string render_serving_section(const std::vector<ParsedSpan>& spans) {
   return html;
 }
 
+/// Post-mortem panel from a spiketune_flightdump merged timeline: what the
+/// process was doing in its final moments.  The crash header line carries
+/// the signal and build fingerprint; the counts table says which subsystems
+/// were active; the tail table walks the last events into the crash.
+std::string render_postmortem_section(const PostmortemTimeline& pm) {
+  std::string html = "<h2>Post-mortem</h2>\n";
+  if (pm.has_crash) {
+    html += "<p class=\"meta\">Process died with <strong>" +
+            html_escape(pm.signame) + "</strong> (signal " +
+            std::to_string(pm.signal) + ")";
+    if (!pm.build.empty())
+      html += " &mdash; build " + html_escape(pm.build);
+    if (!pm.fingerprint.empty())
+      html += ", fingerprint <code>" + html_escape(pm.fingerprint) +
+              "</code>";
+    html += ". Flight recorder: " + std::to_string(pm.events) +
+            " events decoded across " + std::to_string(pm.threads) +
+            " threads (" + std::to_string(pm.torn) + " torn, " +
+            std::to_string(pm.dropped) + " dropped).</p>\n";
+  } else {
+    html += "<p class=\"meta\">" + std::to_string(pm.entries.size()) +
+            " timeline entries (no crash recorded).</p>\n";
+  }
+  if (pm.entries.empty()) return html;
+
+  // Which subsystems were active, by event name.
+  std::map<std::string, std::size_t> counts;
+  for (const TimelineEntry& e : pm.entries) ++counts[e.event];
+  html +=
+      "<table>\n<thead><tr><th>Event</th><th>Count</th></tr></thead>\n"
+      "<tbody>\n";
+  for (const auto& [name, n] : counts)
+    html += "<tr><td>" + html_escape(name) + "</td><td>" +
+            std::to_string(n) + "</td></tr>\n";
+  html += "</tbody>\n</table>\n";
+
+  // The tail of the merged timeline, newest last, timestamps relative to
+  // the final entry (the crash, when one was recorded).
+  constexpr std::size_t kTailRows = 40;
+  const std::size_t first =
+      pm.entries.size() > kTailRows ? pm.entries.size() - kTailRows : 0;
+  const std::uint64_t t_end = pm.entries.back().ts_ns;
+  html += "<h3>Final " + std::to_string(pm.entries.size() - first) +
+          " timeline entries</h3>\n";
+  html +=
+      "<table>\n<thead><tr><th>t &minus; end (ms)</th><th>Kind</th>"
+      "<th>Thread</th><th>Event</th><th>a0</th><th>a1</th></tr></thead>\n"
+      "<tbody>\n";
+  for (std::size_t i = first; i < pm.entries.size(); ++i) {
+    const TimelineEntry& e = pm.entries[i];
+    const double dt_ms =
+        -static_cast<double>(t_end - e.ts_ns) / 1e6;  // <= 0, 0 = the end
+    html += "<tr><td>" + fmt(dt_ms) + "</td><td>" + html_escape(e.kind) +
+            "</td><td>" + std::to_string(e.thread) + "</td><td>" +
+            html_escape(e.event) + "</td><td>" + std::to_string(e.a0) +
+            "</td><td>" + std::to_string(e.a1) + "</td></tr>\n";
+  }
+  html += "</tbody>\n</table>\n";
+  if (first > 0)
+    html += "<p class=\"note\">Showing the final " +
+            std::to_string(pm.entries.size() - first) + " of " +
+            std::to_string(pm.entries.size()) + " entries.</p>\n";
+  return html;
+}
+
 const char* kCss = R"css(
 :root {
   --bg: #ffffff; --panel: #f6f8fa; --border: #d0d7de;
@@ -503,6 +568,13 @@ std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
 std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
                                   const std::vector<ParsedSpan>& spans,
                                   const DashboardOptions& options) {
+  return render_dashboard_html(runs, spans, PostmortemTimeline{}, options);
+}
+
+std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
+                                  const std::vector<ParsedSpan>& spans,
+                                  const PostmortemTimeline& postmortem,
+                                  const DashboardOptions& options) {
   ST_REQUIRE(!runs.empty(), "render_dashboard_html needs at least one run");
 
   std::string html;
@@ -552,6 +624,8 @@ std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
             std::to_string(runs.size()) + " runs.</p>\n";
 
   if (!spans.empty()) html += render_serving_section(spans);
+  if (postmortem.has_crash || !postmortem.entries.empty())
+    html += render_postmortem_section(postmortem);
 
   html += "<h2>Spike-health warnings</h2>\n" + render_warnings(runs);
   html += "</body>\n</html>\n";
@@ -568,9 +642,17 @@ void write_dashboard_html(const std::string& path,
                           const std::vector<ParsedLedger>& runs,
                           const std::vector<ParsedSpan>& spans,
                           const DashboardOptions& options) {
+  write_dashboard_html(path, runs, spans, PostmortemTimeline{}, options);
+}
+
+void write_dashboard_html(const std::string& path,
+                          const std::vector<ParsedLedger>& runs,
+                          const std::vector<ParsedSpan>& spans,
+                          const PostmortemTimeline& postmortem,
+                          const DashboardOptions& options) {
   std::ofstream out(path, std::ios::trunc);
   ST_REQUIRE(out.good(), "cannot open dashboard output: " + path);
-  out << render_dashboard_html(runs, spans, options);
+  out << render_dashboard_html(runs, spans, postmortem, options);
   out.flush();
   ST_REQUIRE(out.good(), "failed writing dashboard: " + path);
 }

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/ledger.h"
 #include "obs/spans.h"
 
@@ -48,6 +49,17 @@ std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
                                   const std::vector<ParsedSpan>& spans,
                                   const DashboardOptions& options);
 
+/// Same again, plus a "Post-mortem" section fed from a merged crash
+/// timeline written by spiketune_flightdump (obs/flight.h): the crash
+/// header (signal, fingerprint, recorder occupancy), per-event counts, and
+/// the final stretch of the flight-recorder timeline leading into the
+/// crash.  Skipped when `postmortem.entries` is empty and no crash was
+/// recorded.
+std::string render_dashboard_html(const std::vector<ParsedLedger>& runs,
+                                  const std::vector<ParsedSpan>& spans,
+                                  const PostmortemTimeline& postmortem,
+                                  const DashboardOptions& options);
+
 /// Renders and writes the dashboard to `path`.
 void write_dashboard_html(const std::string& path,
                           const std::vector<ParsedLedger>& runs,
@@ -56,6 +68,12 @@ void write_dashboard_html(const std::string& path,
 void write_dashboard_html(const std::string& path,
                           const std::vector<ParsedLedger>& runs,
                           const std::vector<ParsedSpan>& spans,
+                          const DashboardOptions& options);
+
+void write_dashboard_html(const std::string& path,
+                          const std::vector<ParsedLedger>& runs,
+                          const std::vector<ParsedSpan>& spans,
+                          const PostmortemTimeline& postmortem,
                           const DashboardOptions& options);
 
 /// Writes a flat CSV view: one row per (run, epoch) with training metrics,

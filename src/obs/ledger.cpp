@@ -201,6 +201,8 @@ void RunLedger::write_final(const LedgerFinal& f) {
   if (!enabled()) return;
   JsonValue v = JsonValue::make_object();
   v.set("record", JsonValue("final"));
+  v.set("exit_kind",
+        JsonValue(f.exit_kind.empty() ? std::string("clean") : f.exit_kind));
   for (const auto& [k, val] : f.values) v.set(k, JsonValue(val));
   append_line(v.dump());
 }
@@ -231,6 +233,8 @@ ParsedLedger parse_ledger(const std::string& path) {
     } else if (record == "final") {
       out.final_record.values = object_to_number_pairs(v);
       // Drop the non-numeric "record" tag; keep scalar fields only.
+      // (Pre-exit_kind ledgers default to "clean".)
+      out.final_record.exit_kind = v.string_or("exit_kind", "clean");
       out.has_final = true;
     }
     // Unknown record types are skipped (forward compatibility).

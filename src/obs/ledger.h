@@ -90,6 +90,10 @@ struct LedgerWarning {
 /// End-of-run scalars (mirrors the sweep journal's per-point fields).
 struct LedgerFinal {
   std::vector<std::pair<std::string, double>> values;
+  /// How the run ended: "clean" (normal exit), "drain" (signal-requested
+  /// cooperative shutdown), or "crash" (post-mortem record appended by
+  /// spiketune_flightdump from a crash bundle).
+  std::string exit_kind = "clean";
 };
 
 /// Append-only JSONL writer for one run.  Every record is flushed and

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <limits>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 
 #include "core/csv.h"
@@ -423,9 +424,8 @@ void write_metrics_csv(const std::string& path) {
   }
 }
 
-void write_metrics_jsonl(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  ST_REQUIRE(out.good(), "cannot open metrics output: " + path);
+std::string metrics_jsonl_string() {
+  std::ostringstream out;
   for (const MetricSnapshot& s : snapshot_metrics()) {
     out << "{\"name\":\"" << json_escape(s.name) << "\",\"kind\":\""
         << kind_name(s.kind) << "\"";
@@ -461,6 +461,13 @@ void write_metrics_jsonl(const std::string& path) {
     }
     out << "}\n";
   }
+  return out.str();
+}
+
+void write_metrics_jsonl(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  ST_REQUIRE(out.good(), "cannot open metrics output: " + path);
+  out << metrics_jsonl_string();
   ST_REQUIRE(out.good(), "failed writing metrics output: " + path);
 }
 

@@ -108,6 +108,9 @@ std::vector<MetricSnapshot> snapshot_metrics();
 void write_metrics_csv(const std::string& path);
 /// Writes one JSON object per line; histograms include nonzero buckets.
 void write_metrics_jsonl(const std::string& path);
+/// The same JSONL as a string — what the crash handler's refresher thread
+/// pre-serializes into its fixed buffer (obs/crash.h).
+std::string metrics_jsonl_string();
 
 /// Zeroes every metric (names stay interned).  Test/driver convenience;
 /// must not race concurrent writers.

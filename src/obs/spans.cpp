@@ -35,10 +35,9 @@ std::vector<RequestSpan> SpanRecorder::snapshot() const {
   return out;
 }
 
-void SpanRecorder::write_jsonl(const std::string& path) const {
+std::string SpanRecorder::dump_jsonl() const {
   const std::vector<RequestSpan> spans = snapshot();
-  std::ofstream out(path, std::ios::app);
-  ST_REQUIRE(out.good(), "cannot open span log: " + path);
+  std::string out;
   for (const RequestSpan& s : spans) {
     JsonValue o = JsonValue::make_object();
     o.set("server_id", JsonValue(static_cast<std::int64_t>(s.server_id)));
@@ -56,8 +55,16 @@ void SpanRecorder::write_jsonl(const std::string& path) const {
     o.set("dense_kernel_ns",
           JsonValue(static_cast<std::int64_t>(s.dense_kernel_ns)));
     o.set("ok", JsonValue(s.ok));
-    out << o.dump() << "\n";
+    out += o.dump();
+    out += "\n";
   }
+  return out;
+}
+
+void SpanRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  ST_REQUIRE(out.good(), "cannot open span log: " + path);
+  out << dump_jsonl();
   out.flush();
   ST_REQUIRE(out.good(), "failed writing span log: " + path);
 }

@@ -74,6 +74,10 @@ class SpanRecorder {
   /// in ns).  Throws spiketune::Error on I/O failure.
   void write_jsonl(const std::string& path) const;
 
+  /// The same JSONL as a string — what serve registers as the crash
+  /// handler's extra-snapshot provider (obs/crash.h).
+  std::string dump_jsonl() const;
+
  private:
   const std::size_t capacity_;
   const std::uint64_t sample_every_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "core/error.h"
+#include "obs/flight.h"
 
 namespace spiketune::serve {
 
@@ -81,6 +83,31 @@ FaultSpec FaultSpec::parse(const std::string& text) {
       spec.p_corrupt = parse_prob(key, value);
     } else if (key == "p_disconnect") {
       spec.p_disconnect = parse_prob(key, value);
+    } else if (key == "crash_at" || key == "crash-at") {
+      std::size_t used = 0;
+      long long v = 0;
+      try {
+        v = std::stoll(value, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      ST_REQUIRE(used == value.size() && v >= 0,
+                 "fault-spec: crash_at must be a frame count >= 0, got '" +
+                     value + "'");
+      spec.crash_at = v;
+    } else if (key == "crash_sig" || key == "crash-sig") {
+      std::size_t used = 0;
+      long v = 0;
+      try {
+        v = std::stol(value, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      ST_REQUIRE(used == value.size() && (v == 6 || v == 11),
+                 "fault-spec: crash_sig must be 11 (SIGSEGV) or 6 (SIGABRT), "
+                 "got '" +
+                     value + "'");
+      spec.crash_sig = static_cast<int>(v);
     } else {
       throw InvalidArgument("fault-spec: unknown key '" + key + "'");
     }
@@ -94,7 +121,8 @@ std::string FaultSpec::describe() const {
      << ",delay_ms=" << delay_ms << ",p_read_stall=" << p_read_stall
      << ",p_write_stall=" << p_write_stall << ",stall_ms=" << stall_ms
      << ",p_partial=" << p_partial << ",p_corrupt=" << p_corrupt
-     << ",p_disconnect=" << p_disconnect;
+     << ",p_disconnect=" << p_disconnect << ",crash_at=" << crash_at
+     << ",crash_sig=" << crash_sig;
   return os.str();
 }
 
@@ -140,19 +168,20 @@ void FaultLog::write_jsonl(const std::string& path) const {
 
 // --- FaultInjectingConnection -----------------------------------------------
 
-FaultInjectingConnection::FaultInjectingConnection(int fd, std::string peer,
-                                                   const FaultSpec& spec,
-                                                   std::uint64_t conn_index,
-                                                   FaultLog* log)
+FaultInjectingConnection::FaultInjectingConnection(
+    int fd, std::string peer, const FaultSpec& spec, std::uint64_t conn_index,
+    FaultLog* log, std::shared_ptr<std::atomic<std::int64_t>> frame_counter)
     : TcpConnection(fd, std::move(peer)),
       spec_(spec),
       conn_index_(conn_index),
       log_(log),
+      frame_counter_(std::move(frame_counter)),
       read_rng_(Rng(spec.seed).fork(conn_index * 2 + 0)),
       write_rng_(Rng(spec.seed).fork(conn_index * 2 + 1)) {}
 
 void FaultInjectingConnection::log_fault(char dir, std::uint64_t op,
                                          const char* fault) {
+  obs::flight_record(obs::FlightEventId::kFaultInjected, conn_index_, op);
   if (log_ != nullptr) log_->record(conn_index_, dir, op, fault);
 }
 
@@ -164,6 +193,25 @@ bool FaultInjectingConnection::read_frame(FrameHeader& header,
   const std::uint64_t frame = read_seq_++;
   const bool delay = read_rng_.bernoulli(spec_.p_delay);
   const bool corrupt = read_rng_.bernoulli(spec_.p_corrupt);
+  // crash_at is counter-based, not an RNG draw, so it neither perturbs the
+  // fault schedule above nor depends on it: the Nth inbound frame across
+  // all of the listener's connections kills the process, exactly.
+  if (spec_.crash_at > 0 && frame_counter_ != nullptr) {
+    const std::int64_t nth =
+        frame_counter_->fetch_add(1, std::memory_order_relaxed) + 1;
+    if (nth == spec_.crash_at) {
+      log_fault('r', frame, "crash");
+      obs::flight_record(obs::FlightEventId::kCrashInjected,
+                         static_cast<std::uint64_t>(nth),
+                         static_cast<std::uint64_t>(spec_.crash_sig));
+      if (spec_.crash_sig == 6) {
+        std::abort();
+      } else {
+        volatile int* null_page = nullptr;
+        *null_page = 42;  // SIGSEGV with fault_addr 0 in the bundle
+      }
+    }
+  }
   if (delay) {
     log_fault('r', frame, "delay");
     std::this_thread::sleep_for(std::chrono::milliseconds(spec_.delay_ms));
@@ -230,7 +278,12 @@ ssize_t FaultInjectingConnection::transport_send(const std::uint8_t* buf,
 
 FaultInjectingListener::FaultInjectingListener(
     std::unique_ptr<TcpListener> inner, FaultSpec spec, FaultLog* log)
-    : inner_(std::move(inner)), spec_(spec), log_(log) {}
+    : inner_(std::move(inner)),
+      spec_(spec),
+      log_(log),
+      frame_counter_(spec.crash_at > 0
+                         ? std::make_shared<std::atomic<std::int64_t>>(0)
+                         : nullptr) {}
 
 std::shared_ptr<Connection> FaultInjectingListener::accept(int wake_fd,
                                                            int timeout_ms) {
@@ -239,8 +292,8 @@ std::shared_ptr<Connection> FaultInjectingListener::accept(int wake_fd,
   if (fd < 0) return nullptr;
   const std::uint64_t index =
       next_index_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_shared<FaultInjectingConnection>(fd, std::move(peer),
-                                                    spec_, index, log_);
+  return std::make_shared<FaultInjectingConnection>(
+      fd, std::move(peer), spec_, index, log_, frame_counter_);
 }
 
 void FaultInjectingListener::close() { inner_->close(); }

@@ -28,6 +28,14 @@
 //   p_partial=0.3    per-send-call probability of a short (1..8 byte) write
 //   p_corrupt=0.01   per-frame probability of corrupting a header byte
 //   p_disconnect=0.002  per-call probability of killing the connection
+//   crash_at=100     kill the *process* at the Nth inbound frame across all
+//                    connections (1-based; 0 = never) — the chaos-CI hook
+//                    that exercises the crash-forensics pipeline end-to-end.
+//                    Counter-based rather than probabilistic so the crash
+//                    point is exactly reproducible regardless of RNG draw
+//                    history; `crash-at` / `crash-sig` accepted as aliases.
+//   crash_sig=11     how to die: 11 = SIGSEGV (null-pointer store),
+//                    6 = SIGABRT (std::abort)
 #pragma once
 
 #include <atomic>
@@ -52,11 +60,14 @@ struct FaultSpec {
   double p_partial = 0.0;
   double p_corrupt = 0.0;
   double p_disconnect = 0.0;
+  std::int64_t crash_at = 0;  // Nth inbound frame, 1-based; 0 = never
+  int crash_sig = 11;         // 11 = SIGSEGV, 6 = SIGABRT
 
   /// True when any fault can actually fire.
   bool enabled() const {
     return p_delay > 0 || p_read_stall > 0 || p_write_stall > 0 ||
-           p_partial > 0 || p_corrupt > 0 || p_disconnect > 0;
+           p_partial > 0 || p_corrupt > 0 || p_disconnect > 0 ||
+           crash_at > 0;
   }
 
   /// Parses the comma-separated grammar above; throws InvalidArgument on
@@ -100,8 +111,13 @@ class FaultLog {
 /// reader thread and worker threads never race on the RNG.
 class FaultInjectingConnection : public TcpConnection {
  public:
-  FaultInjectingConnection(int fd, std::string peer, const FaultSpec& spec,
-                           std::uint64_t conn_index, FaultLog* log);
+  /// `frame_counter` counts inbound frames across every connection of the
+  /// owning listener (the crash_at trigger); may be null when the spec has
+  /// no crash op.
+  FaultInjectingConnection(
+      int fd, std::string peer, const FaultSpec& spec,
+      std::uint64_t conn_index, FaultLog* log,
+      std::shared_ptr<std::atomic<std::int64_t>> frame_counter = nullptr);
 
   bool read_frame(FrameHeader& header, std::vector<std::uint8_t>& payload,
                   int wake_fd) override;
@@ -116,6 +132,7 @@ class FaultInjectingConnection : public TcpConnection {
   FaultSpec spec_;
   std::uint64_t conn_index_;
   FaultLog* log_;
+  std::shared_ptr<std::atomic<std::int64_t>> frame_counter_;
   Rng read_rng_;   // reader thread only
   Rng write_rng_;  // under the base class write lock only
   std::uint64_t read_seq_ = 0;
@@ -140,6 +157,9 @@ class FaultInjectingListener : public Listener {
   FaultSpec spec_;
   FaultLog* log_;
   std::atomic<std::uint64_t> next_index_{0};
+  // Shared by every accepted connection: the global inbound-frame count
+  // that drives crash_at.
+  std::shared_ptr<std::atomic<std::int64_t>> frame_counter_;
 };
 
 }  // namespace spiketune::serve

@@ -14,6 +14,7 @@
 //           --metrics-out serve_metrics.csv --ledger runs
 #include <poll.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -23,6 +24,8 @@
 #include "core/parallel.h"
 #include "exp/ledger_flags.h"
 #include "exp/standard_flags.h"
+#include "obs/crash.h"
+#include "obs/flight.h"
 #include "obs/ledger.h"
 #include "obs/signal_flush.h"
 #include "serve/server.h"
@@ -69,6 +72,15 @@ int main(int argc, char** argv) {
                 "(empty = off; see DESIGN.md §13 for the grammar)");
   flags.declare("fault-log", "",
                 "write the fired-fault schedule (JSONL) here at drain");
+  flags.declare("flight-recorder", "true",
+                "black-box flight recorder (obs/flight.h): per-thread event "
+                "rings dumped into the crash bundle on a fatal signal");
+  flags.declare("flight-events", "4096",
+                "flight-recorder ring capacity per thread (rounded up to a "
+                "power of two)");
+  flags.declare("crash-dir", "serve_crash",
+                "crash-bundle directory for the fatal-signal handler "
+                "(empty = no crash handler)");
   exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
   try {
     flags.parse(argc - 1, argv + 1);
@@ -92,7 +104,13 @@ int main(int argc, char** argv) {
   // prints usage and exits 2 like an unknown flag, instead of aborting.
   snn::LifConfig lif;
   serve::ServerConfig cfg;
+  bool flight_on = true;
+  std::int64_t flight_events = 4096;
+  std::string crash_dir;
   try {
+    flight_on = flags.get_bool("flight-recorder");
+    flight_events = flags.get_int("flight-events");
+    crash_dir = flags.get("crash-dir");
     lif.beta = static_cast<float>(flags.get_double("beta"));
     lif.threshold = static_cast<float>(flags.get_double("theta"));
     cfg.host = flags.get("host");
@@ -140,12 +158,73 @@ int main(int argc, char** argv) {
   const auto model = infer::CompiledModel::compile(*net, per_sample);
   net.reset();  // the compiled model is self-contained
 
+  // Identification for STAT / serve_top / the crash bundle: a build stamp
+  // plus an FNV-1a fingerprint over everything that shapes this daemon's
+  // behavior, so a post-mortem can tell *which* configuration crashed.
+  const std::string build_stamp = std::string("cxx ") + __VERSION__;
+  const std::string argv_text = exp::join_argv(argc, argv);
+  cfg.build_stamp = build_stamp;
+  cfg.config_fingerprint =
+      obs::fnv1a64(build_stamp + "\n" + model_name + "\n" + argv_text);
+
+  // Black-box forensics, armed before any request can arrive.  The flight
+  // recorder is on by default: its disabled-path cost is one atomic load,
+  // and its armed-path cost is a handful of stores per request — cheap
+  // insurance that the *next* crash leaves evidence.
+  if (flight_on) {
+    obs::FlightConfig fc;
+    fc.events_per_thread = static_cast<std::uint32_t>(flight_events);
+    obs::arm_flight_recorder(fc);
+  }
+  if (!crash_dir.empty()) {
+    obs::CrashHandlerConfig cc;
+    cc.bundle_dir = crash_dir;
+    char hex[20];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(cfg.config_fingerprint));
+    cc.fingerprint_text = "build: " + build_stamp + "\nmodel: " + model_name +
+                          "\nfingerprint: " + hex + "\nargv: " + argv_text;
+    obs::install_crash_handler(cc);
+  }
+
   serve::Server server(model, cfg);
   server.start();
+  if (!crash_dir.empty()) {
+    // The span ring rides along in the crash bundle (extra.jsonl), kept
+    // fresh by the handler's refresher thread.  Cleared before the server
+    // (and its SpanRecorder) is destroyed.
+    obs::set_crash_extra_provider(
+        [&server] { return server.spans().dump_jsonl(); });
+  }
   std::cout << "serving " << model_name << " on " << cfg.host << ":"
             << server.port() << " (" << cfg.num_workers
             << " workers, max batch " << cfg.max_batch << ", budget "
             << cfg.batch_timeout_us << "us)" << std::endl;
+
+  // The manifest goes down at STARTUP, not drain: a crash mid-burst must
+  // leave a parseable ledger for spiketune_flightdump to append its
+  // post-mortem final record to (parse_ledger requires a manifest first).
+  const std::string ledger_dir = flags.get("ledger");
+  obs::RunLedger ledger;
+  if (!ledger_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(ledger_dir, ec);
+    ledger = obs::RunLedger(ledger_dir + "/serve.jsonl");
+    obs::LedgerManifest m;
+    m.run_id = "serve";
+    m.config_fingerprint = cfg.config_fingerprint;
+    m.threads = num_threads();
+    m.argv = argv_text;
+    m.build = build_stamp;
+    m.info.emplace_back("model", model_name);
+    m.params.emplace_back("workers", static_cast<double>(cfg.num_workers));
+    m.params.emplace_back("max_batch", static_cast<double>(cfg.max_batch));
+    m.params.emplace_back("batch_timeout_us",
+                          static_cast<double>(cfg.batch_timeout_us));
+    m.params.emplace_back("max_queue_depth",
+                          static_cast<double>(cfg.max_queue_depth));
+    ledger.write_manifest(m);
+  }
 
   // Block until the first SIGINT/SIGTERM; a second signal force-kills.
   for (;;) {
@@ -156,27 +235,14 @@ int main(int argc, char** argv) {
   std::cout << "signal " << obs::shutdown_signum()
             << " received; draining" << std::endl;
   server.drain_and_stop();
+  // The provider captured `server`; cut it loose before server goes away
+  // (and before the final snapshot refresh below misses the drain dump).
+  obs::set_crash_extra_provider(nullptr);
   const serve::Server::Stats stats = server.stats();
 
-  const std::string ledger_dir = flags.get("ledger");
-  if (!ledger_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(ledger_dir, ec);
-    obs::RunLedger ledger(ledger_dir + "/serve.jsonl");
-    obs::LedgerManifest m;
-    m.run_id = "serve";
-    m.threads = num_threads();
-    m.argv = exp::join_argv(argc, argv);
-    m.build = std::string("cxx ") + __VERSION__;
-    m.info.emplace_back("model", model_name);
-    m.params.emplace_back("workers", static_cast<double>(cfg.num_workers));
-    m.params.emplace_back("max_batch", static_cast<double>(cfg.max_batch));
-    m.params.emplace_back("batch_timeout_us",
-                          static_cast<double>(cfg.batch_timeout_us));
-    m.params.emplace_back("max_queue_depth",
-                          static_cast<double>(cfg.max_queue_depth));
-    ledger.write_manifest(m);
+  if (ledger.enabled()) {
     obs::LedgerFinal fin;
+    fin.exit_kind = "drain";  // signal-requested cooperative shutdown
     fin.values.emplace_back("connections",
                             static_cast<double>(stats.connections));
     fin.values.emplace_back("admitted", static_cast<double>(stats.admitted));

@@ -4,11 +4,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "core/error.h"
 #include "core/json.h"
 #include "core/logging.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/telemetry.h"
@@ -123,7 +125,10 @@ void Server::acceptor_main() {
       continue;
     }
     conn->set_send_timeout_ms(config_.send_timeout_ms, &send_timeouts_);
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t conns =
+        connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+    obs::flight_record(obs::FlightEventId::kConnAccept,
+                       static_cast<std::uint64_t>(conns));
     reap_finished_readers();
     std::lock_guard<std::mutex> lock(readers_mu_);
     readers_.emplace_back();
@@ -183,6 +188,8 @@ void Server::shed_expired(std::vector<PendingRequest>& expired) {
   for (PendingRequest& p : expired) {
     deadline_shed_.fetch_add(1, std::memory_order_relaxed);
     w_deadline_shed_.add();
+    obs::flight_record(obs::FlightEventId::kDeadlineShed, p.server_id,
+                       p.request.deadline_us);
     if (obs::metrics_enabled()) obs::add(ids.deadline_shed);
     // The shed IS this request's one answer: it entered `admitted` and
     // leaves through `deadline_shed`, keeping the accounting invariant
@@ -209,7 +216,11 @@ void Server::reader_main(ReaderSlot* slot) {
   try {
     while (conn->read_frame(header, payload, stop_pipe_[0])) {
       const std::uint64_t recv_ns = now_ns();
+      obs::flight_record(obs::FlightEventId::kFrameDecode, header.request_id,
+                         payload.size());
       if (header.kind == FrameKind::kStatRequest) {
+        obs::flight_record(obs::FlightEventId::kStatRequest,
+                           header.request_id);
         stat_requests_.fetch_add(1, std::memory_order_relaxed);
         if (obs::metrics_enabled()) obs::add(serve_metric_ids().stat_requests);
         conn->write_frame(FrameKind::kStatResponse, header.request_id,
@@ -268,9 +279,12 @@ void Server::reader_main(ReaderSlot* slot) {
                            pending.recv_ns);
       }
       const std::uint32_t version = pending.version;
+      const std::uint64_t server_id = pending.server_id;
       switch (batcher_.submit(std::move(pending))) {
         case AdmitResult::kAdmitted:
           admitted_.fetch_add(1, std::memory_order_relaxed);
+          obs::flight_record(obs::FlightEventId::kRequestAdmit, server_id,
+                             static_cast<std::uint64_t>(batcher_.depth()));
           if (obs::metrics_enabled()) {
             obs::set(serve_metric_ids().queue_depth,
                      static_cast<double>(batcher_.depth()));
@@ -299,6 +313,10 @@ void Server::reader_main(ReaderSlot* slot) {
                 << e.what();
     conn->abort();
   }
+  obs::flight_record(
+      obs::FlightEventId::kConnClose,
+      static_cast<std::uint64_t>(
+          connections_.load(std::memory_order_relaxed)));
   slot->done.store(true, std::memory_order_release);
 }
 
@@ -333,12 +351,16 @@ void Server::worker_main(int index) {
     resp.spike_counts.assign(
         result.spike_counts.data() + row * out_features,
         result.spike_counts.data() + (row + 1) * out_features);
-    if (p.conn->write_frame(FrameKind::kInferResponse, resp.request_id,
-                            encode_response(resp), p.version)) {
+    const bool sent =
+        p.conn->write_frame(FrameKind::kInferResponse, resp.request_id,
+                            encode_response(resp), p.version);
+    if (sent) {
       served_.fetch_add(1, std::memory_order_relaxed);
     } else {
       dropped_responses_.fetch_add(1, std::memory_order_relaxed);
     }
+    obs::flight_record(obs::FlightEventId::kResponseSent, p.server_id,
+                       sent ? 1 : 0);
     const std::uint64_t send_ns = now_ns();
 
     // Stage durations tile [recv, send]; the windowed means therefore
@@ -401,6 +423,9 @@ void Server::worker_main(int index) {
     const auto steps =
         static_cast<std::int64_t>(batch.front().request.num_steps);
     const std::uint64_t assembled_ns = now_ns();
+    obs::flight_record(obs::FlightEventId::kBatchAssemble,
+                       static_cast<std::uint64_t>(n),
+                       static_cast<std::uint64_t>(steps));
 
     // Assemble the [N, ...] step tensors from the per-request windows.
     std::vector<std::int64_t> dims{n};
@@ -418,6 +443,8 @@ void Server::worker_main(int index) {
       window.push_back(std::move(x));
     }
     const std::uint64_t infer_start_ns = now_ns();
+    obs::flight_record(obs::FlightEventId::kBatchDispatch,
+                       static_cast<std::uint64_t>(n));
 
     // Poison isolation: one request that makes inference throw must not
     // take its batchmates or this worker down.  Try the batch; on failure,
@@ -625,6 +652,27 @@ std::string Server::stat_json() const {
             JsonValue(static_cast<std::int64_t>(config_.span_sample_every)));
   spans.set("recorded", JsonValue(spans_.recorded()));
   root.set("spans", spans);
+
+  // Flight-recorder occupancy (process-wide; armed by the serve driver).
+  const obs::FlightStats fs = obs::flight_stats();
+  JsonValue flight = JsonValue::make_object();
+  flight.set("armed", JsonValue(fs.armed));
+  flight.set("recorded", JsonValue(fs.recorded));
+  flight.set("retained", JsonValue(fs.retained));
+  flight.set("dropped", JsonValue(fs.dropped));
+  flight.set("threads", JsonValue(fs.threads));
+  flight.set("capacity_per_thread", JsonValue(fs.capacity_per_thread));
+  root.set("flight", flight);
+
+  if (!config_.build_stamp.empty() || config_.config_fingerprint != 0) {
+    JsonValue build = JsonValue::make_object();
+    build.set("stamp", JsonValue(config_.build_stamp));
+    char hex[20];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(config_.config_fingerprint));
+    build.set("fingerprint", JsonValue(std::string(hex)));
+    root.set("build", build);
+  }
 
   return root.dump();
 }

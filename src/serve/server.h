@@ -96,6 +96,12 @@ struct ServerConfig {
   // fraction (serve/slo.h).
   double slo_target_ms = 0.0;
   double slo_budget = 0.01;
+  // Identification surfaced through STAT's "build" object (and serve_top):
+  // a human-readable build stamp and the FNV-1a config fingerprint the
+  // driver computed over build + model + flags (obs::fnv1a64).  Both are
+  // purely informational; empty/0 omits the object.
+  std::string build_stamp;
+  std::uint64_t config_fingerprint = 0;
 };
 
 class Server {

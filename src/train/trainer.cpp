@@ -14,6 +14,7 @@
 #include "core/parallel.h"
 #include "core/table.h"
 #include "infer/session.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -283,6 +284,8 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
   if (config_.resume && mgr.enabled()) {
     if (const auto latest = mgr.latest()) {
       epoch = restore_training_state(*latest, opt, loader);
+      obs::flight_record(obs::FlightEventId::kCheckpointRestore,
+                         static_cast<std::uint64_t>(epoch));
       if (config_.verbose) {
         ST_LOG_INFO << "resumed training state from " << *latest
                     << " (next epoch " << epoch << "/" << config_.epochs
@@ -296,6 +299,8 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
   std::int64_t ran_here = 0;
   while (epoch < config_.epochs) {
     obs::PhaseTimer epoch_timer("train.epoch");
+    obs::flight_record(obs::FlightEventId::kEpochStart,
+                       static_cast<std::uint64_t>(epoch));
     EpochMetrics m;
     try {
       m = train_epoch(loader, opt, schedule, epoch);
@@ -310,6 +315,8 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
                              std::to_string(config_.max_rollbacks) +
                              ") exhausted");
       epoch = restore_training_state(*latest, opt, loader);
+      obs::flight_record(obs::FlightEventId::kCheckpointRestore,
+                         static_cast<std::uint64_t>(epoch));
       lr_scale_ *= config_.rollback_lr_cut;
       ++rollbacks;
       if (obs::metrics_enabled())
@@ -319,6 +326,9 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
       continue;
     }
     epoch_latency.record_seconds(epoch_timer.stop());
+    obs::flight_record(
+        obs::FlightEventId::kEpochEnd, static_cast<std::uint64_t>(epoch),
+        static_cast<std::uint64_t>(m.train_accuracy * 1e6));  // ppm
     obs::trace_counter("train.loss", m.train_loss);
     obs::trace_counter("train.accuracy", m.train_accuracy);
     obs::trace_counter("train.lr", m.lr);
@@ -337,6 +347,8 @@ void Trainer::fit(data::DataLoader& loader, const EpochCallback& on_epoch) {
                           ran_here >= config_.stop_after_epochs && !last;
     if (mgr.enabled() &&
         (last || stopping || epoch % config_.checkpoint_every == 0)) {
+      obs::flight_record(obs::FlightEventId::kCheckpointSave,
+                         static_cast<std::uint64_t>(epoch));
       save_training_state(mgr.path_for_epoch(epoch), opt, epoch, loader);
       mgr.prune();
     }
