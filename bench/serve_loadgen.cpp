@@ -133,9 +133,21 @@ int main(int argc, char** argv) {
                 "immediately, the pre-chaos behavior)");
   flags.declare("backoff-ms", "5",
                 "base retry backoff, doubled per attempt");
+  flags.declare("streams", "0",
+                "streaming mode (protocol v3): open this many concurrent "
+                "streams across --conns connections and step each one "
+                "--steps-per-stream times (0 = plain request mode)");
+  flags.declare("steps-per-stream", "16",
+                "streaming mode: chunks sent per stream (each chunk is "
+                "--num-steps timesteps)");
+  flags.declare("stream-hz", "0",
+                "streaming mode: per-stream chunk cadence (chunks/s; 0 = "
+                "closed loop, step as fast as the daemon answers)");
   flags.declare("parity", "8",
                 "verify this many responses per connection bitwise against "
-                "a direct InferenceSession (-1 = all)");
+                "a direct InferenceSession (-1 = all); in streaming mode, "
+                "replay this many streams per connection through a direct "
+                "StreamState (every chunk and the close totals)");
   flags.declare("json", "BENCH_serve.json", "JSON summary path (empty: skip)");
   flags.declare("ledger", "", "write a run ledger into this directory");
   exp::declare_standard_flags(flags, exp::DriverKind::kPlain);
@@ -151,7 +163,6 @@ int main(int argc, char** argv) {
   }
   const auto std_flags =
       exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
-  (void)std_flags;
 
   // Read every flag value up front so a malformed value (e.g. --port=x)
   // prints usage and exits 2 like an unknown flag, instead of aborting.
@@ -163,6 +174,8 @@ int main(int argc, char** argv) {
   std::uint32_t num_steps = 0;
   double density = 0.0, qps = 0.0;
   float beta = 0.0f, theta = 0.0f;
+  std::int64_t streams_total = 0, steps_per_stream = 0;
+  double stream_hz = 0.0;
   try {
     host = flags.get("host");
     port = static_cast<int>(flags.get_int("port"));
@@ -178,8 +191,13 @@ int main(int argc, char** argv) {
     parity_per_conn = flags.get_int("parity");
     beta = static_cast<float>(flags.get_double("beta"));
     theta = static_cast<float>(flags.get_double("theta"));
+    streams_total = flags.get_int("streams");
+    steps_per_stream = flags.get_int("steps-per-stream");
+    stream_hz = flags.get_double("stream-hz");
     ST_REQUIRE(conns > 0 && total_requests > 0,
                "--conns and --requests must be positive");
+    ST_REQUIRE(streams_total >= 0 && steps_per_stream > 0,
+               "--streams must be >= 0 and --steps-per-stream positive");
     ST_REQUIRE(retry_budget >= 0 && backoff_ms >= 0,
                "--retries and --backoff-ms must be non-negative");
   } catch (const Error& e) {
@@ -214,6 +232,365 @@ int main(int argc, char** argv) {
   net.reset();
   const std::int64_t in_elems = per_sample.numel();
   const std::int64_t out_features = model.output_shape()[0];
+
+  if (streams_total > 0) {
+    // --- Streaming mode (protocol v3) -----------------------------------
+    // Every stream sends `steps_per_stream` chunks of `num_steps`
+    // timesteps.  With --stream-hz R each chunk launches on the stream's
+    // own open-loop schedule and latency is measured from the scheduled
+    // slot (no coordinated omission); at 0 the connections step their
+    // streams round-robin as fast as the daemon answers.  The parity gate
+    // replays checked streams through a direct StreamState on a local
+    // session: every chunk's counts AND the close totals must match
+    // bitwise — LRU eviction/restore on the daemon must be invisible.
+    std::cout << "== SERVE loadgen (streaming): " << host << ":" << port
+              << ", " << streams_total << " streams over " << conns
+              << " conns, " << steps_per_stream << " chunks x T "
+              << num_steps
+              << (stream_hz > 0
+                      ? ", " + fmt_f(stream_hz, 1) + " chunks/s/stream"
+                      : std::string(", closed loop"))
+              << " ==\n";
+
+    struct StreamConnResult {
+      std::vector<double> step_ms;
+      std::int64_t opened = 0;
+      std::int64_t open_rejects = 0;
+      std::int64_t steps_completed = 0;
+      std::int64_t step_errors = 0;
+      std::int64_t closed = 0;
+      std::int64_t shutdown_drops = 0;
+      std::int64_t disconnects = 0;
+      std::int64_t parity_checked = 0;  // chunks compared bitwise
+      std::int64_t parity_failures = 0;
+      std::int64_t totals_checked = 0;  // close replies compared
+      std::int64_t totals_failures = 0;
+    };
+    std::vector<StreamConnResult> sres(static_cast<std::size_t>(conns));
+    std::atomic<bool> sconnect_failed{false};
+    std::string sconnect_error;
+    std::mutex sconnect_mu;
+    const auto ts_start = Clock::now();
+
+    std::vector<std::thread> sthreads;
+    sthreads.reserve(static_cast<std::size_t>(conns));
+    for (int c = 0; c < conns; ++c) {
+      sthreads.emplace_back([&, c] {
+        StreamConnResult& r = sres[static_cast<std::size_t>(c)];
+        std::unique_ptr<serve::TcpClient> client;
+        try {
+          client = std::make_unique<serve::TcpClient>(host, port, retry_ms);
+        } catch (const Error& e) {
+          std::lock_guard<std::mutex> lock(sconnect_mu);
+          sconnect_failed.store(true);
+          sconnect_error = e.what();
+          return;
+        }
+        struct LocalStream {
+          std::uint64_t id = 0;  // 0 after an open reject: skipped
+          Rng rng{0};
+          infer::StreamState ref_state;  // parity replay state
+          bool check = false;
+        };
+        std::vector<LocalStream> mine;
+        for (std::int64_t g = c; g < streams_total; g += conns) {
+          LocalStream s;
+          s.id = static_cast<std::uint64_t>(g) + 1;
+          s.rng = Rng(0x57e4317eadULL ^ (0x9e3779b97f4a7c15ULL * s.id));
+          s.check = parity_per_conn < 0 ||
+                    static_cast<std::int64_t>(mine.size()) < parity_per_conn;
+          mine.push_back(std::move(s));
+        }
+        std::unique_ptr<infer::InferenceSession> ref;
+
+        for (LocalStream& s : mine) {
+          const auto ack = client->stream_open(s.id);
+          if (ack.disconnected) {
+            ++r.disconnects;
+            return;
+          }
+          if (!ack.ok) {
+            if (ack.error.code == serve::ErrorCode::kShuttingDown) {
+              ++r.shutdown_drops;
+              return;
+            }
+            ++r.open_rejects;
+            s.id = 0;
+            continue;
+          }
+          ++r.opened;
+          if (s.check) s.ref_state = infer::StreamState(model);
+        }
+
+        std::vector<std::int64_t> dims{1};
+        for (std::int64_t d : per_sample.dims()) dims.push_back(d);
+        for (std::int64_t k = 0; k < steps_per_stream; ++k) {
+          for (LocalStream& s : mine) {
+            if (s.id == 0) continue;
+            serve::InferRequest req;
+            req.request_id =
+                (s.id << 16) | static_cast<std::uint64_t>(k);
+            req.num_steps = num_steps;
+            req.elems_per_step = static_cast<std::uint32_t>(in_elems);
+            req.deadline_us = deadline_us;
+            req.data = make_window(num_steps, in_elems, density, s.rng);
+
+            auto scheduled = Clock::now();
+            if (stream_hz > 0) {
+              // Per-stream phase spreads chunk launches evenly over the
+              // cadence interval across the whole fleet.
+              const double phase = static_cast<double>(s.id - 1) /
+                                   static_cast<double>(streams_total);
+              scheduled =
+                  ts_start + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(
+                                     (static_cast<double>(k) + phase) /
+                                     stream_hz));
+              std::this_thread::sleep_until(scheduled);
+            }
+            const auto reply = client->stream_step(s.id, req);
+            if (reply.disconnected) {
+              ++r.disconnects;
+              return;
+            }
+            if (!reply.ok) {
+              if (reply.error.code == serve::ErrorCode::kShuttingDown) {
+                ++r.shutdown_drops;
+                return;
+              }
+              // A shed or errored chunk never advanced the daemon's
+              // stream state, so the local replay skips it too — the
+              // close totals still have to agree.
+              ++r.step_errors;
+              continue;
+            }
+            ++r.steps_completed;
+            r.step_ms.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          scheduled)
+                    .count());
+            if (s.check) {
+              if (ref == nullptr) {
+                infer::InferOptions opts = std_flags.infer;
+                opts.max_batch = 1;
+                ref = std::make_unique<infer::InferenceSession>(model, opts);
+              }
+              std::vector<Tensor> window;
+              window.reserve(num_steps);
+              for (std::uint32_t t = 0; t < num_steps; ++t) {
+                Tensor x{Shape(dims)};
+                std::memcpy(
+                    x.data(), req.data.data() + t * in_elems,
+                    static_cast<std::size_t>(in_elems) * sizeof(float));
+                window.push_back(std::move(x));
+              }
+              infer::StreamState* st = &s.ref_state;
+              const infer::InferenceResult want = ref->run(&st, 1, window);
+              ++r.parity_checked;
+              if (std::memcmp(want.spike_counts.data(),
+                              reply.response.spike_counts.data(),
+                              static_cast<std::size_t>(out_features) *
+                                  sizeof(float)) != 0)
+                ++r.parity_failures;
+            }
+          }
+        }
+
+        for (LocalStream& s : mine) {
+          if (s.id == 0) continue;
+          const auto cres = client->stream_close(s.id);
+          if (cres.disconnected) {
+            ++r.disconnects;
+            return;
+          }
+          if (!cres.ok) {
+            ++r.step_errors;
+            continue;
+          }
+          ++r.closed;
+          if (s.check) {
+            ++r.totals_checked;
+            const std::vector<float>& want = s.ref_state.cumulative_counts();
+            if (cres.totals.steps_done !=
+                    static_cast<std::uint64_t>(s.ref_state.steps_done()) ||
+                cres.totals.cumulative_counts.size() != want.size() ||
+                (!want.empty() &&
+                 std::memcmp(want.data(),
+                             cres.totals.cumulative_counts.data(),
+                             want.size() * sizeof(float)) != 0))
+              ++r.totals_failures;
+          }
+        }
+      });
+    }
+    for (std::thread& t : sthreads) t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - ts_start).count();
+    if (sconnect_failed.load()) {
+      std::cerr << "cannot reach the daemon: " << sconnect_error << "\n";
+      return 1;
+    }
+
+    std::vector<double> step_lat;
+    StreamConnResult tot;
+    std::int64_t max_concurrent = 0;
+    for (const StreamConnResult& r : sres) {
+      step_lat.insert(step_lat.end(), r.step_ms.begin(), r.step_ms.end());
+      tot.opened += r.opened;
+      tot.open_rejects += r.open_rejects;
+      tot.steps_completed += r.steps_completed;
+      tot.step_errors += r.step_errors;
+      tot.closed += r.closed;
+      tot.shutdown_drops += r.shutdown_drops;
+      tot.disconnects += r.disconnects;
+      tot.parity_checked += r.parity_checked;
+      tot.parity_failures += r.parity_failures;
+      tot.totals_checked += r.totals_checked;
+      tot.totals_failures += r.totals_failures;
+    }
+    // Every surviving open stream steps concurrently through the burst.
+    max_concurrent = tot.opened;
+    const LatencyStats slat = summarize_latencies(step_lat);
+    const double steps_per_s =
+        elapsed_s > 0 ? static_cast<double>(tot.steps_completed) / elapsed_s
+                      : 0.0;
+    const bool parity_ok =
+        tot.parity_failures == 0 && tot.totals_failures == 0;
+
+    // Daemon-side stream counters (STAT): eviction/restore traffic and the
+    // daemon's own concurrency high-water mark.  Best-effort.
+    std::int64_t d_peak = -1, d_evicted = -1, d_restored = -1;
+    try {
+      serve::TcpClient probe(host, port, 0);
+      const serve::TcpClient::StatReply stat_reply = probe.stat(0);
+      if (!stat_reply.disconnected) {
+        const JsonValue stat = JsonValue::parse(stat_reply.json, "STAT");
+        if (const JsonValue* st = stat.find("streams")) {
+          d_peak = static_cast<std::int64_t>(st->number_or("peak_live", -1));
+          d_evicted =
+              static_cast<std::int64_t>(st->number_or("evicted", -1));
+          d_restored =
+              static_cast<std::int64_t>(st->number_or("restored", -1));
+        }
+      }
+    } catch (const Error&) {
+    }
+
+    AsciiTable table({"metric", "value"});
+    table.set_title("serve loadgen streaming (" +
+                    std::to_string(tot.steps_completed) + " steps, " +
+                    fmt_f(elapsed_s, 2) + "s)");
+    table.add_row({"streams opened", std::to_string(tot.opened) + " of " +
+                                         std::to_string(streams_total)});
+    table.add_row({"max concurrent", std::to_string(max_concurrent)});
+    table.add_row({"steps/s", fmt_f(steps_per_s, 0)});
+    table.add_row({"step p50", fmt_f(slat.p50, 2) + "ms"});
+    table.add_row({"step p99", fmt_f(slat.p99, 2) + "ms"});
+    table.add_row({"step p999", fmt_f(slat.p999, 2) + "ms"});
+    table.add_row({"open rejects", std::to_string(tot.open_rejects)});
+    table.add_row({"step errors", std::to_string(tot.step_errors)});
+    table.add_row({"closed", std::to_string(tot.closed)});
+    table.add_row({"shutdown drops", std::to_string(tot.shutdown_drops)});
+    table.add_row({"disconnects", std::to_string(tot.disconnects)});
+    if (d_evicted >= 0) {
+      table.add_row({"daemon evicted/restored",
+                     std::to_string(d_evicted) + " / " +
+                         std::to_string(d_restored)});
+      table.add_row({"daemon peak live", std::to_string(d_peak)});
+    }
+    table.add_row(
+        {"parity", (parity_ok ? "ok" : "FAILED") + std::string(" (") +
+                       std::to_string(tot.parity_checked) + " chunks, " +
+                       std::to_string(tot.totals_checked) + " totals)"});
+    table.print(std::cout);
+
+    const std::string json = flags.get("json");
+    if (!json.empty()) {
+      std::ofstream out(json);
+      ST_REQUIRE(out.good(), "cannot open " + json + " for writing");
+      out << "{\n"
+          << "  \"model\": \"" << model_name << "\",\n"
+          << "  \"mode\": \"streaming\",\n"
+          << "  \"streaming\": {\n"
+          << "    \"streams\": " << streams_total << ",\n"
+          << "    \"conns\": " << conns << ",\n"
+          << "    \"chunk_steps\": " << num_steps << ",\n"
+          << "    \"steps_per_stream\": " << steps_per_stream << ",\n"
+          << "    \"stream_hz\": " << stream_hz << ",\n"
+          << "    \"opened\": " << tot.opened << ",\n"
+          << "    \"open_rejects\": " << tot.open_rejects << ",\n"
+          << "    \"max_concurrent_streams\": " << max_concurrent << ",\n"
+          << "    \"steps_completed\": " << tot.steps_completed << ",\n"
+          << "    \"step_errors\": " << tot.step_errors << ",\n"
+          << "    \"closed\": " << tot.closed << ",\n"
+          << "    \"shutdown_drops\": " << tot.shutdown_drops << ",\n"
+          << "    \"disconnects\": " << tot.disconnects << ",\n"
+          << "    \"elapsed_s\": " << elapsed_s << ",\n"
+          << "    \"steps_per_s\": " << steps_per_s << ",\n"
+          << "    \"step_mean_ms\": " << slat.mean << ",\n"
+          << "    \"step_p50_ms\": " << slat.p50 << ",\n"
+          << "    \"step_p99_ms\": " << slat.p99 << ",\n"
+          << "    \"step_p999_ms\": " << slat.p999 << ",\n"
+          << "    \"daemon_peak_live\": " << d_peak << ",\n"
+          << "    \"daemon_evicted\": " << d_evicted << ",\n"
+          << "    \"daemon_restored\": " << d_restored << ",\n"
+          << "    \"parity_chunks_checked\": " << tot.parity_checked
+          << ",\n"
+          << "    \"parity_totals_checked\": " << tot.totals_checked
+          << ",\n"
+          << "    \"parity\": " << (parity_ok ? "true" : "false") << "\n"
+          << "  }\n"
+          << "}\n";
+      std::cout << "wrote " << json << "\n";
+    }
+
+    if (obs::metrics_enabled()) {
+      obs::set(obs::gauge("loadgen.stream_steps_per_s"), steps_per_s);
+      obs::set(obs::gauge("loadgen.parity"), parity_ok ? 1.0 : 0.0);
+    }
+    const std::string ledger_dir = flags.get("ledger");
+    if (!ledger_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(ledger_dir, ec);
+      obs::RunLedger ledger(ledger_dir + "/serve_loadgen.jsonl");
+      obs::LedgerManifest m;
+      m.run_id = "serve_loadgen";
+      m.threads = conns;
+      m.argv = exp::join_argv(argc, argv);
+      m.build = std::string("cxx ") + __VERSION__;
+      m.info.emplace_back("model", model_name);
+      m.info.emplace_back("mode", "streaming");
+      m.params.emplace_back("streams", static_cast<double>(streams_total));
+      m.params.emplace_back("steps_per_stream",
+                            static_cast<double>(steps_per_stream));
+      m.params.emplace_back("chunk_steps", static_cast<double>(num_steps));
+      ledger.write_manifest(m);
+      obs::LedgerFinal fin;
+      fin.values.emplace_back("steps_per_s", steps_per_s);
+      fin.values.emplace_back("step_p99_ms", slat.p99);
+      fin.values.emplace_back("steps_completed",
+                              static_cast<double>(tot.steps_completed));
+      fin.values.emplace_back("max_concurrent_streams",
+                              static_cast<double>(max_concurrent));
+      fin.values.emplace_back("parity", parity_ok ? 1.0 : 0.0);
+      ledger.write_final(fin);
+      std::cout << "wrote " << ledger.path() << "\n";
+    }
+
+    if (!parity_ok) {
+      std::cerr << "STREAM PARITY FAILURE: " << tot.parity_failures
+                << " chunk mismatches, " << tot.totals_failures
+                << " close-total mismatches (of " << tot.parity_checked
+                << " chunks / " << tot.totals_checked
+                << " totals checked)\n";
+      return 1;
+    }
+    if (tot.steps_completed == 0) {
+      std::cerr << "no stream steps completed\n";
+      return 1;
+    }
+    return 0;
+  }
 
   const std::int64_t per_conn =
       (total_requests + conns - 1) / conns;  // last conn may send fewer
@@ -391,9 +768,11 @@ int main(int argc, char** argv) {
             static_cast<double>(reply.response.infer_ns) / 1e3);
 
         if (parity_per_conn < 0 || r.parity_checked < parity_per_conn) {
-          if (ref == nullptr)
-            ref = std::make_unique<infer::InferenceSession>(
-                model, infer::SessionConfig{.max_batch = 1});
+          if (ref == nullptr) {
+            infer::InferOptions opts = std_flags.infer;
+            opts.max_batch = 1;
+            ref = std::make_unique<infer::InferenceSession>(model, opts);
+          }
           std::vector<std::int64_t> dims{1};
           for (std::int64_t d : per_sample.dims()) dims.push_back(d);
           std::vector<Tensor> window;

@@ -8,6 +8,10 @@ namespace spiketune::exp {
 void declare_standard_flags(CliFlags& flags, DriverKind kind) {
   declare_threads_flag(flags);
   obs::declare_telemetry_flags(flags);
+  flags.declare("sparse-crossover", "0.35",
+                "input density at or below which inference layers take the "
+                "sparse gather-accumulate path (DESIGN.md §11; both paths "
+                "are bit-identical, so this only moves time)");
   switch (kind) {
     case DriverKind::kPlain:
       break;
@@ -29,6 +33,7 @@ StandardFlags apply_standard_flags(const CliFlags& flags, DriverKind kind,
   StandardFlags out;
   out.threads = apply_threads_flag(flags);
   out.telemetry = obs::apply_telemetry_flags(flags);
+  out.infer.sparse_crossover = flags.get_double("sparse-crossover");
   if (kind == DriverKind::kSweep)
     out.sweep = sweep_options_from_flags(flags, argc, argv);
   return out;
@@ -40,6 +45,7 @@ StandardFlags apply_standard_flags(const CliFlags& flags,
   StandardFlags out = apply_standard_flags(flags, DriverKind::kTrain);
   train::apply_fit_flags(flags, config.trainer);
   apply_ledger_flags(config, flags, argc, argv);
+  config.trainer.infer = out.infer;
   return out;
 }
 
@@ -47,6 +53,7 @@ StandardFlags apply_standard_flags(const CliFlags& flags,
                                    train::TrainerConfig& config) {
   StandardFlags out = apply_standard_flags(flags, DriverKind::kFit);
   train::apply_fit_flags(flags, config);
+  config.infer = out.infer;
   return out;
 }
 

@@ -27,6 +27,7 @@
 #include "core/cli.h"
 #include "exp/experiment.h"
 #include "exp/sweep.h"
+#include "infer/options.h"
 #include "obs/flags.h"
 #include "train/trainer.h"
 
@@ -46,6 +47,11 @@ struct StandardFlags {
   int threads = 0;                  // resolved --threads value
   obs::TelemetrySession telemetry;  // flushes on destruction
   SweepOptions sweep;               // populated for kSweep only
+  /// Inference options shared by every driver that builds an
+  /// InferenceSession (directly or through TrainerConfig::infer /
+  /// ServerConfig) — currently --sparse-crossover.  Drivers override the
+  /// per-call fields (max_batch, record_stats) themselves.
+  infer::InferOptions infer;
 };
 
 /// Declares the shared flag set for `kind` (see table above).  Call after

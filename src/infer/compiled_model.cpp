@@ -90,6 +90,10 @@ CompiledModel CompiledModel::compile(const snn::SpikingNetwork& net,
 
     cl.in_elems = cl.in_shape.numel();
     cl.out_elems = cl.out_shape.numel();
+    if (cl.kind == OpKind::kLif) {
+      cl.membrane_offset = model.membrane_elems_;
+      model.membrane_elems_ += cl.out_elems;
+    }
     shape = cl.out_shape;
     model.layers_.push_back(std::move(cl));
   }

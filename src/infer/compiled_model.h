@@ -57,6 +57,11 @@ struct CompiledLayer {
   // kLif.
   float beta = 0.0f;
   float threshold = 0.0f;
+  /// Offset of this layer's membrane plane inside a StreamState arena
+  /// (see infer/stream.h); -1 for non-LIF layers.  Assigned at compile so
+  /// every stream shares one layout and eviction checkpoints are one flat
+  /// tensor.
+  std::int64_t membrane_offset = -1;
 };
 
 class CompiledModel {
@@ -81,10 +86,15 @@ class CompiledModel {
 
   std::int64_t num_parameters() const;
 
+  /// Total floats of persistent membrane state one stream carries (the
+  /// StreamState arena size): the sum of every LIF layer's out_elems.
+  std::int64_t membrane_elems() const { return membrane_elems_; }
+
  private:
   std::vector<CompiledLayer> layers_;
   Shape input_shape_;
   Shape output_shape_;
+  std::int64_t membrane_elems_ = 0;
 };
 
 }  // namespace spiketune::infer

@@ -33,12 +33,11 @@ std::int64_t count_nonzero(const float* p, std::int64_t n) {
 }  // namespace
 
 InferenceSession::InferenceSession(const CompiledModel& model,
-                                   SessionConfig config)
+                                   InferOptions config)
     : model_(&model), config_(config) {
   ST_REQUIRE(model.num_layers() > 0, "cannot build a session on empty model");
   ST_REQUIRE(config_.max_batch > 0, "max_batch must be positive");
   acts_.resize(model.num_layers());
-  membrane_.resize(model.num_layers());
   for (const auto& l : model.layers()) {
     if (l.kind == OpKind::kConv2d) {
       const std::int64_t spatial = l.geom.col_cols();
@@ -55,16 +54,20 @@ InferenceSession::InferenceSession(const CompiledModel& model,
 void InferenceSession::ensure_capacity(std::int64_t batch) {
   if (batch <= capacity_) return;
   const auto& layers = model_->layers();
-  for (std::size_t li = 0; li < layers.size(); ++li) {
+  for (std::size_t li = 0; li < layers.size(); ++li)
     acts_[li].resize(static_cast<std::size_t>(batch * layers[li].out_elems));
-    if (layers[li].kind == OpKind::kLif)
-      membrane_[li].resize(
-          static_cast<std::size_t>(batch * layers[li].out_elems));
-  }
   nz_idx_.resize(static_cast<std::size_t>(batch * idx_stride_));
   nz_count_.resize(static_cast<std::size_t>(batch));
   scratch_.resize(static_cast<std::size_t>(batch * scratch_stride_));
   cols_.resize(static_cast<std::size_t>(batch * cols_stride_));
+  m_rows_.resize(static_cast<std::size_t>(batch));
+  fresh_.resize(static_cast<std::size_t>(batch));
+  // Scratch streams backing the whole-window run(); pool_ never shrinks, so
+  // the pointers handed out below stay valid across calls.
+  while (pool_.size() < static_cast<std::size_t>(batch))
+    pool_.emplace_back(*model_);
+  pool_ptrs_.resize(static_cast<std::size_t>(batch));
+  for (std::size_t s = 0; s < pool_.size(); ++s) pool_ptrs_[s] = &pool_[s];
   capacity_ = batch;
 }
 
@@ -232,29 +235,46 @@ void linear_dense(const CompiledLayer& l, const float* in, std::int64_t n,
 // --- LIF --------------------------------------------------------------------
 //
 // In-place membrane update, no caches.  Identical elementwise recurrence to
-// snn::Lif::forward_step; the first step reads no membrane term at all,
-// matching the dense layer's has_membrane_ gate.  Returns the spike tally
-// (exact: per-slice integer counts).
+// snn::Lif::forward_step, but each row's membrane plane lives in its own
+// stream's arena (m_rows[s]) and carries its own freshness flag: a fresh
+// stream's step reads no membrane term at all, matching the dense layer's
+// has_membrane_ gate on timestep 0.  The flat [0, n*out_elems) slicing and
+// the per-element arithmetic are unchanged from the pre-streaming kernel —
+// only the address each element's membrane lives at differs — so outputs
+// are bit-identical at any thread count.  Returns the spike tally (exact:
+// per-slice integer counts).
 
 std::int64_t lif_step(const CompiledLayer& l, const float* in, std::int64_t n,
-                      bool first_step, float* m, float* out) {
+                      const unsigned char* fresh, float* const* m_rows,
+                      float* out) {
   ST_PROF_SCOPE("infer.lif");
   const float beta = l.beta;
   const float theta = l.threshold;
-  const std::int64_t total = n * l.out_elems;
+  const std::int64_t stride = l.out_elems;
+  const std::int64_t total = n * stride;
   std::atomic<std::int64_t> fired{0};
   parallel_for(0, total, kElemGrain, [&](std::int64_t b, std::int64_t e) {
     std::int64_t local = 0;
-    for (std::int64_t i = b; i < e; ++i) {
-      float u = in[i];
-      if (!first_step) u += beta * m[i];
-      const bool fire = u > theta;
-      out[i] = fire ? 1.0f : 0.0f;
-      if (fire) {
-        u -= theta;
-        ++local;
+    std::int64_t i = b;
+    std::int64_t s = b / stride;
+    std::int64_t j = b - s * stride;
+    while (i < e) {
+      const std::int64_t row_end = std::min(e, i + (stride - j));
+      float* m = m_rows[s] + j;
+      const bool first_step = fresh[s] != 0;
+      for (std::int64_t k = 0; i < row_end; ++i, ++k) {
+        float u = in[i];
+        if (!first_step) u += beta * m[k];
+        const bool fire = u > theta;
+        out[i] = fire ? 1.0f : 0.0f;
+        if (fire) {
+          u -= theta;
+          ++local;
+        }
+        m[k] = u;
       }
-      m[i] = u;
+      ++s;
+      j = 0;
     }
     fired.fetch_add(local, std::memory_order_relaxed);
   });
@@ -326,12 +346,138 @@ void avgpool(const CompiledLayer& l, const float* in, std::int64_t n,
 
 }  // namespace
 
+void InferenceSession::step_batch(StreamState* const* streams, std::int64_t n,
+                                  const float* x, float* window_counts,
+                                  InferenceResult& result, StepTotals& totals) {
+  const auto& layers = model_->layers();
+  const std::size_t arena_elems =
+      static_cast<std::size_t>(model_->membrane_elems());
+  const std::int64_t out_f = model_->output_shape()[0];
+  for (std::int64_t s = 0; s < n; ++s) {
+    ST_REQUIRE(streams[s] != nullptr, "null stream in batch");
+    ST_REQUIRE(streams[s]->arena_.size() == arena_elems &&
+                   streams[s]->counts_.size() ==
+                       static_cast<std::size_t>(out_f),
+               "stream state does not match this session's model");
+    fresh_[static_cast<std::size_t>(s)] =
+        streams[s]->steps_done_ == 0 ? 1 : 0;
+  }
+
+  std::int64_t prev_out_nz = -1;  // boundary count carried layer to layer
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    const CompiledLayer& l = layers[li];
+    float* out = acts_[li].data();
+    const std::int64_t in_total = n * l.in_elems;
+    std::int64_t in_nz = prev_out_nz;
+    std::int64_t out_nz = -1;
+
+    switch (l.kind) {
+      case OpKind::kConv2d:
+      case OpKind::kLinear: {
+        // Exact batch-wide density drives the kernel choice, so dispatch
+        // is deterministic for any thread count.
+        const bool timed = config_.record_stage_times;
+        const std::uint64_t t0 = timed ? obs::telemetry_now_ns() : 0;
+        const std::int64_t nz = build_index_lists(x, n, l.in_elems);
+        const std::uint64_t t1 = timed ? obs::telemetry_now_ns() : 0;
+        if (timed) result.index_ns += t1 - t0;
+        in_nz = nz;
+        totals.dispatch_nz += nz;
+        totals.dispatch_elems += in_total;
+        const double density =
+            static_cast<double>(nz) / static_cast<double>(in_total);
+        obs::flight_record(density <= config_.sparse_crossover
+                               ? obs::FlightEventId::kInferSparseDispatch
+                               : obs::FlightEventId::kInferDenseDispatch,
+                           static_cast<std::uint64_t>(li),
+                           static_cast<std::uint64_t>(nz));
+        if (density <= config_.sparse_crossover) {
+          ++result.sparse_dispatches;
+          if (l.kind == OpKind::kConv2d)
+            conv_sparse(l, x, n, nz_idx_.data(), idx_stride_,
+                        nz_count_.data(), scratch_.data(), scratch_stride_,
+                        out);
+          else
+            linear_sparse(l, x, n, nz_idx_.data(), idx_stride_,
+                          nz_count_.data(), out);
+          if (timed) result.sparse_kernel_ns += obs::telemetry_now_ns() - t1;
+        } else {
+          ++result.dense_dispatches;
+          if (l.kind == OpKind::kConv2d)
+            conv_dense(l, x, n, cols_.data(), cols_stride_, out);
+          else
+            linear_dense(l, x, n, out);
+          if (timed) result.dense_kernel_ns += obs::telemetry_now_ns() - t1;
+        }
+        break;
+      }
+      case OpKind::kLif: {
+        for (std::int64_t s = 0; s < n; ++s)
+          m_rows_[static_cast<std::size_t>(s)] =
+              streams[s]->arena_.data() + l.membrane_offset;
+        out_nz = lif_step(l, x, n, fresh_.data(), m_rows_.data(), out);
+        totals.spikes += out_nz;
+        break;
+      }
+      case OpKind::kMaxPool2d:
+        maxpool(l, x, n, out);
+        break;
+      case OpKind::kAvgPool2d:
+        avgpool(l, x, n, out);
+        break;
+      case OpKind::kFlatten:
+        std::copy(x, x + in_total, out);
+        if (in_nz >= 0) out_nz = in_nz;  // reshape preserves nonzeros
+        break;
+    }
+
+    if (config_.record_stats) {
+      if (in_nz < 0) in_nz = count_nonzero(x, in_total);
+      if (out_nz < 0) out_nz = count_nonzero(out, n * l.out_elems);
+      result.stats.add_step(li, in_nz, in_total, out_nz, n * l.out_elems);
+      prev_out_nz = out_nz;
+    }
+    x = out;
+  }
+
+  // window counts += final-layer spikes; disjoint elementwise adds of
+  // identical values, so the sum matches the dense path's ops::add_ exactly.
+  parallel_for(0, n * out_f, kElemGrain,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i)
+                   window_counts[i] += x[i];
+               });
+  // Each stream's lifetime tally advances by the same 0/1 floats — exact
+  // small-integer accumulation, so cumulative_counts() after k steps equals
+  // a k-step window's spike_counts bit for bit.
+  parallel_for(0, n, 1, [&](std::int64_t sb, std::int64_t se) {
+    for (std::int64_t s = sb; s < se; ++s) {
+      float* c = streams[s]->counts_.data();
+      const float* xs = x + s * out_f;
+      for (std::int64_t j = 0; j < out_f; ++j) c[j] += xs[j];
+    }
+  });
+  for (std::int64_t s = 0; s < n; ++s) ++streams[s]->steps_done_;
+}
+
 InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
-  ST_PROF_SCOPE("infer.run");
   ST_REQUIRE(!step_inputs.empty(), "window must contain at least one step");
-  const Shape& model_in = model_->input_shape();
   const std::int64_t n = step_inputs.front().shape()[0];
   ST_REQUIRE(n > 0, "batch must be non-empty");
+  ensure_capacity(n);
+  // A window is just n scratch streams born at t=0 and stepped T times.
+  for (std::int64_t s = 0; s < n; ++s)
+    pool_[static_cast<std::size_t>(s)].reset();
+  return run(pool_ptrs_.data(), n, step_inputs);
+}
+
+InferenceResult InferenceSession::run(StreamState* const* streams,
+                                      std::int64_t n,
+                                      const std::vector<Tensor>& step_inputs) {
+  ST_PROF_SCOPE("infer.run");
+  ST_REQUIRE(!step_inputs.empty(), "window must contain at least one step");
+  ST_REQUIRE(n > 0, "batch must be non-empty");
+  const Shape& model_in = model_->input_shape();
   for (const Tensor& t : step_inputs) {
     const Shape& s = t.shape();
     ST_REQUIRE(s.rank() == model_in.rank() + 1 && s[0] == n,
@@ -344,7 +490,6 @@ InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
   }
   ensure_capacity(n);
 
-  const auto& layers = model_->layers();
   const std::int64_t steps = static_cast<std::int64_t>(step_inputs.size());
 
   InferenceResult result;
@@ -352,102 +497,16 @@ InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
   result.timesteps = steps;
   result.spike_counts = Tensor(Shape{n, model_->output_shape()[0]});
 
-  std::int64_t dispatch_nz = 0;
-  std::int64_t dispatch_elems = 0;
-  std::int64_t total_spikes = 0;
-
-  for (std::int64_t t = 0; t < steps; ++t) {
-    const float* x = step_inputs[static_cast<std::size_t>(t)].data();
-    std::int64_t prev_out_nz = -1;  // boundary count carried layer to layer
-    for (std::size_t li = 0; li < layers.size(); ++li) {
-      const CompiledLayer& l = layers[li];
-      float* out = acts_[li].data();
-      const std::int64_t in_total = n * l.in_elems;
-      std::int64_t in_nz = prev_out_nz;
-      std::int64_t out_nz = -1;
-
-      switch (l.kind) {
-        case OpKind::kConv2d:
-        case OpKind::kLinear: {
-          // Exact batch-wide density drives the kernel choice, so dispatch
-          // is deterministic for any thread count.
-          const bool timed = config_.record_stage_times;
-          const std::uint64_t t0 = timed ? obs::telemetry_now_ns() : 0;
-          const std::int64_t nz = build_index_lists(x, n, l.in_elems);
-          const std::uint64_t t1 = timed ? obs::telemetry_now_ns() : 0;
-          if (timed) result.index_ns += t1 - t0;
-          in_nz = nz;
-          dispatch_nz += nz;
-          dispatch_elems += in_total;
-          const double density =
-              static_cast<double>(nz) / static_cast<double>(in_total);
-          obs::flight_record(density <= config_.sparse_crossover
-                                 ? obs::FlightEventId::kInferSparseDispatch
-                                 : obs::FlightEventId::kInferDenseDispatch,
-                             static_cast<std::uint64_t>(li),
-                             static_cast<std::uint64_t>(nz));
-          if (density <= config_.sparse_crossover) {
-            ++result.sparse_dispatches;
-            if (l.kind == OpKind::kConv2d)
-              conv_sparse(l, x, n, nz_idx_.data(), idx_stride_,
-                          nz_count_.data(), scratch_.data(), scratch_stride_,
-                          out);
-            else
-              linear_sparse(l, x, n, nz_idx_.data(), idx_stride_,
-                            nz_count_.data(), out);
-            if (timed) result.sparse_kernel_ns += obs::telemetry_now_ns() - t1;
-          } else {
-            ++result.dense_dispatches;
-            if (l.kind == OpKind::kConv2d)
-              conv_dense(l, x, n, cols_.data(), cols_stride_, out);
-            else
-              linear_dense(l, x, n, out);
-            if (timed) result.dense_kernel_ns += obs::telemetry_now_ns() - t1;
-          }
-          break;
-        }
-        case OpKind::kLif: {
-          out_nz = lif_step(l, x, n, /*first_step=*/t == 0,
-                            membrane_[li].data(), out);
-          total_spikes += out_nz;
-          break;
-        }
-        case OpKind::kMaxPool2d:
-          maxpool(l, x, n, out);
-          break;
-        case OpKind::kAvgPool2d:
-          avgpool(l, x, n, out);
-          break;
-        case OpKind::kFlatten:
-          std::copy(x, x + in_total, out);
-          if (in_nz >= 0) out_nz = in_nz;  // reshape preserves nonzeros
-          break;
-      }
-
-      if (config_.record_stats) {
-        if (in_nz < 0) in_nz = count_nonzero(x, in_total);
-        if (out_nz < 0) out_nz = count_nonzero(out, n * l.out_elems);
-        result.stats.add_step(li, in_nz, in_total, out_nz, n * l.out_elems);
-        prev_out_nz = out_nz;
-      }
-      x = out;
-    }
-
-    // counts += final-layer spikes; disjoint elementwise adds of identical
-    // values, so the sum matches the dense path's ops::add_ exactly.
-    {
-      float* counts = result.spike_counts.data();
-      parallel_for(0, result.spike_counts.numel(), kElemGrain,
-                   [&](std::int64_t b, std::int64_t e) {
-                     for (std::int64_t i = b; i < e; ++i) counts[i] += x[i];
-                   });
-    }
-  }
+  StepTotals totals;
+  for (std::int64_t t = 0; t < steps; ++t)
+    step_batch(streams, n, step_inputs[static_cast<std::size_t>(t)].data(),
+               result.spike_counts.data(), result, totals);
 
   result.stats.note_window(steps, n);
   result.mean_input_density =
-      dispatch_elems > 0
-          ? static_cast<double>(dispatch_nz) / static_cast<double>(dispatch_elems)
+      totals.dispatch_elems > 0
+          ? static_cast<double>(totals.dispatch_nz) /
+                static_cast<double>(totals.dispatch_elems)
           : 0.0;
 
   if (obs::metrics_enabled()) {
@@ -455,12 +514,39 @@ InferenceResult InferenceSession::run(const std::vector<Tensor>& step_inputs) {
     static const obs::MetricId kSteps = obs::counter("infer.steps");
     static const obs::MetricId kSparse = obs::counter("infer.sparse_dispatch");
     static const obs::MetricId kDense = obs::counter("infer.dense_dispatch");
-    obs::add(kSpikes, total_spikes);
+    obs::add(kSpikes, totals.spikes);
     obs::add(kSteps, steps);
     obs::add(kSparse, result.sparse_dispatches);
     obs::add(kDense, result.dense_dispatches);
   }
   return result;
+}
+
+Tensor InferenceSession::step(StreamState& stream, const Tensor& events) {
+  ST_PROF_SCOPE("infer.step");
+  const Shape& model_in = model_->input_shape();
+  const Shape& s = events.shape();
+  bool match = s.rank() == model_in.rank();
+  for (std::size_t d = 0; match && d < model_in.rank(); ++d)
+    match = s[d] == model_in[d];
+  ST_REQUIRE(match, "step events must be per-sample " + model_in.str() +
+                        ", got " + s.str());
+  ensure_capacity(1);
+
+  InferenceResult result;
+  if (config_.record_stats) result.stats = model_->make_record();
+  Tensor out(Shape{model_->output_shape()[0]});
+  StreamState* ptr = &stream;
+  StepTotals totals;
+  step_batch(&ptr, 1, events.data(), out.data(), result, totals);
+
+  if (obs::metrics_enabled()) {
+    static const obs::MetricId kSpikes = obs::counter("infer.spikes");
+    static const obs::MetricId kSteps = obs::counter("infer.steps");
+    obs::add(kSpikes, totals.spikes);
+    obs::add(kSteps, 1);
+  }
+  return out;
 }
 
 }  // namespace spiketune::infer

@@ -1,9 +1,21 @@
 // InferenceSession: sparsity-aware serving path for a CompiledModel.
 //
-// The session owns every buffer the hot loop needs — per-layer activation
-// planes, per-LIF membrane state (updated in place, no gradient caches),
-// spike index lists, and the scatter / im2col scratch — sized once for
-// `max_batch` samples, so steady-state inference performs no allocation.
+// The session owns every *transient* buffer the hot loop needs — per-layer
+// activation planes, spike index lists, and the scatter / im2col scratch —
+// sized once for `max_batch` samples, so steady-state inference performs no
+// allocation.  *Persistent* state (LIF membranes, cumulative spike counts)
+// lives in StreamState (infer/stream.h): the session steps a batch of
+// streams, each row reading and writing its own stream's membrane arena.
+//
+// Two entry points share one body:
+//
+//   * step(stream, events): the incremental API — advance one stream by one
+//     timestep and get that step's output spikes back.  step_batch() is the
+//     batched form the serving stack uses (many streams, one kernel pass).
+//   * run(step_inputs): the classic whole-window API, now literally a loop
+//     over step_batch() driving a pool of session-owned scratch streams —
+//     so window results are bitwise-identical to streaming results by
+//     construction, not by parallel maintenance (DESIGN.md §15).
 //
 // Per step, each conv/linear layer inspects the exact nonzero count of its
 // input (the spike index lists are rebuilt every step) and dispatches either
@@ -12,7 +24,7 @@
 //     input columns via the model's [K, out] transposed weights, or
 //   * the dense im2col+GEMM / GEMM kernel — the same kernels the training
 //     stack runs — once batch-wide input density exceeds
-//     SessionConfig::sparse_crossover.
+//     InferOptions::sparse_crossover.
 //
 // Both paths, at any thread count, produce bit-identical activations to
 // SpikingNetwork::forward (see DESIGN.md §10 for the determinism argument),
@@ -21,32 +33,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "infer/compiled_model.h"
+#include "infer/options.h"
+#include "infer/stream.h"
 
 namespace spiketune::infer {
 
-struct SessionConfig {
-  /// Initial buffer capacity in samples.  Running a larger batch grows the
-  /// buffers (a one-off reallocation); steady state never allocates.
-  std::int64_t max_batch = 32;
-  /// Batch-wide input density at or below which a conv/linear layer takes
-  /// the sparse kernel.  Set < 0 to force the dense path, >= 1 to force the
-  /// sparse path (both paths stay bit-identical; only speed changes).
-  double sparse_crossover = 0.35;
-  /// Populate InferenceResult::stats (one counting pass per layer boundary,
-  /// identical to ForwardOptions::record_stats).
-  bool record_stats = false;
-  /// Accumulate wall-clock per-stage timings (index building vs. sparse vs.
-  /// dense kernel time) into InferenceResult.  A few clock reads per
-  /// layer-step; never alters dispatch or results.
-  bool record_stage_times = false;
-};
-
 struct InferenceResult {
   Tensor spike_counts;     // [N, out_features] — spikes summed over steps
-  snn::SpikeRecord stats;  // populated when SessionConfig::record_stats
+  snn::SpikeRecord stats;  // populated when InferOptions::record_stats
   std::int64_t timesteps = 0;
 
   /// Achieved input density over all conv/linear dispatch decisions this
@@ -68,32 +66,69 @@ class InferenceSession {
   /// The model must outlive the session (the session keeps a pointer; the
   /// weights are read in place, never copied again).
   explicit InferenceSession(const CompiledModel& model,
-                            SessionConfig config = {});
+                            InferOptions config = {});
 
   /// Runs one window of T per-step batches shaped [N, <input_shape>...].
-  /// All steps must share one batch size.
+  /// All steps must share one batch size.  Implemented as a loop over
+  /// step_batch() on a pool of internal scratch streams (reset first), so
+  /// the result is bit-identical to feeding the same steps through step().
   InferenceResult run(const std::vector<Tensor>& step_inputs);
 
+  /// A fresh stream for this session's model (equivalent to
+  /// StreamState(model()); provided so callers need not name the model).
+  StreamState make_stream() const { return StreamState(*model_); }
+
+  /// Advances `stream` by one timestep of per-sample events shaped
+  /// [<input_shape>...] and returns that step's output spikes
+  /// ([out_features] of 0/1 floats).  The stream's cumulative_counts() and
+  /// steps_done() advance; a fresh (or reset) stream's first step reads no
+  /// membrane term, exactly like timestep 0 of a window.
+  Tensor step(StreamState& stream, const Tensor& events);
+
+  /// Batched streaming run: row i of every step tensor advances
+  /// streams[i].  Streams may be at different ages (a fresh stream rides
+  /// in the same batch as an old one); spike_counts holds only this call's
+  /// window, while each stream's cumulative_counts() keeps the lifetime
+  /// total.  `streams` pointers must be distinct and non-null.
+  InferenceResult run(StreamState* const* streams, std::int64_t n,
+                      const std::vector<Tensor>& step_inputs);
+
   const CompiledModel& model() const { return *model_; }
-  const SessionConfig& config() const { return config_; }
+  const InferOptions& config() const { return config_; }
 
  private:
+  struct StepTotals {
+    std::int64_t dispatch_nz = 0;
+    std::int64_t dispatch_elems = 0;
+    std::int64_t spikes = 0;
+  };
+
   void ensure_capacity(std::int64_t batch);
   /// Fills per-sample nonzero index lists for `layer`'s input and returns
   /// the batch-wide nonzero total.
   std::int64_t build_index_lists(const float* in, std::int64_t batch,
                                  std::int64_t in_elems);
+  /// One timestep for `n` stream rows: runs every layer on the batch `x`
+  /// ([n, in_elems] floats), accumulates the final layer's spikes into both
+  /// `window_counts` ([n, out_features], the per-window tally) and each
+  /// stream's cumulative counts, and bumps each stream's step counter.
+  void step_batch(StreamState* const* streams, std::int64_t n, const float* x,
+                  float* window_counts, InferenceResult& result,
+                  StepTotals& totals);
 
   const CompiledModel* model_;
-  SessionConfig config_;
+  InferOptions config_;
   std::int64_t capacity_ = 0;  // samples the buffers are sized for
 
-  std::vector<std::vector<float>> acts_;      // per layer: capacity*out_elems
-  std::vector<std::vector<float>> membrane_;  // per layer, LIF only
-  std::vector<std::int32_t> nz_idx_;          // capacity * idx_stride_
-  std::vector<std::int64_t> nz_count_;        // per-sample nonzero counts
-  std::vector<float> scratch_;                // conv scatter: [spatial, OC]
-  std::vector<float> cols_;                   // dense-fallback im2col
+  std::vector<std::vector<float>> acts_;  // per layer: capacity*out_elems
+  std::vector<std::int32_t> nz_idx_;      // capacity * idx_stride_
+  std::vector<std::int64_t> nz_count_;    // per-sample nonzero counts
+  std::vector<float> scratch_;            // conv scatter: [spatial, OC]
+  std::vector<float> cols_;               // dense-fallback im2col
+  std::vector<float*> m_rows_;            // per-row membrane planes (1 layer)
+  std::vector<unsigned char> fresh_;      // per-row "stream has no history"
+  std::vector<StreamState> pool_;         // scratch streams for window run()
+  std::vector<StreamState*> pool_ptrs_;
   std::int64_t idx_stride_ = 0;      // max conv/linear in_elems
   std::int64_t scratch_stride_ = 0;  // max conv spatial*OC
   std::int64_t cols_stride_ = 0;     // max conv col_rows*spatial

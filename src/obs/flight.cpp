@@ -191,6 +191,10 @@ const char* flight_event_name(std::uint16_t id) {
     case FlightEventId::kFaultInjected: return "serve.fault_injected";
     case FlightEventId::kStatRequest: return "serve.stat_request";
     case FlightEventId::kCrashInjected: return "serve.crash_injected";
+    case FlightEventId::kStreamOpen: return "stream.open";
+    case FlightEventId::kStreamClose: return "stream.close";
+    case FlightEventId::kStreamEvict: return "stream.evict";
+    case FlightEventId::kStreamRestore: return "stream.restore";
     case FlightEventId::kInferSparseDispatch: return "infer.sparse_dispatch";
     case FlightEventId::kInferDenseDispatch: return "infer.dense_dispatch";
     case FlightEventId::kEpochStart: return "train.epoch_start";

@@ -49,6 +49,11 @@ enum class FlightEventId : std::uint16_t {
   kFaultInjected = 9,   // a0 = connection index, a1 = op sequence
   kStatRequest = 10,    // a0 = client request id
   kCrashInjected = 11,  // a0 = frame count, a1 = signal (fault crash_at op)
+  // stream: per-stream lifecycle (infer::StreamManager).
+  kStreamOpen = 12,     // a0 = stream id, a1 = live streams
+  kStreamClose = 13,    // a0 = stream id, a1 = live streams
+  kStreamEvict = 14,    // a0 = stream id, a1 = in-memory streams
+  kStreamRestore = 15,  // a0 = stream id, a1 = steps done at restore
   // infer: dispatch-path choice per layer step.
   kInferSparseDispatch = 20,  // a0 = layer index, a1 = nonzero count
   kInferDenseDispatch = 21,   // a0 = layer index, a1 = nonzero count

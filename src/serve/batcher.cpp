@@ -65,12 +65,23 @@ std::vector<PendingRequest> Batcher::next_batch(
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(config_.batch_timeout_us);
 
+  // A batchmate must share the window length AND not step a stream already
+  // aboard — one stream's chunks apply strictly in order, so the second
+  // chunk waits for the next batch (linear scan: batches are small).
+  const auto can_join = [&batch, steps](const PendingRequest& r) {
+    if (r.request.num_steps != steps) return false;
+    if (r.stream_id == 0) return true;
+    for (const PendingRequest& b : batch)
+      if (b.stream_id == r.stream_id) return false;
+    return true;
+  };
+
   for (;;) {
-    // Sweep the queue for batchmates sharing this window length.
+    // Sweep the queue for batchmates.
     for (auto it = queue_.begin();
          it != queue_.end() &&
          static_cast<std::int64_t>(batch.size()) < config_.max_batch;) {
-      if (it->request.num_steps == steps) {
+      if (can_join(*it)) {
         batch.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
@@ -86,7 +97,7 @@ std::vector<PendingRequest> Batcher::next_batch(
       for (auto it = queue_.begin();
            it != queue_.end() &&
            static_cast<std::int64_t>(batch.size()) < config_.max_batch;) {
-        if (it->request.num_steps == steps) {
+        if (can_join(*it)) {
           batch.push_back(std::move(*it));
           it = queue_.erase(it);
         } else {

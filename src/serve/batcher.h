@@ -48,6 +48,11 @@ struct PendingRequest {
   std::uint64_t enqueue_ns = 0;   // telemetry epoch, for queue-time stats
   std::uint64_t deadline_ns = 0;  // telemetry epoch; 0 = no deadline
   std::uint32_t version = 1;      // protocol version to answer with
+  /// Nonzero for a v3 STREAM_STEP chunk: the persistent stream this row
+  /// advances.  Two chunks of one stream never share a batch (state must
+  /// advance strictly in order), so next_batch skips a chunk whose stream
+  /// is already aboard; it stays queued for the next batch.
+  std::uint64_t stream_id = 0;
 };
 
 enum class AdmitResult { kAdmitted, kQueueFull, kDraining };

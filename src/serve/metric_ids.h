@@ -37,6 +37,11 @@ struct ServeMetricIds {
   obs::MetricId internal_errors = obs::kNoMetric;  // counter: poison requests
   obs::MetricId idle_reaped = obs::kNoMetric;      // counter: idle conns cut
   obs::MetricId send_timeouts = obs::kNoMetric;    // counter: slow-peer cuts
+  // Streaming (protocol v3).  Lifecycle counters (opened/evicted/...) are
+  // registered by infer::StreamManager under `infer.streams.*`; these two
+  // are the serve-side step tallies.
+  obs::MetricId stream_steps = obs::kNoMetric;    // counter: steps answered
+  obs::MetricId stream_orphans = obs::kNoMetric;  // counter: closed-race steps
 };
 
 inline const ServeMetricIds& serve_metric_ids() {
@@ -60,6 +65,8 @@ inline const ServeMetricIds& serve_metric_ids() {
     m.internal_errors = obs::counter("serve.internal_errors");
     m.idle_reaped = obs::counter("serve.conn.idle_reaped");
     m.send_timeouts = obs::counter("serve.conn.send_timeouts");
+    m.stream_steps = obs::counter("serve.stream.steps");
+    m.stream_orphans = obs::counter("serve.stream.orphans");
     return m;
   }();
   return ids;

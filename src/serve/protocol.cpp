@@ -78,8 +78,13 @@ FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
              "frame version " + std::to_string(h.version) +
                  " is newer than this daemon speaks (max " +
                  std::to_string(kProtocolVersion) + ")");
-  ST_REQUIRE(kind >= 1 && kind <= 5, "unknown frame kind " +
+  ST_REQUIRE(kind >= 1 && kind <= 8, "unknown frame kind " +
                                          std::to_string(kind));
+  // The streaming opcodes shipped with v3; an older version byte on one is
+  // a peer bug (or a fuzzer), not a legacy frame.
+  ST_REQUIRE(kind <= 5 || h.version >= 3,
+             "frame kind " + std::to_string(kind) +
+                 " requires protocol version >= 3");
   h.kind = static_cast<FrameKind>(kind);
   std::memcpy(&h.request_id, p, 8);
   p += 8;
@@ -91,8 +96,10 @@ FrameHeader decode_header(const std::uint8_t in[kHeaderBytes]) {
   return h;
 }
 
-std::vector<std::uint8_t> encode_request(const InferRequest& r,
-                                         std::uint32_t version) {
+namespace detail {
+
+std::vector<std::uint8_t> encode_request_payload(const InferRequest& r,
+                                                 std::uint32_t version) {
   ST_REQUIRE(r.data.size() == static_cast<std::size_t>(r.num_steps) *
                                   r.elems_per_step,
              "request data does not match num_steps * elems_per_step");
@@ -106,6 +113,154 @@ std::vector<std::uint8_t> encode_request(const InferRequest& r,
   const auto* p = reinterpret_cast<const std::uint8_t*>(r.data.data());
   out.insert(out.end(), p, p + r.data.size() * sizeof(float));
   return out;
+}
+
+std::vector<std::uint8_t> encode_response_payload(const InferResponse& r) {
+  ST_REQUIRE(r.spike_counts.size() == r.out_features,
+             "response spike_counts does not match out_features");
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + r.spike_counts.size() * sizeof(float));
+  put(out, r.out_features);
+  put(out, r.batch);
+  put(out, r.queue_ns);
+  put(out, r.assemble_ns);
+  put(out, r.infer_ns);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(r.spike_counts.data());
+  out.insert(out.end(), p, p + r.spike_counts.size() * sizeof(float));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_error_payload(const ErrorResponse& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + r.message.size());
+  put(out, static_cast<std::uint32_t>(r.code));
+  put(out, static_cast<std::uint32_t>(r.message.size()));
+  out.insert(out.end(), r.message.begin(), r.message.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_stat_payload(const std::string& json) {
+  return std::vector<std::uint8_t>(json.begin(), json.end());
+}
+
+std::vector<std::uint8_t> encode_stream_control_payload(
+    const StreamControl& c) {
+  ST_REQUIRE(c.stream_id != 0, "stream_id 0 is reserved");
+  std::vector<std::uint8_t> out;
+  out.reserve(8);
+  put(out, c.stream_id);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_stream_step_payload(
+    const StreamStepRequest& r) {
+  ST_REQUIRE(r.stream_id != 0, "stream_id 0 is reserved");
+  // The chunk body is exactly the v3 (== v2) infer-request layout, so the
+  // batcher and workers treat a step like any other request after the
+  // stream id is peeled off.
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + r.request.data.size() * sizeof(float));
+  put(out, r.stream_id);
+  const std::vector<std::uint8_t> body =
+      encode_request_payload(r.request, /*version=*/3);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_stream_close_reply_payload(
+    const StreamCloseReply& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(20 + r.cumulative_counts.size() * sizeof(float));
+  put(out, r.stream_id);
+  put(out, r.steps_done);
+  put(out, static_cast<std::uint32_t>(r.cumulative_counts.size()));
+  const auto* p =
+      reinterpret_cast<const std::uint8_t*>(r.cumulative_counts.data());
+  out.insert(out.end(), p, p + r.cumulative_counts.size() * sizeof(float));
+  return out;
+}
+
+}  // namespace detail
+
+RequestBuilder::RequestBuilder(std::uint32_t version) : version_(version) {
+  ST_REQUIRE(version_ >= 1 && version_ <= kProtocolVersion,
+             "unsupported protocol version " + std::to_string(version_));
+}
+
+std::vector<std::uint8_t> RequestBuilder::frame(
+    FrameKind kind, std::uint64_t request_id,
+    std::vector<std::uint8_t> payload) const {
+  FrameHeader h;
+  h.kind = kind;
+  h.version = version_;
+  h.request_id = request_id;
+  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out(kHeaderBytes + payload.size());
+  encode_header(h, out.data());
+  if (!payload.empty())
+    std::memcpy(out.data() + kHeaderBytes, payload.data(), payload.size());
+  return out;
+}
+
+std::vector<std::uint8_t> RequestBuilder::infer_request(
+    const InferRequest& r) const {
+  return frame(FrameKind::kInferRequest, r.request_id,
+               detail::encode_request_payload(r, version_));
+}
+
+std::vector<std::uint8_t> RequestBuilder::infer_response(
+    const InferResponse& r) const {
+  return frame(FrameKind::kInferResponse, r.request_id,
+               detail::encode_response_payload(r));
+}
+
+std::vector<std::uint8_t> RequestBuilder::error(const ErrorResponse& r) const {
+  return frame(FrameKind::kError, r.request_id,
+               detail::encode_error_payload(r));
+}
+
+std::vector<std::uint8_t> RequestBuilder::stat_request(
+    std::uint64_t request_id) const {
+  return frame(FrameKind::kStatRequest, request_id, {});
+}
+
+std::vector<std::uint8_t> RequestBuilder::stat_response(
+    std::uint64_t request_id, const std::string& json) const {
+  return frame(FrameKind::kStatResponse, request_id,
+               detail::encode_stat_payload(json));
+}
+
+std::vector<std::uint8_t> RequestBuilder::stream_open(
+    const StreamControl& c) const {
+  ST_REQUIRE(version_ >= 3, "streaming needs protocol version >= 3");
+  return frame(FrameKind::kStreamOpen, c.request_id,
+               detail::encode_stream_control_payload(c));
+}
+
+std::vector<std::uint8_t> RequestBuilder::stream_open_ack(
+    const StreamControl& c) const {
+  return stream_open(c);  // the ack is an echo frame of the same layout
+}
+
+std::vector<std::uint8_t> RequestBuilder::stream_step(
+    const StreamStepRequest& r) const {
+  ST_REQUIRE(version_ >= 3, "streaming needs protocol version >= 3");
+  return frame(FrameKind::kStreamStep, r.request.request_id,
+               detail::encode_stream_step_payload(r));
+}
+
+std::vector<std::uint8_t> RequestBuilder::stream_close(
+    const StreamControl& c) const {
+  ST_REQUIRE(version_ >= 3, "streaming needs protocol version >= 3");
+  return frame(FrameKind::kStreamClose, c.request_id,
+               detail::encode_stream_control_payload(c));
+}
+
+std::vector<std::uint8_t> RequestBuilder::stream_close_reply(
+    const StreamCloseReply& r) const {
+  ST_REQUIRE(version_ >= 3, "streaming needs protocol version >= 3");
+  return frame(FrameKind::kStreamClose, r.request_id,
+               detail::encode_stream_close_reply_payload(r));
 }
 
 InferRequest decode_request(std::uint64_t request_id,
@@ -131,21 +286,6 @@ InferRequest decode_request(std::uint64_t request_id,
   return r;
 }
 
-std::vector<std::uint8_t> encode_response(const InferResponse& r) {
-  ST_REQUIRE(r.spike_counts.size() == r.out_features,
-             "response spike_counts does not match out_features");
-  std::vector<std::uint8_t> out;
-  out.reserve(32 + r.spike_counts.size() * sizeof(float));
-  put(out, r.out_features);
-  put(out, r.batch);
-  put(out, r.queue_ns);
-  put(out, r.assemble_ns);
-  put(out, r.infer_ns);
-  const auto* p = reinterpret_cast<const std::uint8_t*>(r.spike_counts.data());
-  out.insert(out.end(), p, p + r.spike_counts.size() * sizeof(float));
-  return out;
-}
-
 InferResponse decode_response(std::uint64_t request_id,
                               const std::vector<std::uint8_t>& payload) {
   InferResponse r;
@@ -164,15 +304,6 @@ InferResponse decode_response(std::uint64_t request_id,
   return r;
 }
 
-std::vector<std::uint8_t> encode_error(const ErrorResponse& r) {
-  std::vector<std::uint8_t> out;
-  out.reserve(8 + r.message.size());
-  put(out, static_cast<std::uint32_t>(r.code));
-  put(out, static_cast<std::uint32_t>(r.message.size()));
-  out.insert(out.end(), r.message.begin(), r.message.end());
-  return out;
-}
-
 ErrorResponse decode_error(std::uint64_t request_id,
                            const std::vector<std::uint8_t>& payload) {
   ErrorResponse r;
@@ -188,8 +319,43 @@ ErrorResponse decode_error(std::uint64_t request_id,
   return r;
 }
 
-std::vector<std::uint8_t> encode_stat(const std::string& json) {
-  return std::vector<std::uint8_t>(json.begin(), json.end());
+StreamControl decode_stream_control(std::uint64_t request_id,
+                                    const std::vector<std::uint8_t>& payload) {
+  StreamControl c;
+  c.request_id = request_id;
+  std::size_t off = 0;
+  c.stream_id = get<std::uint64_t>(payload, off, "stream_id");
+  ST_REQUIRE(payload.size() == off, "stream control payload has extra bytes");
+  ST_REQUIRE(c.stream_id != 0, "stream_id 0 is reserved");
+  return c;
+}
+
+StreamStepRequest decode_stream_step(std::uint64_t request_id,
+                                     const std::vector<std::uint8_t>& payload) {
+  StreamStepRequest r;
+  std::size_t off = 0;
+  r.stream_id = get<std::uint64_t>(payload, off, "stream_id");
+  ST_REQUIRE(r.stream_id != 0, "stream_id 0 is reserved");
+  const std::vector<std::uint8_t> body(
+      payload.begin() + static_cast<std::ptrdiff_t>(off), payload.end());
+  r.request = decode_request(request_id, body, /*version=*/3);
+  return r;
+}
+
+StreamCloseReply decode_stream_close_reply(
+    std::uint64_t request_id, const std::vector<std::uint8_t>& payload) {
+  StreamCloseReply r;
+  r.request_id = request_id;
+  std::size_t off = 0;
+  r.stream_id = get<std::uint64_t>(payload, off, "stream_id");
+  r.steps_done = get<std::uint64_t>(payload, off, "steps_done");
+  const auto n = get<std::uint32_t>(payload, off, "out_features");
+  ST_REQUIRE(payload.size() == off + n * sizeof(float),
+             "close reply payload size does not match out_features");
+  r.cumulative_counts.resize(n);
+  std::memcpy(r.cumulative_counts.data(), payload.data() + off,
+              n * sizeof(float));
+  return r;
 }
 
 std::string decode_stat(const std::vector<std::uint8_t>& payload) {

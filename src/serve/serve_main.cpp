@@ -48,6 +48,13 @@ int main(int argc, char** argv) {
                 "admission control: max queued requests before overload "
                 "rejections");
   flags.declare("max-steps", "64", "per-request window-length cap");
+  flags.declare("max-streams", "4096",
+                "streaming (v3): max per-stream states held in memory; "
+                "beyond it the coldest streams spill to --stream-dir");
+  flags.declare("stream-dir", "",
+                "streaming (v3): checkpoint directory for LRU-evicted and "
+                "drain-checkpointed stream state (empty = no spilling; "
+                "opens past --max-streams are refused)");
   flags.declare("ledger", "", "write a run ledger into this directory");
   flags.declare("span-log", "",
                 "write sampled request spans (JSONL) here at drain");
@@ -98,7 +105,6 @@ int main(int argc, char** argv) {
   obs::install_shutdown_request();
   const auto std_flags =
       exp::apply_standard_flags(flags, exp::DriverKind::kPlain);
-  (void)std_flags;
 
   // Read every flag value up front so a malformed value (e.g. --port=x)
   // prints usage and exits 2 like an unknown flag, instead of aborting.
@@ -120,6 +126,9 @@ int main(int argc, char** argv) {
     cfg.batch_timeout_us = flags.get_int("latency-budget-us");
     cfg.max_queue_depth = flags.get_int("queue-depth");
     cfg.max_steps = flags.get_int("max-steps");
+    cfg.max_live_streams = flags.get_int("max-streams");
+    cfg.stream_checkpoint_dir = flags.get("stream-dir");
+    cfg.sparse_crossover = std_flags.infer.sparse_crossover;
     cfg.span_log = flags.get("span-log");
     cfg.span_sample_every =
         static_cast<std::uint64_t>(flags.get_int("span-sample"));
@@ -223,6 +232,8 @@ int main(int argc, char** argv) {
                           static_cast<double>(cfg.batch_timeout_us));
     m.params.emplace_back("max_queue_depth",
                           static_cast<double>(cfg.max_queue_depth));
+    m.params.emplace_back("max_live_streams",
+                          static_cast<double>(cfg.max_live_streams));
     ledger.write_manifest(m);
   }
 
@@ -270,6 +281,22 @@ int main(int argc, char** argv) {
                             static_cast<double>(stats.max_batch_seen));
     fin.values.emplace_back("stat_requests",
                             static_cast<double>(stats.stat_requests));
+    fin.values.emplace_back("streams_opened",
+                            static_cast<double>(stats.streams_opened));
+    fin.values.emplace_back("streams_closed",
+                            static_cast<double>(stats.streams_closed));
+    fin.values.emplace_back("streams_evicted",
+                            static_cast<double>(stats.streams_evicted));
+    fin.values.emplace_back("streams_restored",
+                            static_cast<double>(stats.streams_restored));
+    fin.values.emplace_back("streams_checkpointed",
+                            static_cast<double>(stats.streams_checkpointed));
+    fin.values.emplace_back("stream_peak_live",
+                            static_cast<double>(stats.stream_peak_live));
+    fin.values.emplace_back("stream_steps",
+                            static_cast<double>(stats.stream_steps));
+    fin.values.emplace_back("stream_orphan_steps",
+                            static_cast<double>(stats.stream_orphan_steps));
     fin.values.emplace_back("spans_recorded",
                             static_cast<double>(server.spans().recorded()));
     if (server.slo().enabled()) {

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
 #include "core/error.h"
 #include "core/json.h"
@@ -67,6 +68,10 @@ Server::Server(const infer::CompiledModel& model, ServerConfig config)
              "send_timeout_ms must be non-negative");
   ST_REQUIRE(config_.idle_timeout_ms >= 0,
              "idle_timeout_ms must be non-negative");
+  ST_REQUIRE(config_.max_live_streams > 0,
+             "max_live_streams must be positive");
+  streams_ = std::make_unique<infer::StreamManager>(
+      model, config_.max_live_streams, config_.stream_checkpoint_dir);
 }
 
 Server::~Server() { drain_and_stop(); }
@@ -227,7 +232,80 @@ void Server::reader_main(ReaderSlot* slot) {
                           encode_stat(stat_json()), header.version);
         continue;
       }
-      if (header.kind != FrameKind::kInferRequest) {
+      if (header.kind == FrameKind::kStreamOpen ||
+          header.kind == FrameKind::kStreamClose) {
+        // Stream lifecycle runs inline at the reader, like STAT: no
+        // inference happens, so neither call needs a batch slot, and the
+        // ordering guarantee (an open is acked before any of its steps can
+        // be admitted) falls out of the connection's single reader thread.
+        StreamControl ctl;
+        try {
+          ctl = decode_stream_control(header.request_id, payload);
+        } catch (const std::exception& e) {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                        e.what(), header.version);
+          continue;
+        }
+        if (header.kind == FrameKind::kStreamOpen) {
+          if (batcher_.draining()) {
+            rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+            respond_error(conn, header.request_id, ErrorCode::kShuttingDown,
+                          "daemon is draining", header.version);
+            continue;
+          }
+          switch (streams_->open(ctl.stream_id)) {
+            case infer::StreamManager::OpenResult::kOk:
+              conn->write_frame(FrameKind::kStreamOpen, header.request_id,
+                                detail::encode_stream_control_payload(ctl),
+                                header.version);
+              break;
+            case infer::StreamManager::OpenResult::kExists:
+              bad_requests_.fetch_add(1, std::memory_order_relaxed);
+              respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                            "stream " + std::to_string(ctl.stream_id) +
+                                " is already open",
+                            header.version);
+              break;
+            case infer::StreamManager::OpenResult::kInvalid:
+              bad_requests_.fetch_add(1, std::memory_order_relaxed);
+              respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                            "stream id 0 is reserved", header.version);
+              break;
+            case infer::StreamManager::OpenResult::kCapacity:
+              rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+              w_rejected_.add();
+              if (obs::metrics_enabled())
+                obs::add(serve_metric_ids().rejected_overload);
+              respond_error(conn, header.request_id, ErrorCode::kOverloaded,
+                            "stream capacity reached (no checkpoint "
+                            "directory configured for eviction)",
+                            header.version);
+              break;
+          }
+        } else {  // kStreamClose: tear down, reply with lifetime totals.
+          StreamCloseReply totals;
+          totals.request_id = header.request_id;
+          totals.stream_id = ctl.stream_id;
+          std::int64_t steps_done = 0;
+          if (!streams_->close(ctl.stream_id, &totals.cumulative_counts,
+                               &steps_done)) {
+            bad_requests_.fetch_add(1, std::memory_order_relaxed);
+            respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                          "stream " + std::to_string(ctl.stream_id) +
+                              " is not open",
+                          header.version);
+            continue;
+          }
+          totals.steps_done = static_cast<std::uint64_t>(steps_done);
+          conn->write_frame(FrameKind::kStreamClose, header.request_id,
+                            detail::encode_stream_close_reply_payload(totals),
+                            header.version);
+        }
+        continue;
+      }
+      if (header.kind != FrameKind::kInferRequest &&
+          header.kind != FrameKind::kStreamStep) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         respond_error(conn, header.request_id, ErrorCode::kBadRequest,
                       "expected an infer-request frame", header.version);
@@ -237,8 +315,15 @@ void Server::reader_main(ReaderSlot* slot) {
       pending.recv_ns = recv_ns;
       pending.version = header.version;
       try {
-        pending.request =
-            decode_request(header.request_id, payload, header.version);
+        if (header.kind == FrameKind::kStreamStep) {
+          StreamStepRequest sr =
+              decode_stream_step(header.request_id, payload);
+          pending.stream_id = sr.stream_id;
+          pending.request = std::move(sr.request);
+        } else {
+          pending.request =
+              decode_request(header.request_id, payload, header.version);
+        }
         ST_REQUIRE(pending.request.num_steps >= 1 &&
                        pending.request.num_steps <=
                            static_cast<std::uint32_t>(config_.max_steps),
@@ -254,6 +339,18 @@ void Server::reader_main(ReaderSlot* slot) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
         respond_error(conn, header.request_id, ErrorCode::kBadRequest,
                       e.what(), header.version);
+        continue;
+      }
+      if (pending.stream_id != 0 && !streams_->contains(pending.stream_id)) {
+        // Admission pre-check: a step on a stream the daemon never saw (or
+        // already closed) is bounced here, deterministically, instead of
+        // burning a batch slot to find out.  A step that *races* a close is
+        // caught again at the worker (stream_orphan_steps).
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        respond_error(conn, header.request_id, ErrorCode::kBadRequest,
+                      "stream " + std::to_string(pending.stream_id) +
+                          " is not open",
+                      header.version);
         continue;
       }
       if (pending.request.deadline_us > 0) {
@@ -331,6 +428,11 @@ void Server::worker_main(int index) {
   const std::int64_t in_elems = per_sample.numel();
   const std::int64_t out_features = model_->output_shape()[0];
   const ServeMetricIds& ids = serve_metric_ids();
+  // Plain (non-stream) rows run on worker-local scratch state, reset per
+  // batch; stream rows swap in their persistent state from the manager.
+  // Reserved up front so taking addresses into the vector is stable.
+  std::vector<infer::StreamState> scratch;
+  scratch.reserve(static_cast<std::size_t>(config_.max_batch));
 
   // Sends request `p`'s response from row `row` of `result` and records
   // every per-request stat.  Shared by the batch path and the per-request
@@ -419,6 +521,47 @@ void Server::worker_main(int index) {
       continue;  // this pass only shed; go back for live work
     }
     ST_PROF_SCOPE("serve.batch");
+
+    // Swap in per-stream state before assembly.  Acquire in ascending
+    // stream-id order — every worker does, so pin-waits between workers
+    // cannot form a cycle (the batcher already guarantees a batch never
+    // carries two chunks of one stream).  A row whose stream vanished
+    // between admission and here — closed by its reader while the step sat
+    // queued — is answered kBadRequest and dropped from the batch.
+    std::vector<std::size_t> stream_rows;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      if (batch[i].stream_id != 0) stream_rows.push_back(i);
+    std::sort(stream_rows.begin(), stream_rows.end(),
+              [&batch](std::size_t a, std::size_t b) {
+                return batch[a].stream_id < batch[b].stream_id;
+              });
+    std::vector<infer::StreamState*> acquired(batch.size(), nullptr);
+    for (std::size_t i : stream_rows)
+      acquired[i] = streams_->acquire(batch[i].stream_id);
+    if (!stream_rows.empty()) {
+      std::vector<PendingRequest> kept;
+      std::vector<infer::StreamState*> kept_acq;
+      kept.reserve(batch.size());
+      kept_acq.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].stream_id != 0 && acquired[i] == nullptr) {
+          stream_orphan_steps_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::metrics_enabled()) obs::add(ids.stream_orphans);
+          respond_error(batch[i].conn, batch[i].request.request_id,
+                        ErrorCode::kBadRequest,
+                        "stream " + std::to_string(batch[i].stream_id) +
+                            " was closed before this step ran",
+                        batch[i].version);
+        } else {
+          kept.push_back(std::move(batch[i]));
+          kept_acq.push_back(acquired[i]);
+        }
+      }
+      batch = std::move(kept);
+      acquired = std::move(kept_acq);
+      if (batch.empty()) continue;
+    }
+
     const std::int64_t n = static_cast<std::int64_t>(batch.size());
     const auto steps =
         static_cast<std::int64_t>(batch.front().request.num_steps);
@@ -446,6 +589,25 @@ void Server::worker_main(int index) {
     obs::flight_record(obs::FlightEventId::kBatchDispatch,
                        static_cast<std::uint64_t>(n));
 
+    // Per-row state table: persistent state for stream rows, reset scratch
+    // for plain rows (so a plain row behaves exactly like the stateless
+    // run() it rode before v3).  pre_steps lets the isolation path detect
+    // a stream the failed batch already advanced.
+    while (scratch.size() < batch.size()) scratch.emplace_back(*model_);
+    std::vector<infer::StreamState*> states(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> pre_steps(static_cast<std::size_t>(n), 0);
+    std::size_t scratch_used = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::size_t ui = static_cast<std::size_t>(i);
+      if (acquired[ui] != nullptr) {
+        states[ui] = acquired[ui];
+        pre_steps[ui] = states[ui]->steps_done();
+      } else {
+        scratch[scratch_used].reset();
+        states[ui] = &scratch[scratch_used++];
+      }
+    }
+
     // Poison isolation: one request that makes inference throw must not
     // take its batchmates or this worker down.  Try the batch; on failure,
     // re-run each request alone so the poison pill is pinned to exactly
@@ -456,7 +618,7 @@ void Server::worker_main(int index) {
     try {
       if (config_.poison_hook)
         for (const PendingRequest& p : batch) config_.poison_hook(p.request);
-      result = session.run(window);
+      result = session.run(states.data(), n, window);
     } catch (const std::exception& e) {
       batch_ok = false;
       ST_LOG_WARN << "serve: batch of " << n << " failed (" << e.what()
@@ -481,7 +643,8 @@ void Server::worker_main(int index) {
       std::vector<std::int64_t> single_dims = dims;
       single_dims[0] = 1;
       for (std::int64_t i = 0; i < n; ++i) {
-        const PendingRequest& p = batch[static_cast<std::size_t>(i)];
+        const std::size_t ui = static_cast<std::size_t>(i);
+        const PendingRequest& p = batch[ui];
         std::vector<Tensor> single;
         single.reserve(static_cast<std::size_t>(steps));
         for (std::int64_t t = 0; t < steps; ++t) {
@@ -492,8 +655,21 @@ void Server::worker_main(int index) {
         }
         const std::uint64_t s_start = now_ns();
         try {
+          if (p.stream_id != 0 &&
+              states[ui]->steps_done() != pre_steps[ui]) {
+            // The failed batch already advanced this stream's state part
+            // way; replaying the chunk would double-apply its leading
+            // steps.  The stream is unrecoverable — the client must close
+            // and reopen it.
+            throw std::runtime_error(
+                "stream state advanced by a failed batch; close and "
+                "reopen stream " +
+                std::to_string(p.stream_id));
+          }
+          if (p.stream_id == 0) states[ui]->reset();
           if (config_.poison_hook) config_.poison_hook(p.request);
-          const infer::InferenceResult r1 = session.run(single);
+          infer::StreamState* one = states[ui];
+          const infer::InferenceResult r1 = session.run(&one, 1, single);
           const std::uint64_t s_done = now_ns();
           batches_.fetch_add(1, std::memory_order_relaxed);
           w_batch_.record_at(1.0, s_done);
@@ -505,6 +681,15 @@ void Server::worker_main(int index) {
                         ErrorCode::kInternalError, e.what(), p.version);
         }
       }
+    }
+    // Unpin every stream row (both paths answered it above) and tally the
+    // steps that actually advanced persistent state.
+    for (std::int64_t i = 0; i < n; ++i) {
+      const PendingRequest& p = batch[static_cast<std::size_t>(i)];
+      if (p.stream_id == 0) continue;
+      streams_->release(p.stream_id);
+      stream_steps_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled()) obs::add(ids.stream_steps);
     }
     if (obs::metrics_enabled()) {
       obs::observe(ids.batch_size, static_cast<double>(n));
@@ -531,6 +716,21 @@ void Server::drain_and_stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Workers are gone, so no pins remain: checkpoint every still-open
+  // stream's state so a restarted daemon (or a post-mortem) can resume
+  // each client exactly where it left off.  No-op without a spill dir.
+  // A spill failure here (disk full, dir deleted underneath us) must not
+  // turn an orderly drain into an abort — the rest of the shutdown
+  // (readers, ledger final record) still has to run.
+  try {
+    const std::size_t stream_ckpts = streams_->checkpoint_all();
+    if (stream_ckpts > 0) {
+      ST_LOG_INFO << "serve: checkpointed " << stream_ckpts
+                  << " open streams to " << config_.stream_checkpoint_dir;
+    }
+  } catch (const Error& e) {
+    ST_LOG_WARN << "serve: drain checkpoint failed: " << e.what();
+  }
   // 3. Readers observed the stop pipe; join them, then close connections
   //    (after the workers, so every response was written first).
   {
@@ -561,7 +761,10 @@ void Server::drain_and_stop() {
               << s.max_batch_seen << ", " << s.deadline_shed
               << " deadline-shed, " << s.internal_errors
               << " internal errors, " << s.rejected_overload << " overload + "
-              << s.rejected_draining << " draining rejections)";
+              << s.rejected_draining << " draining rejections; "
+              << s.streams_opened << " streams opened, " << s.stream_steps
+              << " stream steps, " << s.streams_evicted << " evicted / "
+              << s.streams_restored << " restored)";
 }
 
 Server::Stats Server::stats() const {
@@ -581,6 +784,16 @@ Server::Stats Server::stats() const {
   s.send_timeouts = send_timeouts_.load(std::memory_order_relaxed);
   s.max_batch_seen = max_batch_seen_.load(std::memory_order_relaxed);
   s.stat_requests = stat_requests_.load(std::memory_order_relaxed);
+  const infer::StreamCounters sc = streams_->counters();
+  s.streams_opened = sc.opened;
+  s.streams_closed = sc.closed;
+  s.streams_evicted = sc.evicted;
+  s.streams_restored = sc.restored;
+  s.streams_checkpointed = sc.checkpointed;
+  s.stream_peak_live = sc.peak_live;
+  s.stream_steps = stream_steps_.load(std::memory_order_relaxed);
+  s.stream_orphan_steps =
+      stream_orphan_steps_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -620,6 +833,21 @@ std::string Server::stat_json() const {
   deadline.set("shed", JsonValue(s.deadline_shed));
   deadline.set("shed_per_s", JsonValue(w_deadline_shed_.per_second_at(now)));
   root.set("deadline", deadline);
+
+  // Streaming (protocol v3): live occupancy + lifecycle totals.
+  const infer::StreamCounters sc = streams_->counters();
+  JsonValue streams = JsonValue::make_object();
+  streams.set("live", JsonValue(sc.live));
+  streams.set("peak_live", JsonValue(sc.peak_live));
+  streams.set("max_live", JsonValue(streams_->max_live()));
+  streams.set("opened", JsonValue(sc.opened));
+  streams.set("closed", JsonValue(sc.closed));
+  streams.set("evicted", JsonValue(sc.evicted));
+  streams.set("restored", JsonValue(sc.restored));
+  streams.set("checkpointed", JsonValue(sc.checkpointed));
+  streams.set("steps", JsonValue(s.stream_steps));
+  streams.set("orphan_steps", JsonValue(s.stream_orphan_steps));
+  root.set("streams", streams);
 
   JsonValue faults = JsonValue::make_object();
   faults.set("enabled", JsonValue(!config_.fault_spec.empty()));

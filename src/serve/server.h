@@ -19,11 +19,21 @@
 // paths are bit-identical (DESIGN.md §10, §11).  bench/serve_loadgen's
 // parity gate enforces this end to end.
 //
+// Protocol v3 adds streaming: STREAM_OPEN and STREAM_CLOSE are handled
+// inline at the reader (like STAT), while STREAM_STEP rides the same
+// batcher as plain requests — a worker swaps each stream's persistent
+// StreamState in around the batched session.run, so chunks from thousands
+// of concurrent streams coalesce into the same dynamic batches.  The
+// infer::StreamManager bounds in-memory state with LRU checkpoint/restore
+// (DESIGN.md §15); v1/v2 clients are untouched.
+//
 // Unhappy paths are first-class (DESIGN.md §13).  Every admitted request
 // is answered exactly once, by exactly one of: a response (served), a
-// deadline-exceeded shed, an internal-error isolation, or a dropped write
-// to a vanished peer — so `admitted == served + dropped_responses +
-// deadline_shed + internal_errors` holds at drain.  Slow peers are cut by
+// deadline-exceeded shed, an internal-error isolation, a dropped write
+// to a vanished peer, or — for a STREAM_STEP whose stream was closed while
+// it sat queued — a bad-request orphan bounce, so `admitted == served +
+// dropped_responses + deadline_shed + internal_errors +
+// stream_orphan_steps` holds at drain.  Slow peers are cut by
 // the bounded send path (send_timeout_ms), silent ones by the acceptor's
 // idle reaper (idle_timeout_ms), and a request that makes inference throw
 // is answered kInternalError without taking its batchmates or its worker
@@ -49,6 +59,7 @@
 #include <vector>
 
 #include "infer/session.h"
+#include "infer/stream.h"
 #include "obs/spans.h"
 #include "obs/window.h"
 #include "serve/batcher.h"
@@ -96,6 +107,13 @@ struct ServerConfig {
   // fraction (serve/slo.h).
   double slo_target_ms = 0.0;
   double slo_budget = 0.01;
+  // Streaming (protocol v3).  max_live_streams bounds in-memory per-stream
+  // state; past it the LRU stream is checkpointed to stream_checkpoint_dir
+  // and restored transparently on its next step.  With no directory set,
+  // eviction is impossible, so opens past the bound are refused with
+  // kOverloaded instead.
+  std::int64_t max_live_streams = 4096;
+  std::string stream_checkpoint_dir;
   // Identification surfaced through STAT's "build" object (and serve_top):
   // a human-readable build stamp and the FNV-1a config fingerprint the
   // driver computed over build + model + flags (obs::fnv1a64).  Both are
@@ -144,6 +162,15 @@ class Server {
     std::int64_t send_timeouts = 0;      // connections cut mid-write
     std::int64_t max_batch_seen = 0;
     std::int64_t stat_requests = 0;  // STAT snapshots served
+    // Streaming (v3): lifecycle tallies come from the StreamManager.
+    std::int64_t streams_opened = 0;
+    std::int64_t streams_closed = 0;
+    std::int64_t streams_evicted = 0;
+    std::int64_t streams_restored = 0;
+    std::int64_t streams_checkpointed = 0;  // drain checkpoint_all included
+    std::int64_t stream_peak_live = 0;      // high-water concurrent streams
+    std::int64_t stream_steps = 0;          // STREAM_STEP requests served
+    std::int64_t stream_orphan_steps = 0;   // steps on unknown/closed streams
   };
   Stats stats() const;
 
@@ -211,6 +238,12 @@ class Server {
   std::atomic<std::int64_t> send_timeouts_{0};
   std::atomic<std::int64_t> max_batch_seen_{0};
   std::atomic<std::int64_t> stat_requests_{0};
+  std::atomic<std::int64_t> stream_steps_{0};
+  std::atomic<std::int64_t> stream_orphan_steps_{0};
+
+  // Per-stream persistent state (protocol v3), shared by readers (open /
+  // close, inline) and workers (acquire / release around each batch).
+  std::unique_ptr<infer::StreamManager> streams_;
 
   // Request-scoped observability.  server ids start at 1 so id 0 never
   // appears on the wire (and id % N == 0 sampling skips the pre-increment

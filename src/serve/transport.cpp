@@ -319,21 +319,13 @@ TcpClient::~TcpClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+bool TcpClient::send_frame(const std::vector<std::uint8_t>& frame) {
+  return fd_ >= 0 && write_all(fd_, frame.data(), frame.size());
+}
+
 TcpClient::Reply TcpClient::roundtrip(const InferRequest& request) {
   Reply reply;
-  if (fd_ < 0) {
-    reply.disconnected = true;
-    return reply;
-  }
-  const std::vector<std::uint8_t> payload = encode_request(request);
-  FrameHeader h;
-  h.kind = FrameKind::kInferRequest;
-  h.request_id = request.request_id;
-  h.payload_bytes = static_cast<std::uint32_t>(payload.size());
-  std::uint8_t raw[kHeaderBytes];
-  encode_header(h, raw);
-  if (!write_all(fd_, raw, kHeaderBytes) ||
-      !write_all(fd_, payload.data(), payload.size())) {
+  if (!send_frame(RequestBuilder().infer_request(request))) {
     reply.disconnected = true;
     return reply;
   }
@@ -386,17 +378,7 @@ bool TcpClient::read_reply_frame(FrameHeader& header,
 
 TcpClient::StatReply TcpClient::stat(std::uint64_t request_id) {
   StatReply reply;
-  if (fd_ < 0) {
-    reply.disconnected = true;
-    return reply;
-  }
-  FrameHeader h;
-  h.kind = FrameKind::kStatRequest;
-  h.request_id = request_id;
-  h.payload_bytes = 0;
-  std::uint8_t raw[kHeaderBytes];
-  encode_header(h, raw);
-  if (!write_all(fd_, raw, kHeaderBytes)) {
+  if (!send_frame(RequestBuilder().stat_request(request_id))) {
     reply.disconnected = true;
     return reply;
   }
@@ -411,6 +393,87 @@ TcpClient::StatReply TcpClient::stat(std::uint64_t request_id) {
   reply.ok = true;
   reply.json = decode_stat(rpayload);
   return reply;
+}
+
+TcpClient::StreamAck TcpClient::stream_open(std::uint64_t stream_id,
+                                            std::uint64_t request_id) {
+  StreamAck ack;
+  StreamControl c{request_id, stream_id};
+  if (!send_frame(RequestBuilder().stream_open(c))) {
+    ack.disconnected = true;
+    return ack;
+  }
+  FrameHeader rh;
+  std::vector<std::uint8_t> rpayload;
+  if (!read_reply_frame(rh, rpayload)) {
+    ack.disconnected = true;
+    return ack;
+  }
+  if (rh.kind == FrameKind::kStreamOpen) {
+    const StreamControl echoed = decode_stream_control(rh.request_id, rpayload);
+    ST_REQUIRE(echoed.stream_id == stream_id,
+               "stream open ack for a different stream");
+    ack.ok = true;
+  } else {
+    ST_REQUIRE(rh.kind == FrameKind::kError,
+               "unexpected frame kind in stream open reply");
+    ack.error = decode_error(rh.request_id, rpayload);
+  }
+  return ack;
+}
+
+TcpClient::Reply TcpClient::stream_step(std::uint64_t stream_id,
+                                        const InferRequest& request) {
+  Reply reply;
+  StreamStepRequest step;
+  step.stream_id = stream_id;
+  step.request = request;
+  if (!send_frame(RequestBuilder().stream_step(step))) {
+    reply.disconnected = true;
+    return reply;
+  }
+  FrameHeader rh;
+  std::vector<std::uint8_t> rpayload;
+  if (!read_reply_frame(rh, rpayload)) {
+    reply.disconnected = true;
+    return reply;
+  }
+  if (rh.kind == FrameKind::kInferResponse) {
+    reply.ok = true;
+    reply.response = decode_response(rh.request_id, rpayload);
+  } else {
+    ST_REQUIRE(rh.kind == FrameKind::kError,
+               "unexpected frame kind in stream step reply");
+    reply.error = decode_error(rh.request_id, rpayload);
+  }
+  return reply;
+}
+
+TcpClient::StreamCloseResult TcpClient::stream_close(
+    std::uint64_t stream_id, std::uint64_t request_id) {
+  StreamCloseResult result;
+  StreamControl c{request_id, stream_id};
+  if (!send_frame(RequestBuilder().stream_close(c))) {
+    result.disconnected = true;
+    return result;
+  }
+  FrameHeader rh;
+  std::vector<std::uint8_t> rpayload;
+  if (!read_reply_frame(rh, rpayload)) {
+    result.disconnected = true;
+    return result;
+  }
+  if (rh.kind == FrameKind::kStreamClose) {
+    result.totals = decode_stream_close_reply(rh.request_id, rpayload);
+    ST_REQUIRE(result.totals.stream_id == stream_id,
+               "stream close reply for a different stream");
+    result.ok = true;
+  } else {
+    ST_REQUIRE(rh.kind == FrameKind::kError,
+               "unexpected frame kind in stream close reply");
+    result.error = decode_error(rh.request_id, rpayload);
+  }
+  return result;
 }
 
 }  // namespace spiketune::serve

@@ -222,11 +222,33 @@ class TcpClient {
   };
   StatReply stat(std::uint64_t request_id = 0);
 
+  /// v3 streaming.  stream_open blocks for the daemon's echo ack;
+  /// stream_step blocks for the chunk's infer response (Reply semantics,
+  /// same as roundtrip); stream_close blocks for the lifetime totals.
+  struct StreamAck {
+    bool ok = false;
+    bool disconnected = false;
+    ErrorResponse error;  // valid when !ok && !disconnected
+  };
+  StreamAck stream_open(std::uint64_t stream_id,
+                        std::uint64_t request_id = 0);
+  Reply stream_step(std::uint64_t stream_id, const InferRequest& request);
+  struct StreamCloseResult {
+    bool ok = false;
+    bool disconnected = false;
+    StreamCloseReply totals;
+    ErrorResponse error;  // valid when !ok && !disconnected
+  };
+  StreamCloseResult stream_close(std::uint64_t stream_id,
+                                 std::uint64_t request_id = 0);
+
   bool connected() const { return fd_ >= 0; }
 
  private:
   bool read_reply_frame(FrameHeader& header,
                         std::vector<std::uint8_t>& payload);
+  /// Sends one RequestBuilder frame; false on a broken connection.
+  bool send_frame(const std::vector<std::uint8_t>& frame);
 
   int fd_ = -1;
 };

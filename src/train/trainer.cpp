@@ -400,7 +400,8 @@ namespace {
 // §10), so every downstream number is unchanged.
 class EvalEngine {
  public:
-  explicit EvalEngine(snn::SpikingNetwork& net) : net_(net) {}
+  EvalEngine(snn::SpikingNetwork& net, const infer::InferOptions& opts)
+      : net_(net), opts_(opts) {}
 
   struct Output {
     Tensor spike_counts;
@@ -415,9 +416,10 @@ class EvalEngine {
                                                  s.dims().end());
       try {
         model_ = infer::CompiledModel::compile(net_, Shape(per_sample));
-        session_.emplace(*model_,
-                         infer::SessionConfig{.max_batch = s[0],
-                                              .record_stats = true});
+        infer::InferOptions opts = opts_;
+        opts.max_batch = s[0];
+        opts.record_stats = true;
+        session_.emplace(*model_, opts);
       } catch (const InvalidArgument&) {
         // Unsupported layer type; the dense fallback below handles it.
       }
@@ -432,6 +434,7 @@ class EvalEngine {
 
  private:
   snn::SpikingNetwork& net_;
+  infer::InferOptions opts_;
   bool tried_compile_ = false;
   std::optional<infer::CompiledModel> model_;
   std::optional<infer::InferenceSession> session_;  // points into model_
@@ -446,7 +449,7 @@ snn::SpikeRecord Trainer::record_activity(data::DataLoader& loader,
   ST_REQUIRE(max_batches > 0, "record_activity needs max_batches > 0");
   loader.start_epoch(0);
   snn::SpikeRecord record = net_.make_record();
-  EvalEngine engine(net_);
+  EvalEngine engine(net_, config_.infer);
   data::Batch batch;
   std::uint64_t batch_idx = 0;
   while (batch_idx < static_cast<std::uint64_t>(max_batches) &&
@@ -468,7 +471,7 @@ EvalMetrics Trainer::evaluate(data::DataLoader& loader) {
   out.record = net_.make_record();
   RunningMean loss_mean;
   RunningMean acc_mean;
-  EvalEngine engine(net_);
+  EvalEngine engine(net_, config_.infer);
   data::Batch batch;
   const std::uint64_t call = eval_calls_++;
   std::uint64_t batch_idx = 0;

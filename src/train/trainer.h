@@ -25,6 +25,7 @@
 #include "core/serialize.h"
 #include "data/dataloader.h"
 #include "data/encoders.h"
+#include "infer/options.h"
 #include "snn/loss.h"
 #include "snn/network.h"
 #include "train/lr_scheduler.h"
@@ -85,6 +86,14 @@ struct TrainerConfig {
   double rollback_lr_cut = 0.5;
   /// Give up (throw NumericalError) after this many rollbacks in one fit().
   int max_rollbacks = 3;
+
+  // -- evaluation inference -------------------------------------------------
+  /// Options for the compiled inference sessions that evaluate() and the
+  /// activity probe run batches through.  max_batch and record_stats are
+  /// overridden per pass; the remaining knobs (sparse_crossover) apply
+  /// as-is.  Both dispatch paths are bit-identical, so these never change
+  /// metrics — only wall-clock time.
+  infer::InferOptions infer;
 };
 
 /// Thrown out of train_epoch when the health monitor trips under

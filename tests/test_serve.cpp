@@ -19,6 +19,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -969,6 +970,182 @@ TEST(ServeServer, SlowPeerIsCutBySendTimeoutNotServedForever) {
   EXPECT_EQ(std::memcmp(reply.response.spike_counts.data(), want.data(),
                         want.size() * sizeof(float)),
             0);
+}
+
+// --- v3 streaming integration -----------------------------------------------
+
+// One request's spike window reshaped to the [1, ...] layout the streaming
+// reference session expects.
+std::vector<Tensor> request_window(const Shape& per_sample,
+                                   const InferRequest& r) {
+  std::vector<std::int64_t> dims{1};
+  for (std::int64_t d : per_sample.dims()) dims.push_back(d);
+  const std::int64_t elems = per_sample.numel();
+  std::vector<Tensor> window;
+  for (std::uint32_t t = 0; t < r.num_steps; ++t) {
+    Tensor x{Shape(dims)};
+    std::memcpy(x.data(), r.data.data() + t * elems,
+                static_cast<std::size_t>(elems) * sizeof(float));
+    window.push_back(std::move(x));
+  }
+  return window;
+}
+
+TEST(ServeStream, OpenStepCloseMatchesDirectStreamStateBitwise) {
+  // The streaming parity contract end-to-end: every chunk's served counts
+  // equal the same chunk fed to a local StreamState, and the close totals
+  // equal its lifetime cumulative counts — the daemon's batching, queueing,
+  // and state management must be invisible in the numbers.
+  MlpServer s;
+  const std::int64_t elems = s.per_sample.numel();
+  TcpClient client("127.0.0.1", s.server->port(), 2000);
+  ASSERT_TRUE(client.stream_open(42, 1).ok);
+
+  infer::InferenceSession ref(s.model, {.max_batch = 1});
+  infer::StreamState state = ref.make_stream();
+  infer::StreamState* ptr = &state;
+  Rng rng(0x5eed);
+  for (std::uint32_t chunk = 0; chunk < 3; ++chunk) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    const InferRequest req =
+        random_request(100 + chunk, 2 + chunk, elems, rng);
+    const TcpClient::Reply reply = client.stream_step(42, req);
+    ASSERT_TRUE(reply.ok) << reply.error.message;
+    const auto want = ref.run(&ptr, 1, request_window(s.per_sample, req));
+    ASSERT_EQ(reply.response.spike_counts.size(),
+              static_cast<std::size_t>(want.spike_counts.numel()));
+    EXPECT_EQ(std::memcmp(reply.response.spike_counts.data(),
+                          want.spike_counts.data(),
+                          reply.response.spike_counts.size() * sizeof(float)),
+              0)
+        << "served chunk counts differ from a direct StreamState step";
+  }
+
+  const TcpClient::StreamCloseResult closed = client.stream_close(42, 9);
+  ASSERT_TRUE(closed.ok) << closed.error.message;
+  EXPECT_EQ(closed.totals.stream_id, 42u);
+  EXPECT_EQ(closed.totals.steps_done,
+            static_cast<std::uint64_t>(state.steps_done()));
+  ASSERT_EQ(closed.totals.cumulative_counts.size(),
+            state.cumulative_counts().size());
+  EXPECT_EQ(std::memcmp(closed.totals.cumulative_counts.data(),
+                        state.cumulative_counts().data(),
+                        state.cumulative_counts().size() * sizeof(float)),
+            0)
+      << "close totals differ from the local stream's lifetime counts";
+}
+
+TEST(ServeStream, LifecycleErrorsAreBadRequests) {
+  MlpServer s;
+  const std::int64_t elems = s.per_sample.numel();
+  TcpClient client("127.0.0.1", s.server->port(), 2000);
+  Rng rng(77);
+  const InferRequest req = random_request(1, 2, elems, rng);
+
+  // Stepping a stream that was never opened is a bad request, not a crash
+  // and not a silent fresh stream.
+  TcpClient::Reply r = client.stream_step(7, req);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, ErrorCode::kBadRequest);
+
+  // Stream id 0 is the plain-request sentinel: the client-side builder
+  // refuses to even encode it...
+  EXPECT_THROW(client.stream_open(0), InvalidArgument);
+  // ...and a peer that hand-crafts the frame anyway gets a bad-request.
+  {
+    const int fd = connect_raw(s.server->port());
+    std::vector<std::uint8_t> zero_id(kHeaderBytes + 8, 0);
+    FrameHeader h;
+    h.kind = FrameKind::kStreamOpen;
+    h.version = kProtocolVersion;
+    h.request_id = 3;
+    h.payload_bytes = 8;
+    encode_header(h, zero_id.data());
+    send_raw(fd, zero_id.data(), zero_id.size());
+    FrameHeader back;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(recv_frame_raw(fd, back, payload));
+    EXPECT_EQ(back.kind, FrameKind::kError);
+    EXPECT_EQ(decode_error(3, payload).code, ErrorCode::kBadRequest);
+    ::close(fd);
+  }
+
+  ASSERT_TRUE(client.stream_open(7).ok);
+  TcpClient::StreamAck ack = client.stream_open(7);  // double open
+  ASSERT_FALSE(ack.ok);
+  EXPECT_EQ(ack.error.code, ErrorCode::kBadRequest);
+
+  ASSERT_TRUE(client.stream_step(7, req).ok);
+  ASSERT_TRUE(client.stream_close(7).ok);
+
+  // Step-after-close: the id is gone, so the step bounces as bad-request.
+  r = client.stream_step(7, req);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, ErrorCode::kBadRequest);
+  const TcpClient::StreamCloseResult closed = client.stream_close(7);
+  ASSERT_FALSE(closed.ok);
+  EXPECT_EQ(closed.error.code, ErrorCode::kBadRequest);
+
+  s.server->drain_and_stop();
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.streams_opened, 1);
+  EXPECT_EQ(stats.streams_closed, 1);
+  EXPECT_EQ(stats.stream_steps, 1);
+  EXPECT_EQ(stats.admitted, stats.served + stats.dropped_responses +
+                                stats.deadline_shed + stats.internal_errors +
+                                stats.stream_orphan_steps);
+}
+
+TEST(ServeStream, OpenPastBoundWithoutSpillDirIsOverloaded) {
+  ServerConfig cfg;
+  cfg.max_live_streams = 2;  // no stream_checkpoint_dir: a hard bound
+  MlpServer s(cfg);
+  TcpClient client("127.0.0.1", s.server->port(), 2000);
+  ASSERT_TRUE(client.stream_open(1).ok);
+  ASSERT_TRUE(client.stream_open(2).ok);
+  const TcpClient::StreamAck ack = client.stream_open(3);
+  ASSERT_FALSE(ack.ok);
+  EXPECT_EQ(ack.error.code, ErrorCode::kOverloaded);
+  // Closing one frees the slot.
+  ASSERT_TRUE(client.stream_close(2).ok);
+  EXPECT_TRUE(client.stream_open(3).ok);
+}
+
+TEST(ServeStream, DrainWithOpenStreamsCheckpointsEachExactlyOnce) {
+  const std::string dir = ::testing::TempDir() + "/serve_stream_drain";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ServerConfig cfg;
+  cfg.max_live_streams = 64;
+  cfg.stream_checkpoint_dir = dir;
+  MlpServer s(cfg);
+  const std::int64_t elems = s.per_sample.numel();
+  TcpClient client("127.0.0.1", s.server->port(), 2000);
+  Rng rng(91);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(client.stream_open(id).ok);
+    ASSERT_TRUE(client.stream_step(id, random_request(id, 3, elems, rng)).ok);
+  }
+  // Stream 5 closes cleanly before the drain; 1-4 are still open.
+  ASSERT_TRUE(client.stream_close(5).ok);
+
+  s.server->drain_and_stop();
+
+  // Each still-open stream's state lands in exactly one STK2 spill file;
+  // the closed stream leaves nothing behind.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    EXPECT_TRUE(e.path().filename().string().rfind("stream-", 0) == 0)
+        << e.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 4u);
+  const Server::Stats stats = s.server->stats();
+  EXPECT_EQ(stats.streams_opened, 5);
+  EXPECT_EQ(stats.streams_closed, 1);
+  EXPECT_EQ(stats.streams_checkpointed, 4);
+  EXPECT_EQ(stats.streams_evicted, 0);
+  EXPECT_EQ(stats.stream_steps, 5);
 }
 
 // --- fault injection --------------------------------------------------------
