@@ -195,9 +195,14 @@ void StreamManager::spill_locked(std::uint64_t id, Entry& e) {
 
 void StreamManager::restore_locked(std::uint64_t id, Entry& e) {
   ST_REQUIRE(e.on_disk, "stream state lost: no in-memory copy or spill file");
+  // Build and validate into a local state first: if the spill file is
+  // corrupt (size mismatch, missing meta) the throw must leave the entry
+  // exactly as it was — evicted, on disk, absent from the LRU list — so a
+  // later acquire/close sees a consistent entry instead of a half-restored
+  // one with a dangling lru iterator.
   Checkpoint cp = load_checkpoint_full(spill_path(id));
-  e.state = std::make_unique<StreamState>(*model_);
-  StreamState& s = *e.state;
+  auto fresh = std::make_unique<StreamState>(*model_);
+  StreamState& s = *fresh;
   for (const auto& r : cp.records) {
     if (r.name == "membrane") {
       ST_REQUIRE(static_cast<std::size_t>(r.value.numel()) == s.arena_.size(),
@@ -214,6 +219,8 @@ void StreamManager::restore_locked(std::uint64_t id, Entry& e) {
   auto it = cp.meta.extra.find("steps_done");
   ST_REQUIRE(it != cp.meta.extra.end(), "stream spill missing steps_done");
   s.steps_done_ = std::stoll(it->second);
+  // Every check passed: commit atomically.
+  e.state = std::move(fresh);
   std::remove(spill_path(id).c_str());
   e.on_disk = false;
   lru_.push_front(id);

@@ -42,76 +42,90 @@ void Batcher::purge_expired_locked(std::uint64_t now_ns,
 std::vector<PendingRequest> Batcher::next_batch(
     std::vector<PendingRequest>& expired) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !queue_.empty() || draining_; });
-  purge_expired_locked(obs::telemetry_now_ns(), expired);
-  if (queue_.empty()) {
-    // Either draining-and-dry (worker exits) or everything queued had
-    // already expired — return promptly so the caller sheds `expired`
-    // instead of blocking on the next live arrival.
-    if (!expired.empty() || draining_) {
+  // A chunk is takeable only while no earlier chunk of its stream rides a
+  // batch on another worker — state advances strictly in queue order, so
+  // a blocked chunk waits for that batch's finish_stream, not merely for
+  // the next batch.
+  const auto takeable = [this](const PendingRequest& r) {
+    return r.stream_id == 0 || inflight_streams_.count(r.stream_id) == 0;
+  };
+  const auto first_takeable = [&] {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it)
+      if (takeable(*it)) return it;
+    return queue_.end();
+  };
+
+  std::deque<PendingRequest>::iterator seed;
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return first_takeable() != queue_.end() ||
+             (draining_ && queue_.empty());
+    });
+    purge_expired_locked(obs::telemetry_now_ns(), expired);
+    seed = first_takeable();
+    if (seed != queue_.end()) break;
+    if (!expired.empty() || (draining_ && queue_.empty())) {
+      // Shed-only pass, or draining-and-dry (the worker-exit signal).
+      // Chunks still blocked behind an in-flight stream stay queued for
+      // the worker finish_stream() wakes — even mid-drain.
       if (draining_) cv_.notify_one();
       return {};
     }
-    // Expired-free spurious wake: fall through and re-wait.
-    lock.unlock();
-    return next_batch(expired);
+    // Expired-free spurious wake (e.g. the purge emptied the queue): re-wait.
   }
 
   std::vector<PendingRequest> batch;
   batch.reserve(static_cast<std::size_t>(config_.max_batch));
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  const std::uint32_t steps = batch.front().request.num_steps;
+  const std::uint32_t steps = seed->request.num_steps;
+  // Claim a row's stream the moment the row leaves the queue — the lock
+  // drops during the budget wait below, and another worker's sweep must
+  // already see the stream as busy.
+  const auto take = [&](std::deque<PendingRequest>::iterator it) {
+    if (it->stream_id != 0) inflight_streams_.insert(it->stream_id);
+    batch.push_back(std::move(*it));
+    return queue_.erase(it);
+  };
+  take(seed);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(config_.batch_timeout_us);
 
-  // A batchmate must share the window length AND not step a stream already
-  // aboard — one stream's chunks apply strictly in order, so the second
-  // chunk waits for the next batch (linear scan: batches are small).
-  const auto can_join = [&batch, steps](const PendingRequest& r) {
-    if (r.request.num_steps != steps) return false;
-    if (r.stream_id == 0) return true;
-    for (const PendingRequest& b : batch)
-      if (b.stream_id == r.stream_id) return false;
-    return true;
+  // A batchmate must share the window length AND not step a busy stream
+  // (which covers streams already aboard this very batch).
+  const auto can_join = [&](const PendingRequest& r) {
+    return r.request.num_steps == steps && takeable(r);
   };
-
-  for (;;) {
-    // Sweep the queue for batchmates.
+  const auto sweep = [&] {
     for (auto it = queue_.begin();
          it != queue_.end() &&
          static_cast<std::int64_t>(batch.size()) < config_.max_batch;) {
       if (can_join(*it)) {
-        batch.push_back(std::move(*it));
-        it = queue_.erase(it);
+        it = take(it);
       } else {
         ++it;
       }
     }
+  };
+
+  for (;;) {
+    // Sweep the queue for batchmates.
+    sweep();
     if (static_cast<std::int64_t>(batch.size()) >= config_.max_batch ||
         draining_)
       break;
     // Hold the batch open until the latency budget expires, picking up
     // arrivals as they come.
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      for (auto it = queue_.begin();
-           it != queue_.end() &&
-           static_cast<std::int64_t>(batch.size()) < config_.max_batch;) {
-        if (can_join(*it)) {
-          batch.push_back(std::move(*it));
-          it = queue_.erase(it);
-        } else {
-          ++it;
-        }
-      }
+      sweep();
       break;
     }
   }
   // Batchmates picked up during the budget wait may themselves have
-  // expired; shed them here rather than running inference on them.
+  // expired; shed them here rather than running inference on them (their
+  // streams go straight back — a shed chunk never touches state).
   const std::uint64_t now = obs::telemetry_now_ns();
   for (auto it = batch.begin(); it != batch.end();) {
     if (it->deadline_ns != 0 && it->deadline_ns <= now) {
+      if (it->stream_id != 0) inflight_streams_.erase(it->stream_id);
       expired.push_back(std::move(*it));
       it = batch.erase(it);
     } else {
@@ -122,6 +136,17 @@ std::vector<PendingRequest> Batcher::next_batch(
   // hand leftover work (or the drain signal) on before returning.
   if (!queue_.empty() || draining_) cv_.notify_one();
   return batch;
+}
+
+void Batcher::finish_stream(std::uint64_t stream_id) {
+  if (stream_id == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_streams_.erase(stream_id);
+  }
+  // notify_all: several workers may be parked and only some can use this
+  // stream's next chunk; notify_one could wake the wrong one for good.
+  cv_.notify_all();
 }
 
 void Batcher::drain() {

@@ -32,6 +32,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "serve/protocol.h"
@@ -49,9 +50,10 @@ struct PendingRequest {
   std::uint64_t deadline_ns = 0;  // telemetry epoch; 0 = no deadline
   std::uint32_t version = 1;      // protocol version to answer with
   /// Nonzero for a v3 STREAM_STEP chunk: the persistent stream this row
-  /// advances.  Two chunks of one stream never share a batch (state must
-  /// advance strictly in order), so next_batch skips a chunk whose stream
-  /// is already aboard; it stays queued for the next batch.
+  /// advances.  A stream's chunks apply strictly in queue order, so
+  /// next_batch never hands out a chunk while an earlier chunk of the
+  /// same stream is aboard ANY in-flight batch (see finish_stream); it
+  /// stays queued until that batch hands the stream back.
   std::uint64_t stream_id = 0;
 };
 
@@ -76,7 +78,21 @@ class Batcher {
   /// with `expired` also untouched only when draining and the queue is dry
   /// — the worker-exit signal.  Every returned batch request has the same
   /// request.num_steps.
+  ///
+  /// Every stream aboard a returned batch is marked IN FLIGHT: no later
+  /// next_batch call (on any worker) hands out another chunk of that
+  /// stream until the caller returns it with finish_stream().  This is
+  /// what makes "a stream's chunks apply strictly in order" hold across
+  /// batches, not just within one — without it two pipelined chunks in
+  /// consecutive batches could race on different workers.
   std::vector<PendingRequest> next_batch(std::vector<PendingRequest>& expired);
+
+  /// Hands a stream back after its batch fully answered its chunk (served,
+  /// isolated, or orphaned — every path).  Wakes workers blocked on the
+  /// stream's next queued chunk.  A caller MUST call this exactly once per
+  /// stream per batch next_batch returned it in, after the stream's state
+  /// was released, or that stream's later chunks wedge forever.
+  void finish_stream(std::uint64_t stream_id);
 
   /// Stops admissions and wakes every blocked worker; idempotent.
   void drain();
@@ -94,6 +110,10 @@ class Batcher {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<PendingRequest> queue_;
+  /// Streams aboard a batch some worker is still running (mu_ held).  A
+  /// queued chunk whose stream is here is invisible to next_batch until
+  /// finish_stream() removes the id.
+  std::unordered_set<std::uint64_t> inflight_streams_;
   bool draining_ = false;
 };
 

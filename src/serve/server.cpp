@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "core/error.h"
 #include "core/json.h"
@@ -213,6 +214,12 @@ void Server::reader_main(ReaderSlot* slot) {
   const std::int64_t in_elems = model_->input_shape().numel();
   FrameHeader header;
   std::vector<std::uint8_t> payload;
+  // Streams opened on THIS connection and not yet closed.  When the reader
+  // exits outside a drain (peer EOF, framing error, idle reap), these are
+  // orphans — nobody will ever close them — and each one permanently
+  // occupies max_live capacity (or a spill file); they are torn down on
+  // the way out below.
+  std::unordered_set<std::uint64_t> owned_streams;
   // Everything a peer sends is untrusted: recoverable decode failures get a
   // bad-request response below, and the outer catch turns anything else
   // (bad magic, oversized frame, allocation failure) into a dropped
@@ -256,6 +263,7 @@ void Server::reader_main(ReaderSlot* slot) {
           }
           switch (streams_->open(ctl.stream_id)) {
             case infer::StreamManager::OpenResult::kOk:
+              owned_streams.insert(ctl.stream_id);
               conn->write_frame(FrameKind::kStreamOpen, header.request_id,
                                 detail::encode_stream_control_payload(ctl),
                                 header.version);
@@ -288,8 +296,24 @@ void Server::reader_main(ReaderSlot* slot) {
           totals.request_id = header.request_id;
           totals.stream_id = ctl.stream_id;
           std::int64_t steps_done = 0;
-          if (!streams_->close(ctl.stream_id, &totals.cumulative_counts,
-                               &steps_done)) {
+          bool known = false;
+          try {
+            known = streams_->close(ctl.stream_id, &totals.cumulative_counts,
+                                    &steps_done);
+          } catch (const std::exception& e) {
+            // Reporting totals required restoring an evicted state and the
+            // spill file was unreadable.  The totals are lost, but the id
+            // must not leak: a totals-free close skips the restore (so it
+            // cannot throw) and still tears the entry down.
+            streams_->close(ctl.stream_id, nullptr, nullptr);
+            owned_streams.erase(ctl.stream_id);
+            ST_LOG_WARN << "serve: closing stream " << ctl.stream_id
+                        << " lost its totals (" << e.what() << ")";
+            respond_error(conn, header.request_id, ErrorCode::kInternalError,
+                          e.what(), header.version);
+            continue;
+          }
+          if (!known) {
             bad_requests_.fetch_add(1, std::memory_order_relaxed);
             respond_error(conn, header.request_id, ErrorCode::kBadRequest,
                           "stream " + std::to_string(ctl.stream_id) +
@@ -297,6 +321,7 @@ void Server::reader_main(ReaderSlot* slot) {
                           header.version);
             continue;
           }
+          owned_streams.erase(ctl.stream_id);
           totals.steps_done = static_cast<std::uint64_t>(steps_done);
           conn->write_frame(FrameKind::kStreamClose, header.request_id,
                             detail::encode_stream_close_reply_payload(totals),
@@ -410,6 +435,27 @@ void Server::reader_main(ReaderSlot* slot) {
                 << e.what();
     conn->abort();
   }
+  // Orphan cleanup: the peer is gone without closing its streams, so close
+  // them here (close waits out any in-flight step's pin; queued steps get
+  // the orphan bounce at the worker).  Skipped during a drain — the reader
+  // is exiting because of the stop pipe, not a vanished peer, and
+  // drain_and_stop's checkpoint_all must still see these streams to
+  // preserve their state for resumption.
+  if (!owned_streams.empty() &&
+      !stopping_.load(std::memory_order_relaxed)) {
+    std::int64_t reclaimed = 0;
+    for (const std::uint64_t id : owned_streams) {
+      // Totals-free close never restores, so it cannot throw; false means
+      // another connection closed the stream for us in the meantime.
+      if (streams_->close(id, nullptr, nullptr)) ++reclaimed;
+    }
+    if (reclaimed > 0) {
+      stream_auto_closed_.fetch_add(reclaimed, std::memory_order_relaxed);
+      ST_LOG_INFO << "serve: closed " << reclaimed
+                  << " stream(s) orphaned by disconnected peer "
+                  << conn->peer();
+    }
+  }
   obs::flight_record(
       obs::FlightEventId::kConnClose,
       static_cast<std::uint64_t>(
@@ -522,12 +568,27 @@ void Server::worker_main(int index) {
     }
     ST_PROF_SCOPE("serve.batch");
 
+    // Streams aboard this batch: the batcher holds each one in flight
+    // until we hand it back, so whatever happens to its row below —
+    // served, orphaned, acquire failure, poison isolation — every id here
+    // MUST reach batcher_.finish_stream() before the next loop pass.
+    std::vector<std::uint64_t> batch_streams;
+    for (const PendingRequest& p : batch)
+      if (p.stream_id != 0) batch_streams.push_back(p.stream_id);
+    const auto finish_batch_streams = [&] {
+      for (std::uint64_t sid : batch_streams) batcher_.finish_stream(sid);
+    };
+
     // Swap in per-stream state before assembly.  Acquire in ascending
     // stream-id order — every worker does, so pin-waits between workers
-    // cannot form a cycle (the batcher already guarantees a batch never
-    // carries two chunks of one stream).  A row whose stream vanished
-    // between admission and here — closed by its reader while the step sat
-    // queued — is answered kBadRequest and dropped from the batch.
+    // cannot form a cycle (the batcher already guarantees at most one
+    // in-flight chunk per stream).  A row whose stream vanished between
+    // admission and here — closed by its reader while the step sat queued
+    // — is answered kBadRequest and dropped from the batch; a row whose
+    // acquire THROWS (corrupt/missing spill on restore, disk-full spill
+    // during the LRU churn it triggers) is answered kInternalError and
+    // dropped, because an exception escaping this thread would
+    // std::terminate the daemon.
     std::vector<std::size_t> stream_rows;
     for (std::size_t i = 0; i < batch.size(); ++i)
       if (batch[i].stream_id != 0) stream_rows.push_back(i);
@@ -536,8 +597,21 @@ void Server::worker_main(int index) {
                 return batch[a].stream_id < batch[b].stream_id;
               });
     std::vector<infer::StreamState*> acquired(batch.size(), nullptr);
-    for (std::size_t i : stream_rows)
-      acquired[i] = streams_->acquire(batch[i].stream_id);
+    std::vector<char> acquire_failed(batch.size(), 0);
+    for (std::size_t i : stream_rows) {
+      try {
+        acquired[i] = streams_->acquire(batch[i].stream_id);
+      } catch (const std::exception& e) {
+        acquire_failed[i] = 1;
+        internal_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) obs::add(ids.internal_errors);
+        ST_LOG_WARN << "serve: acquiring stream " << batch[i].stream_id
+                    << " failed (" << e.what() << "); answering the step "
+                    << "with internal-error";
+        respond_error(batch[i].conn, batch[i].request.request_id,
+                      ErrorCode::kInternalError, e.what(), batch[i].version);
+      }
+    }
     if (!stream_rows.empty()) {
       std::vector<PendingRequest> kept;
       std::vector<infer::StreamState*> kept_acq;
@@ -545,13 +619,15 @@ void Server::worker_main(int index) {
       kept_acq.reserve(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (batch[i].stream_id != 0 && acquired[i] == nullptr) {
-          stream_orphan_steps_.fetch_add(1, std::memory_order_relaxed);
-          if (obs::metrics_enabled()) obs::add(ids.stream_orphans);
-          respond_error(batch[i].conn, batch[i].request.request_id,
-                        ErrorCode::kBadRequest,
-                        "stream " + std::to_string(batch[i].stream_id) +
-                            " was closed before this step ran",
-                        batch[i].version);
+          if (!acquire_failed[i]) {
+            stream_orphan_steps_.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled()) obs::add(ids.stream_orphans);
+            respond_error(batch[i].conn, batch[i].request.request_id,
+                          ErrorCode::kBadRequest,
+                          "stream " + std::to_string(batch[i].stream_id) +
+                              " was closed before this step ran",
+                          batch[i].version);
+          }  // acquire_failed rows were answered above
         } else {
           kept.push_back(std::move(batch[i]));
           kept_acq.push_back(acquired[i]);
@@ -559,7 +635,10 @@ void Server::worker_main(int index) {
       }
       batch = std::move(kept);
       acquired = std::move(kept_acq);
-      if (batch.empty()) continue;
+      if (batch.empty()) {
+        finish_batch_streams();
+        continue;
+      }
     }
 
     const std::int64_t n = static_cast<std::int64_t>(batch.size());
@@ -682,8 +761,9 @@ void Server::worker_main(int index) {
         }
       }
     }
-    // Unpin every stream row (both paths answered it above) and tally the
-    // steps that actually advanced persistent state.
+    // Unpin every stream row (both paths answered it above), then hand
+    // every stream back to the batcher so its next queued chunk can run —
+    // release first, so the chunk's acquire sees the pin already gone.
     for (std::int64_t i = 0; i < n; ++i) {
       const PendingRequest& p = batch[static_cast<std::size_t>(i)];
       if (p.stream_id == 0) continue;
@@ -691,6 +771,7 @@ void Server::worker_main(int index) {
       stream_steps_.fetch_add(1, std::memory_order_relaxed);
       if (obs::metrics_enabled()) obs::add(ids.stream_steps);
     }
+    finish_batch_streams();
     if (obs::metrics_enabled()) {
       obs::observe(ids.batch_size, static_cast<double>(n));
       obs::add(ids.batches);
@@ -794,6 +875,7 @@ Server::Stats Server::stats() const {
   s.stream_steps = stream_steps_.load(std::memory_order_relaxed);
   s.stream_orphan_steps =
       stream_orphan_steps_.load(std::memory_order_relaxed);
+  s.stream_auto_closed = stream_auto_closed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -847,6 +929,7 @@ std::string Server::stat_json() const {
   streams.set("checkpointed", JsonValue(sc.checkpointed));
   streams.set("steps", JsonValue(s.stream_steps));
   streams.set("orphan_steps", JsonValue(s.stream_orphan_steps));
+  streams.set("auto_closed", JsonValue(s.stream_auto_closed));
   root.set("streams", streams);
 
   JsonValue faults = JsonValue::make_object();

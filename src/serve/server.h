@@ -37,8 +37,13 @@
 // the bounded send path (send_timeout_ms), silent ones by the acceptor's
 // idle reaper (idle_timeout_ms), and a request that makes inference throw
 // is answered kInternalError without taking its batchmates or its worker
-// down.  For chaos testing, fault_spec wraps the listener in the
-// deterministic injector from serve/fault.h.
+// down — as is a STREAM_STEP whose state cannot be swapped in (corrupt or
+// missing spill file at restore).  A peer that vanishes without closing
+// its streams has them reaped at reader exit (stream_auto_closed), so an
+// abandoned client never wedges max_live capacity; during a drain they
+// are left open for checkpoint_all instead.  For chaos testing,
+// fault_spec wraps the listener in the deterministic injector from
+// serve/fault.h.
 //
 // Shutdown is drain-safe: drain_and_stop() (the daemon calls it when the
 // cooperative SIGINT/SIGTERM handler fires — see obs/signal_flush.h) stops
@@ -171,6 +176,7 @@ class Server {
     std::int64_t stream_peak_live = 0;      // high-water concurrent streams
     std::int64_t stream_steps = 0;          // STREAM_STEP requests served
     std::int64_t stream_orphan_steps = 0;   // steps on unknown/closed streams
+    std::int64_t stream_auto_closed = 0;    // orphans reaped at reader exit
   };
   Stats stats() const;
 
@@ -240,6 +246,7 @@ class Server {
   std::atomic<std::int64_t> stat_requests_{0};
   std::atomic<std::int64_t> stream_steps_{0};
   std::atomic<std::int64_t> stream_orphan_steps_{0};
+  std::atomic<std::int64_t> stream_auto_closed_{0};
 
   // Per-stream persistent state (protocol v3), shared by readers (open /
   // close, inline) and workers (acquire / release around each batch).

@@ -1146,6 +1146,40 @@ TEST(ServeStream, DrainWithOpenStreamsCheckpointsEachExactlyOnce) {
   EXPECT_EQ(stats.streams_checkpointed, 4);
   EXPECT_EQ(stats.streams_evicted, 0);
   EXPECT_EQ(stats.stream_steps, 5);
+  // Drain is NOT a disconnect: the still-connected client's streams were
+  // checkpointed for resumption, never reaped as orphans.
+  EXPECT_EQ(stats.stream_auto_closed, 0);
+}
+
+TEST(ServeStream, DisconnectWithoutCloseReapsOrphanedStreams) {
+  // A client that vanishes without STREAM_CLOSE must not leak its streams:
+  // with no checkpoint dir they would pin max_live capacity forever, and
+  // eventually every open on the daemon gets kOverloaded.  The reader
+  // closes its connection's streams on the way out.
+  ServerConfig cfg;
+  cfg.max_live_streams = 2;  // hard bound: a leak is immediately visible
+  MlpServer s(cfg);
+  {
+    TcpClient client("127.0.0.1", s.server->port(), 2000);
+    ASSERT_TRUE(client.stream_open(1).ok);
+    ASSERT_TRUE(client.stream_open(2).ok);
+  }  // destructor drops the connection with both streams open
+
+  // The reader reaps asynchronously after it sees EOF; poll briefly.
+  Server::Stats stats;
+  for (int i = 0; i < 500; ++i) {
+    stats = s.server->stats();
+    if (stats.stream_auto_closed >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(stats.streams_opened, 2);
+  EXPECT_EQ(stats.streams_closed, 2);
+  EXPECT_EQ(stats.stream_auto_closed, 2);
+
+  // The capacity the orphans pinned is usable again.
+  TcpClient again("127.0.0.1", s.server->port(), 2000);
+  EXPECT_TRUE(again.stream_open(1).ok);
+  EXPECT_TRUE(again.stream_open(2).ok);
 }
 
 // --- fault injection --------------------------------------------------------

@@ -11,10 +11,14 @@
 // window, at any thread count.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/error.h"
@@ -317,6 +321,55 @@ TEST(StreamManager, LifecycleOpenAcquireCloseAndCapacity) {
   EXPECT_EQ(counters.evicted, 0);
 }
 
+TEST(StreamManager, CorruptSpillFailsTheAcquireButNotTheManager) {
+  // An unreadable spill file must surface as a per-stream exception the
+  // serving worker can answer with internal-error — never as a manager
+  // left in a half-restored state.  After the failed restore the entry
+  // must still be consistent: a retried acquire throws again (no UB on a
+  // dangling LRU iterator), other streams are untouched, and a totals-free
+  // close still tears the broken stream down.
+  snn::MlpConfig cfg;
+  cfg.in_features = 16;
+  cfg.hidden = 8;
+  auto net = snn::make_snn_mlp(cfg);
+  const auto model = CompiledModel::compile(*net, Shape{16});
+  const std::string dir = fresh_dir("stream_corrupt");
+  StreamManager manager(model, /*max_live=*/1, dir);
+  ASSERT_EQ(manager.open(1), StreamManager::OpenResult::kOk);
+  ASSERT_EQ(manager.open(2), StreamManager::OpenResult::kOk);  // evicts 1
+
+  // Truncate stream 1's spill to garbage.
+  std::string spill;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    spill = e.path().string();
+  ASSERT_FALSE(spill.empty());
+  {
+    std::ofstream f(spill, std::ios::binary | std::ios::trunc);
+    f << "not an STK2 container";
+  }
+
+  EXPECT_THROW(manager.acquire(1), Error);
+  EXPECT_THROW(manager.acquire(1), Error);  // retried, still clean
+  EXPECT_TRUE(manager.contains(1));
+
+  // The healthy stream is unaffected (acquiring it evicts nothing broken).
+  StreamState* ok = manager.acquire(2);
+  ASSERT_NE(ok, nullptr);
+  manager.release(2);
+
+  // Totals require a restore, so they are lost — but a totals-free close
+  // must still free the id, and the slot is reusable afterwards.
+  std::int64_t steps = 0;
+  EXPECT_THROW(manager.close(1, nullptr, &steps), Error);
+  EXPECT_TRUE(manager.close(1, nullptr, nullptr));
+  EXPECT_FALSE(manager.contains(1));
+  EXPECT_EQ(manager.open(1), StreamManager::OpenResult::kOk);
+  StreamState* reopened = manager.acquire(1);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->steps_done(), 0);
+  manager.release(1);
+}
+
 TEST(StreamManager, CheckpointAllWritesEachOpenStreamExactlyOnce) {
   snn::MlpConfig cfg;
   cfg.in_features = 16;
@@ -493,8 +546,9 @@ std::vector<PendingRequest> take_batch(Batcher& b) {
 TEST(StreamBatcher, SameStreamChunksNeverShareABatch) {
   // Stream 5 has two chunks queued; stream 6 and a plain request ride
   // along.  The first batch takes 5's FIRST chunk + 6 + plain (arrival
-  // order, skipping 5's second chunk); the next batch carries the held
-  // chunk so stream state advances strictly in order.
+  // order, skipping 5's second chunk); once the first batch hands its
+  // streams back, the next batch carries the held chunk so stream state
+  // advances strictly in order.
   Batcher b({.max_batch = 8, .batch_timeout_us = 0, .max_queue_depth = 16});
   ASSERT_EQ(b.submit(stream_chunk(5, 1)), AdmitResult::kAdmitted);
   ASSERT_EQ(b.submit(stream_chunk(5, 2)), AdmitResult::kAdmitted);
@@ -507,10 +561,47 @@ TEST(StreamBatcher, SameStreamChunksNeverShareABatch) {
   EXPECT_EQ(first[1].request.request_id, 3u);
   EXPECT_EQ(first[2].request.request_id, 4u);
 
+  b.finish_stream(5);
+  b.finish_stream(6);
   const auto second = take_batch(b);
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0].request.request_id, 2u);
   EXPECT_EQ(second[0].stream_id, 5u);
+  EXPECT_EQ(b.depth(), 0u);
+}
+
+TEST(StreamBatcher, InFlightStreamBlocksItsNextChunkAcrossBatches) {
+  // Two pipelined chunks of stream 9: while chunk 1's batch is still in
+  // flight (finish_stream not yet called), chunk 2 must be invisible to
+  // every next_batch call — otherwise a second worker could win the
+  // acquire race and advance the stream out of order.  A plain request
+  // proves the batcher still serves everything else meanwhile.
+  Batcher b({.max_batch = 8, .batch_timeout_us = 0, .max_queue_depth = 16});
+  ASSERT_EQ(b.submit(stream_chunk(9, 1)), AdmitResult::kAdmitted);
+  ASSERT_EQ(b.submit(stream_chunk(9, 2)), AdmitResult::kAdmitted);
+  ASSERT_EQ(b.submit(stream_chunk(0, 3)), AdmitResult::kAdmitted);
+
+  const auto first = take_batch(b);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].request.request_id, 1u);
+  EXPECT_EQ(first[1].request.request_id, 3u);
+  EXPECT_EQ(b.depth(), 1u);  // chunk 2 held behind the in-flight stream
+
+  // A second worker arriving now must block, not grab chunk 2: simulate
+  // with a thread whose take_batch only completes after finish_stream.
+  std::atomic<bool> got{false};
+  std::vector<PendingRequest> taken;
+  std::thread worker([&] {
+    taken = take_batch(b);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(got.load()) << "chunk 2 handed out while chunk 1 in flight";
+  b.finish_stream(9);
+  worker.join();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].request.request_id, 2u);
+  b.finish_stream(9);
   EXPECT_EQ(b.depth(), 0u);
 }
 
@@ -533,6 +624,7 @@ TEST(StreamBatcher, ExclusionComposesWithWindowLengthRule) {
   const auto first = take_batch(b);
   ASSERT_EQ(first.size(), 1u);
   EXPECT_EQ(first[0].request.request_id, 1u);
+  b.finish_stream(9);
   const auto second = take_batch(b);
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0].request.request_id, 2u);
